@@ -1,0 +1,104 @@
+// spg-bench regenerates the tables and figures of the paper's evaluation.
+//
+// Usage:
+//
+//	spg-bench -list
+//	spg-bench -exp table1
+//	spg-bench -exp fig4e -scale full -csv
+//	spg-bench -all -out results/
+//
+// Modeled experiments print the calibrated machine-model series (the
+// paper's 16-core Xeon); measured experiments execute real kernels or
+// training runs on this host. See DESIGN.md for the per-experiment index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"spgcnn"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments")
+		exp     = flag.String("exp", "", "experiment ID to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		scale   = flag.String("scale", "quick", "workload scale: quick or full")
+		workers = flag.Int("workers", 0, "host workers for measured experiments (0 = GOMAXPROCS)")
+		mach    = flag.String("machine", "paper", "model behind modeled figures: paper (16-core Xeon) or host (calibrated probe)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		out     = flag.String("out", "", "directory to write per-experiment files into (default: stdout)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range spgcnn.Experiments() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	if *scale != "quick" && *scale != "full" {
+		fatal("invalid -scale %q (want quick or full)", *scale)
+	}
+	if *mach != "paper" && *mach != "host" {
+		fatal("invalid -machine %q (want paper or host)", *mach)
+	}
+	opts := spgcnn.ExperimentOptions{Scale: *scale, Workers: *workers, Machine: *mach}
+
+	var exps []spgcnn.Experiment
+	switch {
+	case *all:
+		exps = spgcnn.Experiments()
+	case *exp != "":
+		e, err := spgcnn.LookupExperiment(*exp)
+		if err != nil {
+			fatal("%v", err)
+		}
+		exps = []spgcnn.Experiment{e}
+	default:
+		fatal("nothing to do: pass -exp <id>, -all, or -list")
+	}
+
+	for _, e := range exps {
+		fmt.Fprintf(os.Stderr, "running %s ...\n", e.ID)
+		tables := e.Run(opts)
+		var b strings.Builder
+		for i, t := range tables {
+			if i > 0 {
+				b.WriteByte('\n')
+			}
+			if *csv {
+				b.WriteString("# " + t.Title + "\n")
+				b.WriteString(t.CSV())
+			} else {
+				b.WriteString(t.Render())
+			}
+		}
+		if *out == "" {
+			fmt.Print(b.String())
+			fmt.Println()
+			continue
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal("mkdir %s: %v", *out, err)
+		}
+		ext := ".txt"
+		if *csv {
+			ext = ".csv"
+		}
+		path := filepath.Join(*out, e.ID+ext)
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			fatal("write %s: %v", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "spg-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// spg-plan characterizes a convolution: its arithmetic intensity, the AIT
+// lost to unfolding, its Fig. 1 region, the stencil generator's register
+// tile, and what the spg-CNN scheduler measures and picks for it on this
+// host — the paper's §3 analysis as a command.
+//
+// Usage:
+//
+//	spg-plan -n 36 -nf 64 -nc 3 -f 5 -s 1
+//	spg-plan -n 64 -nf 16 -nc 16 -f 11 -s 1 -sparsity 0.9 -tune
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spgcnn"
+	"spgcnn/internal/ait"
+	"spgcnn/internal/conv"
+	"spgcnn/internal/core"
+	"spgcnn/internal/machine"
+	"spgcnn/internal/stencil"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 36, "input spatial size (Nx = Ny)")
+		nf       = flag.Int("nf", 64, "output features")
+		nc       = flag.Int("nc", 3, "input channels")
+		f        = flag.Int("f", 5, "kernel size (Fx = Fy)")
+		s        = flag.Int("s", 1, "stride")
+		sparsity = flag.Float64("sparsity", 0.85, "assumed BP error sparsity")
+		tune     = flag.Bool("tune", false, "also run the scheduler's measurement pass on this host")
+		workers  = flag.Int("workers", 0, "worker cores for -tune (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	spec := conv.Square(*n, *nf, *nc, *f, *s)
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "spg-plan: %v\n", err)
+		os.Exit(1)
+	}
+	a := spgcnn.Analyze(spec)
+	fmt.Printf("convolution %s\n", spec)
+	fmt.Printf("  flops (FP)          %d\n", spec.FlopsFP())
+	fmt.Printf("  intrinsic AIT       %.1f\n", a.IntrinsicAIT)
+	fmt.Printf("  unfold+GEMM AIT     %.1f  (r = %.3f: unfolding keeps %.1f%% of the intensity)\n",
+		a.UnfoldAIT, a.Ratio, a.Ratio*100)
+	fmt.Printf("  region (dense)      %v\n", a.DenseRegion)
+	fmt.Printf("  region (%.0f%% sparse) %v\n", *sparsity*100, spgcnn.Classify(spec, *sparsity))
+	p := spgcnn.Classify(spec, *sparsity).Props()
+	fmt.Printf("  prescribed          %v\n", p.Recommendations)
+
+	plan := stencil.ChoosePlan(spec)
+	fmt.Printf("stencil plan          %v\n", plan)
+
+	m := machine.Paper()
+	fmt.Printf("modeled on the paper's 16-core Xeon (GFlops/core at p=16):\n")
+	fmt.Printf("  Parallel-GEMM (FP)  %.1f\n", m.ParallelGEMM(spec, ait.FP, 16))
+	fmt.Printf("  GEMM-in-Parallel    %.1f\n", m.GEMMInParallel(spec, ait.FP, 16))
+	fmt.Printf("  Stencil-Kernel      %.1f\n", m.Stencil(spec, 16))
+	fmt.Printf("  Sparse BP goodput   %.1f (at %.0f%% sparsity)\n",
+		m.SparseGoodput(spec, *sparsity, 16), *sparsity*100)
+
+	if *tune {
+		w := *workers
+		if w < 1 {
+			w = 1
+		}
+		fmt.Printf("measured on this host (%d workers):\n", w)
+		r := spgcnn.NewRNG(1)
+		var ins, eos []*spgcnn.Tensor
+		for i := 0; i < w; i++ {
+			in := conv.RandInput(r, spec)
+			ins = append(ins, in)
+			eos = append(eos, conv.RandOutputError(r, spec, *sparsity))
+		}
+		wts := conv.RandWeights(r, spec)
+		fpSel := core.ChooseFP(core.FPStrategies(w), spec, w, ins, wts, core.TuneOptions{})
+		for _, tm := range fpSel.Timings {
+			fmt.Printf("  FP %-18s %8.3f ms\n", tm.Strategy.Name, tm.Seconds*1e3)
+		}
+		fmt.Printf("  FP chosen: %s\n", fpSel.Best().Strategy.Name)
+		bpSel := core.ChooseBP(core.BPStrategies(w), spec, w, eos, ins, wts, core.TuneOptions{})
+		for _, tm := range bpSel.Timings {
+			fmt.Printf("  BP %-18s %8.3f ms\n", tm.Strategy.Name, tm.Seconds*1e3)
+		}
+		fmt.Printf("  BP chosen: %s\n", bpSel.Best().Strategy.Name)
+	}
+}

@@ -1,0 +1,202 @@
+// spg-train trains a CNN described by a netdef file (or a built-in
+// benchmark network) on a synthetic dataset, reporting per-epoch loss,
+// accuracy, throughput and error-gradient sparsity — a command-line
+// driver for the whole training stack.
+//
+// Usage:
+//
+//	spg-train -net cifar -epochs 5 -examples 512
+//	spg-train -file mynet.prototxt -dataset mnist -strategy stencil
+//	spg-train -net mnist -strategy auto       # spg-CNN scheduler (default)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spgcnn"
+)
+
+func main() {
+	var (
+		netName  = flag.String("net", "cifar", "built-in network: mnist, cifar, imagenet100")
+		file     = flag.String("file", "", "netdef file (overrides -net)")
+		dataset  = flag.String("dataset", "", "dataset: mnist, cifar, imagenet100 (default: matches -net)")
+		epochs   = flag.Int("epochs", 3, "training epochs")
+		examples = flag.Int("examples", 256, "dataset size")
+		batch    = flag.Int("batch", 16, "minibatch size")
+		lr       = flag.Float64("lr", 0.01, "learning rate")
+		workers  = flag.Int("workers", 0, "worker cores (0 = GOMAXPROCS)")
+		strategy = flag.String("strategy", "auto", "conv strategy: auto, parallel-gemm, gemm-in-parallel, stencil, sparse")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		profile  = flag.Bool("profile", false, "print a per-layer time breakdown after training")
+		savePath = flag.String("save", "", "write a weight checkpoint here after training")
+		loadPath = flag.String("load", "", "restore a weight checkpoint before training")
+		saveTune = flag.String("savetune", "", "write the scheduler's per-layer choices (JSON) here after training")
+		loadTune = flag.String("loadtune", "", "deploy a saved tuning configuration instead of measuring")
+	)
+	flag.Parse()
+
+	src, defaultData := builtin(*netName)
+	if *file != "" {
+		b, err := os.ReadFile(*file)
+		if err != nil {
+			fatal("%v", err)
+		}
+		src = string(b)
+	}
+	if *dataset == "" {
+		*dataset = defaultData
+	}
+
+	def, err := spgcnn.ParseNet(src)
+	if err != nil {
+		fatal("%v", err)
+	}
+	opts := spgcnn.BuildOptions{Workers: *workers, Seed: *seed}
+	if *strategy != "auto" {
+		st, ok := findStrategy(*strategy, *workers)
+		if !ok {
+			fatal("unknown strategy %q", *strategy)
+		}
+		opts.FixedStrategy = &st
+	}
+	if *loadTune != "" {
+		f, err := os.Open(*loadTune)
+		if err != nil {
+			fatal("%v", err)
+		}
+		choices, err := spgcnn.LoadTuningChoices(f)
+		f.Close()
+		if err != nil {
+			fatal("%v", err)
+		}
+		opts.Choices = choices
+		fmt.Printf("deployed tuning configuration %s (%d layers)\n", *loadTune, len(choices))
+	}
+	net, err := spgcnn.BuildNet(def, opts)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	ds := datasetByName(*dataset, *examples)
+	if ds == nil {
+		fatal("unknown dataset %q", *dataset)
+	}
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		err = net.Load(f)
+		f.Close()
+		if err != nil {
+			fatal("restoring %s: %v", *loadPath, err)
+		}
+		fmt.Printf("restored checkpoint %s\n", *loadPath)
+	}
+	if *profile {
+		net.EnableProfiling()
+	}
+
+	fmt.Printf("network %q, dataset %s (%d examples), strategy %s\n",
+		def.Name, *dataset, *examples, *strategy)
+	tr := spgcnn.NewTrainer(net, float32(*lr), *batch)
+	r := spgcnn.NewRNG(*seed)
+	for e := 0; e < *epochs; e++ {
+		stats := tr.TrainEpoch(ds, r)
+		fmt.Printf("epoch %2d  loss %.4f  acc %5.1f%%  %7.1f images/sec  conv %.2f GF (goodput %.2f)",
+			stats.Epoch, stats.Loss, stats.Accuracy*100, stats.ImagesPerSec,
+			stats.ConvGFlops, stats.ConvGoodputGFlops)
+		if len(stats.ConvSparsity) > 0 {
+			fmt.Printf("  EO sparsity:")
+			for _, c := range net.ConvLayers() {
+				if s, ok := stats.ConvSparsity[c.Name()]; ok {
+					fmt.Printf(" %s=%.2f", c.Name(), s)
+				}
+			}
+		}
+		fmt.Println()
+	}
+	if *profile {
+		fmt.Print("\nper-layer time breakdown:\n", net.ProfileReport())
+	}
+	if *saveTune != "" {
+		choices := net.TuningChoices()
+		if len(choices) == 0 {
+			fmt.Println("no tuning choices to save (run with -strategy auto)")
+		} else {
+			f, err := os.Create(*saveTune)
+			if err != nil {
+				fatal("%v", err)
+			}
+			err = choices.Save(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fatal("saving %s: %v", *saveTune, err)
+			}
+			fmt.Printf("saved tuning configuration %s\n", *saveTune)
+		}
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		err = net.Save(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal("saving %s: %v", *savePath, err)
+		}
+		fmt.Printf("saved checkpoint %s\n", *savePath)
+	}
+}
+
+func builtin(name string) (src, dataset string) {
+	switch name {
+	case "mnist":
+		return spgcnn.MNISTNet, "mnist"
+	case "cifar":
+		return spgcnn.CIFARNet, "cifar"
+	case "imagenet100":
+		return spgcnn.ImageNet100Net, "imagenet100"
+	default:
+		fatal("unknown built-in network %q (want mnist, cifar, imagenet100)", name)
+		return "", ""
+	}
+}
+
+func datasetByName(name string, n int) spgcnn.Dataset {
+	switch name {
+	case "mnist":
+		return spgcnn.MNISTData(n)
+	case "cifar":
+		return spgcnn.CIFARData(n)
+	case "imagenet100":
+		return spgcnn.ImageNet100Data(n)
+	default:
+		return nil
+	}
+}
+
+func findStrategy(name string, workers int) (spgcnn.Strategy, bool) {
+	if workers < 1 {
+		workers = 1
+	}
+	for _, st := range append(spgcnn.FPStrategies(workers), spgcnn.BPStrategies(workers)...) {
+		if st.Name == name {
+			return st, true
+		}
+	}
+	return spgcnn.Strategy{}, false
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "spg-train: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestBuiltinNetworks(t *testing.T) {
+	for _, name := range []string{"mnist", "cifar", "imagenet100"} {
+		src, ds := builtin(name)
+		if src == "" || ds != name {
+			t.Fatalf("builtin(%q) = %q dataset, want matching dataset", name, ds)
+		}
+	}
+}
+
+func TestDatasetByName(t *testing.T) {
+	for _, name := range []string{"mnist", "cifar", "imagenet100"} {
+		if datasetByName(name, 10) == nil {
+			t.Fatalf("datasetByName(%q) = nil", name)
+		}
+	}
+	if datasetByName("imagenet22k", 10) != nil {
+		t.Fatal("unknown dataset resolved")
+	}
+}
+
+func TestFindStrategy(t *testing.T) {
+	for _, name := range []string{"parallel-gemm", "gemm-in-parallel", "stencil", "sparse"} {
+		st, ok := findStrategy(name, 2)
+		if !ok || st.Name != name {
+			t.Fatalf("findStrategy(%q) failed", name)
+		}
+	}
+	if _, ok := findStrategy("auto", 2); ok {
+		t.Fatal("'auto' is not a strategy name and must not resolve")
+	}
+	// Worker floor.
+	if st, ok := findStrategy("parallel-gemm", 0); !ok || st.Name != "parallel-gemm" {
+		t.Fatal("workers=0 not floored")
+	}
+}

@@ -1,0 +1,67 @@
+// Characterize: reproduce the paper's Table 1 and Fig. 1 region map from
+// the public API, then sweep feature count and kernel size to show how a
+// convolution moves through the design space — a tour of the §3
+// performance characterization.
+package main
+
+import (
+	"fmt"
+
+	"spgcnn"
+)
+
+func main() {
+	// Part 1: Table 1 — the six benchmark convolutions.
+	table1 := []struct {
+		id   int
+		spec spgcnn.ConvSpec
+	}{
+		{0, spgcnn.Square(32, 32, 32, 4, 1)},
+		{1, spgcnn.Square(64, 1024, 512, 2, 1)},
+		{2, spgcnn.Square(256, 256, 128, 3, 1)},
+		{3, spgcnn.Square(128, 128, 64, 7, 1)},
+		{4, spgcnn.Square(128, 512, 256, 5, 1)},
+		{5, spgcnn.Square(64, 64, 16, 11, 1)},
+	}
+	fmt.Println("Table 1: the benchmark convolutions")
+	fmt.Printf("%-3s %-17s %12s %12s %8s %s\n", "ID", "spec", "intrinsic", "unfolded", "r", "regions (dense,sparse)")
+	for _, row := range table1 {
+		a := spgcnn.Analyze(row.spec)
+		fmt.Printf("%-3d %-17v %12.0f %12.0f %8.3f %d,%d\n",
+			row.id, row.spec, a.IntrinsicAIT, a.UnfoldAIT, a.Ratio,
+			int(a.DenseRegion), int(a.SparseRegion))
+	}
+
+	// Part 2: how the unfolding loss (r) moves with kernel size — §3.1's
+	// "Kernel Size" axis: growing kernels deepen the loss until the kernel
+	// approaches the input and the convolution becomes a matrix multiply.
+	fmt.Println("\nUnfolding loss vs kernel size (64x64 input, 64 features, 32 channels):")
+	for _, f := range []int{1, 3, 5, 7, 11, 21, 43, 64} {
+		a := spgcnn.Analyze(spgcnn.Square(64, 64, 32, f, 1))
+		fmt.Printf("  F=%-3d r=%.3f  (unfold keeps %4.1f%% of intrinsic AIT %5.0f)\n",
+			f, a.Ratio, a.Ratio*100, a.IntrinsicAIT)
+	}
+
+	// Part 3: the Fig. 1 region map across feature count and sparsity,
+	// with the techniques spg-CNN prescribes in each cell.
+	fmt.Println("\nFig. 1 region map:")
+	fmt.Printf("%-10s %-10s %-8s %s\n", "features", "sparsity", "region", "prescription")
+	for _, nf := range []int{2048, 256, 64} {
+		for _, sp := range []float64{0, 0.9} {
+			s := spgcnn.Square(64, nf, 32, 3, 1)
+			reg := spgcnn.Classify(s, sp)
+			fmt.Printf("%-10d %-10.1f %-8v %v\n", nf, sp, int(reg), reg.Props().Recommendations)
+		}
+	}
+
+	// Part 4: what the modeled paper machine predicts each technique
+	// delivers at 16 cores for a small and a large convolution.
+	m := spgcnn.PaperMachine()
+	fmt.Println("\nModeled GFlops/core at 16 cores (paper machine):")
+	fmt.Printf("%-20s %-14s %-14s %-14s\n", "spec", "P-GEMM", "GiP", "Stencil")
+	for _, row := range []int{0, 1} {
+		s := table1[row].spec
+		fmt.Printf("%-20v %-14.1f %-14.1f %-14.1f\n", s,
+			m.ParallelGEMM(s, spgcnn.FP, 16), m.GEMMInParallel(s, spgcnn.FP, 16), m.Stencil(s, 16))
+	}
+}

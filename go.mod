@@ -1,0 +1,3 @@
+module spgcnn
+
+go 1.22

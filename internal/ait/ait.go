@@ -1,0 +1,165 @@
+// Package ait implements the paper's §3 performance characterization: the
+// arithmetic-intensity (AIT) model of a convolution, the AIT degradation
+// caused by unfolding, the AIT-per-core degradation caused by partitioning
+// a GEMM across cores, and the six-region design space of Fig. 1.
+//
+// AIT is the ratio of arithmetic operations to memory operations,
+// |A| / (|I|+|W|+|O|), with the sizes given by the paper's Eqs. 5–8. With
+// |A| counted over the output's spatial extent, the model reproduces the
+// paper's Table 1 "Intrinsic AIT" column exactly (362, 2015, 1510, 3561,
+// 6567, 1921 for the six benchmark convolutions).
+package ait
+
+import (
+	"fmt"
+
+	"spgcnn/internal/conv"
+)
+
+// Intrinsic returns the convolution's intrinsic arithmetic intensity
+// |A| / (|I| + |W| + |O|)  (§3.1).
+func Intrinsic(s conv.Spec) float64 {
+	mem := s.InputSize() + s.WeightSize() + s.OutputSize()
+	return float64(s.FlopsFP()) / float64(mem)
+}
+
+// Unfold returns the maximum AIT achievable by Unfold+GEMM,
+// |A| / (2|U| + |W| + |O|): the unfolded input is written once and read
+// once, hence the factor 2 (§3.1).
+func Unfold(s conv.Spec) float64 {
+	mem := 2*s.UnfoldedSize() + s.WeightSize() + s.OutputSize()
+	return float64(s.FlopsFP()) / float64(mem)
+}
+
+// Ratio returns r = (|I|+|W|+|O|) / (2|U|+|W|+|O|), the maximum fraction of
+// the intrinsic AIT that Unfold+GEMM can achieve (§3.1). r → 1 as the
+// kernel approaches the input size or as the output feature count grows;
+// r ≪ 1 for small kernels on large inputs.
+func Ratio(s conv.Spec) float64 {
+	num := s.InputSize() + s.WeightSize() + s.OutputSize()
+	den := 2*s.UnfoldedSize() + s.WeightSize() + s.OutputSize()
+	return float64(num) / float64(den)
+}
+
+// MM describes the matrix multiply C[M×N] = A[M×K] · B[K×N].
+type MM struct{ M, K, N int }
+
+// Flops returns 2·M·N·K.
+func (m MM) Flops() int64 { return 2 * int64(m.M) * int64(m.N) * int64(m.K) }
+
+// AIT returns the whole-multiply arithmetic intensity
+// 2MNK / (MK + KN + MN). For square n×n matrices this is the paper's 2n/3.
+func (m MM) AIT() float64 {
+	mem := int64(m.M)*int64(m.K) + int64(m.K)*int64(m.N) + int64(m.M)*int64(m.N)
+	return float64(m.Flops()) / float64(mem)
+}
+
+// AITPerCore returns the per-core AIT when the multiply is statically
+// partitioned across p cores the way Parallel-GEMM partitions it (§3.2):
+// each core computes a horizontal or vertical slice of C, whichever is
+// better. Row partition: core reads M/p rows of A, ALL of B, M/p rows of
+// C. Column partition: all of A, K·N/p of B, M·N/p of C.
+//
+// For the square case at p = 2 this yields the paper's n/2 (down from the
+// serial 2n/3). p ≤ 1 returns the whole-multiply AIT.
+func (m MM) AITPerCore(p int) float64 {
+	if p <= 1 {
+		return m.AIT()
+	}
+	fp := float64(p)
+	fM, fK, fN := float64(m.M), float64(m.K), float64(m.N)
+	flops := 2 * fM * fN * fK / fp
+	rowMem := fM*fK/fp + fK*fN + fM*fN/fp
+	colMem := fM*fK + fK*fN/fp + fM*fN/fp
+	mem := rowMem
+	if colMem < mem {
+		mem = colMem
+	}
+	return flops / mem
+}
+
+// AITPerCoreRow returns the per-core AIT under the row partition only —
+// the paper's own §3.2 model, where each core computes M/p rows of C and
+// must read ALL of B (this is how BLAS Parallel-GEMM partitions the conv
+// GEMMs, whose B operand is the huge unfolded matrix). For the square case
+// it generalizes the paper's worked example to 2n/(2+p).
+func (m MM) AITPerCoreRow(p int) float64 {
+	if p <= 1 {
+		return m.AIT()
+	}
+	fp := float64(p)
+	fM, fK, fN := float64(m.M), float64(m.K), float64(m.N)
+	flops := 2 * fM * fN * fK / fp
+	mem := fM*fK/fp + fK*fN + fM*fN/fp
+	return flops / mem
+}
+
+// Phase identifies one of the three GEMMs of a training step on one layer.
+type Phase int
+
+const (
+	// FP is forward propagation: O = W · Uᵀ.
+	FP Phase = iota
+	// BPInput is the input-error gradient: U_E = Wᵀ · E_O, then fold.
+	BPInput
+	// BPWeights is the delta-weight computation: dW = E_O · U.
+	BPWeights
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case FP:
+		return "FP"
+	case BPInput:
+		return "BP-EI"
+	case BPWeights:
+		return "BP-dW"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// MMOf returns the matrix-multiply dimensions that Unfold+GEMM casts phase
+// p of spec s into (§2.3, Fig. 2c):
+//
+//	FP:        O[Nf × pix]        = W[Nf × NcFyFx] · Uᵀ[NcFyFx × pix]
+//	BPInput:   U_E[NcFyFx × pix]  = Wᵀ[NcFyFx × Nf] · E_O[Nf × pix]
+//	BPWeights: dW[Nf × NcFyFx]    = E_O[Nf × pix] · U[pix × NcFyFx]
+func MMOf(s conv.Spec, p Phase) MM {
+	pix := s.OutX() * s.OutY()
+	taps := s.Nc * s.Fy * s.Fx
+	switch p {
+	case FP:
+		return MM{M: s.Nf, K: taps, N: pix}
+	case BPInput:
+		return MM{M: taps, K: s.Nf, N: pix}
+	case BPWeights:
+		return MM{M: s.Nf, K: pix, N: taps}
+	default:
+		panic(fmt.Sprintf("ait: unknown phase %d", int(p)))
+	}
+}
+
+// Goodput bounds (§3.3, Eqs. 9–10).
+
+// GoodputUpperBound returns the paper's Eq. 10 bound on the goodput of a
+// dense kernel running at the given throughput when the data has the given
+// sparsity: (1 − sparsity) × throughput.
+func GoodputUpperBound(throughput, sparsity float64) float64 {
+	if sparsity < 0 {
+		sparsity = 0
+	}
+	if sparsity > 1 {
+		sparsity = 1
+	}
+	return (1 - sparsity) * throughput
+}
+
+// Goodput returns nonZeroFlops / seconds in flops/sec (Eq. 9).
+func Goodput(nonZeroFlops int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(nonZeroFlops) / seconds
+}

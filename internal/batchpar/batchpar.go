@@ -1,0 +1,123 @@
+// Package batchpar implements the paper's GEMM-in-Parallel scheduling
+// (§4.1): instead of splitting one convolution's GEMM across P cores (and
+// paying the §3.2 per-core AIT reduction), it runs P independent
+// single-threaded kernels on P different training inputs.
+//
+// The executor is kernel-agnostic: the same batch schedule carries
+// unfold+GEMM kernels (the literal GEMM-in-Parallel of §4.1),
+// stencil kernels (§4.3's FP deployment) and sparse kernels (§4.2's BP
+// deployment). Each worker owns a private kernel instance — and therefore
+// private scratch — so inputs are never divided across cores and per-core
+// AIT stays at the single-kernel level.
+package batchpar
+
+import (
+	"fmt"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/engine"
+	"spgcnn/internal/par"
+	"spgcnn/internal/tensor"
+)
+
+// Executor schedules a per-input kernel across batches of training inputs.
+type Executor struct {
+	spec    conv.Spec
+	workers int
+	kernels []engine.Kernel  // one per worker
+	dwAcc   []*tensor.Tensor // per-worker weight-gradient accumulators
+	dwTmp   []*tensor.Tensor // per-worker single-input gradient scratch
+	name    string
+}
+
+// New builds an executor that fans gen's kernels for spec s across the
+// given number of workers (minimum 1).
+func New(gen engine.Generator, s conv.Spec, workers int) *Executor {
+	s.MustValidate()
+	if workers < 1 {
+		workers = 1
+	}
+	e := &Executor{
+		spec:    s,
+		workers: workers,
+		kernels: make([]engine.Kernel, workers),
+		dwAcc:   make([]*tensor.Tensor, workers),
+		dwTmp:   make([]*tensor.Tensor, workers),
+	}
+	for i := range e.kernels {
+		e.kernels[i] = gen.New(s)
+		e.dwAcc[i] = conv.NewWeights(s)
+		e.dwTmp[i] = conv.NewWeights(s)
+	}
+	e.name = fmt.Sprintf("batch-parallel[%s, p=%d]", e.kernels[0].Name(), workers)
+	return e
+}
+
+// Name describes the executor.
+func (e *Executor) Name() string { return e.name }
+
+// Workers reports the fan-out.
+func (e *Executor) Workers() int { return e.workers }
+
+// Spec returns the convolution geometry.
+func (e *Executor) Spec() conv.Spec { return e.spec }
+
+// Forward computes outs[i] = conv(ins[i], w) for the whole batch, one
+// worker per contiguous chunk of inputs.
+func (e *Executor) Forward(outs, ins []*tensor.Tensor, w *tensor.Tensor) {
+	if len(outs) != len(ins) {
+		panic("batchpar: Forward batch length mismatch")
+	}
+	par.ForWorkers(len(ins), e.workers, func(worker, lo, hi int) {
+		k := e.kernels[worker]
+		for i := lo; i < hi; i++ {
+			k.Forward(outs[i], ins[i], w)
+		}
+	})
+}
+
+// BackwardInput computes eis[i] = corr(eos[i], w) for the whole batch.
+func (e *Executor) BackwardInput(eis, eos []*tensor.Tensor, w *tensor.Tensor) {
+	if len(eis) != len(eos) {
+		panic("batchpar: BackwardInput batch length mismatch")
+	}
+	par.ForWorkers(len(eos), e.workers, func(worker, lo, hi int) {
+		k := e.kernels[worker]
+		for i := lo; i < hi; i++ {
+			k.BackwardInput(eis[i], eos[i], w)
+		}
+	})
+}
+
+// BackwardWeights computes dw = Σ_i grad(eos[i], ins[i]): each worker
+// accumulates its chunk's gradients into private scratch, then the
+// per-worker partials are reduced into dw. dw is overwritten.
+func (e *Executor) BackwardWeights(dw *tensor.Tensor, eos, ins []*tensor.Tensor) {
+	if len(eos) != len(ins) {
+		panic("batchpar: BackwardWeights batch length mismatch")
+	}
+	conv.CheckWeights(e.spec, dw)
+	used := e.workers
+	if used > len(eos) {
+		used = len(eos)
+	}
+	if used < 1 {
+		used = 1
+	}
+	for i := 0; i < used; i++ {
+		e.dwAcc[i].Zero()
+	}
+	par.ForWorkers(len(eos), e.workers, func(worker, lo, hi int) {
+		k := e.kernels[worker]
+		acc := e.dwAcc[worker]
+		tmp := e.dwTmp[worker]
+		for i := lo; i < hi; i++ {
+			k.BackwardWeights(tmp, eos[i], ins[i])
+			acc.AddScaled(tmp, 1)
+		}
+	})
+	dw.Zero()
+	for i := 0; i < used; i++ {
+		dw.AddScaled(e.dwAcc[i], 1)
+	}
+}

@@ -1,0 +1,143 @@
+package batchpar
+
+import (
+	"testing"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/rng"
+	"spgcnn/internal/spkernel"
+	"spgcnn/internal/stencil"
+	"spgcnn/internal/tensor"
+	"spgcnn/internal/unfoldgemm"
+)
+
+func makeBatch(r *rng.RNG, s conv.Spec, n int, sparsity float64) (ins, outs, eos, eis []*tensor.Tensor) {
+	for i := 0; i < n; i++ {
+		ins = append(ins, conv.RandInput(r, s))
+		outs = append(outs, conv.NewOutput(s))
+		eos = append(eos, conv.RandOutputError(r, s, sparsity))
+		eis = append(eis, conv.NewInput(s))
+	}
+	return
+}
+
+func TestBatchForwardMatchesReference(t *testing.T) {
+	r := rng.New(1)
+	s := conv.Square(10, 4, 3, 3, 1)
+	for _, workers := range []int{1, 2, 5, 16} {
+		for _, batch := range []int{1, 3, 8, 17} {
+			ins, outs, _, _ := makeBatch(r, s, batch, 0)
+			w := conv.RandWeights(r, s)
+			e := New(unfoldgemm.Generator(1), s, workers)
+			e.Forward(outs, ins, w)
+			for i := range outs {
+				want := conv.NewOutput(s)
+				conv.ForwardRef(s, want, ins[i], w)
+				if !tensor.AlmostEqual(outs[i], want, 1e-3) {
+					t.Fatalf("workers=%d batch=%d: output %d wrong", workers, batch, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchBackwardInput(t *testing.T) {
+	r := rng.New(2)
+	s := conv.Square(9, 5, 2, 3, 2)
+	w := conv.RandWeights(r, s)
+	_, _, eos, eis := makeBatch(r, s, 7, 0.7)
+	e := New(spkernel.Generator(), s, 3)
+	e.BackwardInput(eis, eos, w)
+	for i := range eis {
+		want := conv.NewInput(s)
+		conv.BackwardInputRef(s, want, eos[i], w)
+		if !tensor.AlmostEqual(eis[i], want, 1e-3) {
+			t.Fatalf("EI %d wrong", i)
+		}
+	}
+}
+
+func TestBatchBackwardWeightsSumsOverBatch(t *testing.T) {
+	r := rng.New(3)
+	s := conv.Square(8, 3, 2, 3, 1)
+	for _, workers := range []int{1, 2, 4, 9} {
+		ins, _, eos, _ := makeBatch(r, s, 6, 0.5)
+		e := New(stencil.Generator(), s, workers)
+		dw := conv.NewWeights(s)
+		dw.FillUniform(r, 5, 6) // must be overwritten
+		e.BackwardWeights(dw, eos, ins)
+		want := conv.NewWeights(s)
+		tmp := conv.NewWeights(s)
+		for i := range ins {
+			conv.BackwardWeightsRef(s, tmp, eos[i], ins[i])
+			want.AddScaled(tmp, 1)
+		}
+		if !tensor.AlmostEqual(dw, want, 1e-3) {
+			t.Fatalf("workers=%d: batch dW differs from per-image sum (max diff %g)",
+				workers, tensor.MaxAbsDiff(dw, want))
+		}
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	s := conv.Square(6, 2, 1, 2, 1)
+	e := New(unfoldgemm.Generator(1), s, 4)
+	e.Forward(nil, nil, conv.NewWeights(s))
+	dw := conv.NewWeights(s)
+	dw.Data[0] = 7
+	e.BackwardWeights(dw, nil, nil)
+	if dw.Data[0] != 0 {
+		t.Fatal("BackwardWeights on empty batch should produce zero gradient")
+	}
+}
+
+func TestMoreWorkersThanInputs(t *testing.T) {
+	r := rng.New(4)
+	s := conv.Square(6, 2, 1, 2, 1)
+	e := New(unfoldgemm.Generator(1), s, 8)
+	ins, outs, _, _ := makeBatch(r, s, 2, 0)
+	w := conv.RandWeights(r, s)
+	e.Forward(outs, ins, w)
+	want := conv.NewOutput(s)
+	conv.ForwardRef(s, want, ins[1], w)
+	if !tensor.AlmostEqual(outs[1], want, 1e-3) {
+		t.Fatal("output wrong with workers > batch")
+	}
+}
+
+func TestMismatchedBatchPanics(t *testing.T) {
+	s := conv.Square(6, 2, 1, 2, 1)
+	e := New(unfoldgemm.Generator(1), s, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched batch lengths did not panic")
+		}
+	}()
+	e.Forward(make([]*tensor.Tensor, 1), make([]*tensor.Tensor, 2), conv.NewWeights(s))
+}
+
+func TestNameAndAccessors(t *testing.T) {
+	s := conv.Square(6, 2, 1, 2, 1)
+	e := New(stencil.Generator(), s, 0)
+	if e.Workers() != 1 {
+		t.Fatal("workers floor")
+	}
+	if e.Spec() != s {
+		t.Fatal("spec accessor")
+	}
+	if e.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func BenchmarkGEMMInParallelFP(b *testing.B) {
+	r := rng.New(1)
+	s := conv.Square(16, 32, 16, 3, 1)
+	e := New(unfoldgemm.Generator(1), s, 4)
+	ins, outs, _, _ := makeBatch(r, s, 16, 0)
+	w := conv.RandWeights(r, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Forward(outs, ins, w)
+	}
+}

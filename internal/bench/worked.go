@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/gemm"
+	"spgcnn/internal/sparse"
+	"spgcnn/internal/stencil"
+	"spgcnn/internal/unfold"
+)
+
+// Worked examples for the paper's illustrative figures (Figs. 2, 5, 6, 7):
+// rather than charts, these run the actual code on the figures' toy inputs
+// and print what it produced, so the mechanisms are inspectable.
+
+// RunFig2 reproduces Fig. 2: the 3×3 two-channel image of Fig. 2a unfolded
+// (Fig. 2b) and multiplied as O = W·Uᵀ (Fig. 2c), checked against direct
+// convolution.
+func RunFig2(Options) []Table {
+	s := conv.Square(3, 2, 2, 2, 1)
+	in := conv.NewInput(s)
+	// Channel 0 = 1..9, channel 1 = 10..18 (row-major), as a stand-in for
+	// Fig. 2a's red/blue planes.
+	for i := 0; i < 9; i++ {
+		in.Data[i] = float32(1 + i)
+		in.Data[9+i] = float32(10 + i)
+	}
+	u := unfold.NewU(s)
+	unfold.Im2col(s, u, in)
+
+	t1 := Table{
+		Title:   "Fig 2b: unfolding the 3x3 two-channel image for a 2x2 kernel",
+		Note:    "one row per output pixel; channel-0 taps then channel-1 taps",
+		Columns: []string{"output pixel", "c0 taps", "c1 taps"},
+	}
+	for r := 0; r < u.Rows; r++ {
+		row := u.Row(r)
+		t1.AddRow(fmt.Sprintf("(%d,%d)", r/s.OutX(), r%s.OutX()),
+			fmt.Sprintf("%v", row[:4]), fmt.Sprintf("%v", row[4:]))
+	}
+
+	// Simple weights: feature 0 averages channel 0's window, feature 1
+	// differences the two channels' top-left taps.
+	w := conv.NewWeights(s)
+	for kx := 0; kx < 4; kx++ {
+		w.Data[kx] = 0.25 // f0, c0
+	}
+	w.Set4(1, 0, 0, 0, 1)
+	w.Set4(1, 1, 0, 0, -1)
+
+	out := conv.NewOutput(s)
+	gemm.MulTransB(unfold.OutputMatrix(s, out), unfold.WeightMatrix(s, w), u)
+	want := conv.NewOutput(s)
+	conv.ForwardRef(s, want, in, w)
+
+	t2 := Table{
+		Title:   "Fig 2c: O = W·U^T vs direct convolution (Eq. 2)",
+		Columns: []string{"feature", "GEMM result", "direct result"},
+	}
+	for f := 0; f < s.Nf; f++ {
+		t2.AddRow(f, fmt.Sprintf("%v", out.Data[f*4:(f+1)*4]),
+			fmt.Sprintf("%v", want.Data[f*4:(f+1)*4]))
+	}
+	return []Table{t1, t2}
+}
+
+// RunFig5 reproduces Fig. 5a: a small sparse matrix column-tiled and each
+// tile stored in CSR.
+func RunFig5(Options) []Table {
+	dense := []float32{
+		1, 0, 0, 0, 2, 0,
+		0, 3, 0, 4, 0, 0,
+		0, 0, 5, 0, 0, 6,
+	}
+	m := sparse.FromDenseCT(dense, 3, 6, 3)
+	t := Table{
+		Title:   "Fig 5a: CT-CSR layout of a 3x6 matrix with column-tile width 3",
+		Note:    "each tile is an independent CSR with tile-relative column indices",
+		Columns: []string{"tile", "values", "colIdx (tile-relative)", "rowPtr"},
+	}
+	for i, tile := range m.Tiles {
+		t.AddRow(i, fmt.Sprintf("%v", tile.Values), fmt.Sprintf("%v", tile.ColIdx),
+			fmt.Sprintf("%v", tile.RowPtr))
+	}
+	back := Table{
+		Title:   "CT-CSR round trip",
+		Columns: []string{"property", "value"},
+	}
+	back.AddRow("nnz", m.NNZ())
+	back.AddRow("sparsity", m.Sparsity())
+	ok := true
+	rt := m.ToDense()
+	for i := range dense {
+		if rt[i] != dense[i] {
+			ok = false
+		}
+	}
+	back.AddRow("round trip exact", fmt.Sprintf("%v", ok))
+	return []Table{t, back}
+}
+
+// RunFig6 reproduces Fig. 6: the pointer-shifting scatter of one non-zero
+// error gradient — where each (ky, kx) tap's dense channel-vector axpy
+// lands in EI.
+func RunFig6(Options) []Table {
+	s := conv.Square(5, 2, 3, 2, 1)
+	t := Table{
+		Title:   "Fig 6: pointer shifting for one non-zero EO[f=1, y'=2, x'=1] (Eq. 15)",
+		Note:    "each row is one dense axpy: EI[y'+ky, x'+kx, 0..Nc) += v * W'[ky][kx][f][0..Nc)",
+		Columns: []string{"ky", "kx", "destination EI vector", "weight vector W'"},
+	}
+	for ky := 0; ky < s.Fy; ky++ {
+		for kx := 0; kx < s.Fx; kx++ {
+			t.AddRow(ky, kx,
+				fmt.Sprintf("EI[%d, %d, 0:%d]", 2+ky, 1+kx, s.Nc),
+				fmt.Sprintf("W'[%d][%d][1][0:%d]", ky, kx, s.Nc))
+		}
+	}
+	t.AddRow("-", "-", fmt.Sprintf("total: %d axpys of length %d for this non-zero", s.Fy*s.Fx, s.Nc), "")
+	return []Table{t}
+}
+
+// RunFig7 reproduces Fig. 7: the basic-block plan the stencil generator
+// produces for the figure's 1×2 kernel, and the plan chosen for each
+// Table 1 convolution.
+func RunFig7(Options) []Table {
+	t := Table{
+		Title:   "Fig 7: stencil basic-block plans (the generated register tiles)",
+		Note:    "loads/MAC is the §4.3 model the generator minimizes; Fig. 7's example is the 1x2 kernel",
+		Columns: []string{"Convolution", "rx", "ry", "tileX", "loads/MAC", "stride split"},
+	}
+	fig7 := conv.Spec{Nx: 16, Ny: 16, Nc: 1, Nf: 1, Fx: 1, Fy: 2, Sx: 1, Sy: 1}
+	p := stencil.ChoosePlan(fig7)
+	t.AddRow("Fig 7's 1x2 kernel", p.RX, p.RY, p.TileX, p.LoadsPerMAC, fmt.Sprintf("%v", p.StrideSplit))
+	for _, row := range Table1() {
+		p := stencil.ChoosePlan(row.Spec)
+		t.AddRow(fmt.Sprintf("Table 1 ID %d (%v)", row.ID, row.Spec),
+			p.RX, p.RY, p.TileX, p.LoadsPerMAC, fmt.Sprintf("%v", p.StrideSplit))
+	}
+	return []Table{t}
+}

@@ -1,0 +1,93 @@
+package bench
+
+import "spgcnn/internal/conv"
+
+// The evaluation workloads, straight from the paper.
+
+// T1Conv is one row of Table 1.
+type T1Conv struct {
+	ID   int
+	Spec conv.Spec
+	// PaperIntrinsicAIT and PaperUnfoldAIT are the published values, shown
+	// alongside our model's for comparison.
+	PaperIntrinsicAIT float64
+	PaperUnfoldAIT    float64
+	// PaperRegions is the published "Region" column (dense, sparse).
+	PaperRegions string
+}
+
+// Table1 returns the six benchmark convolutions of the paper's Table 1.
+func Table1() []T1Conv {
+	return []T1Conv{
+		{0, conv.Square(32, 32, 32, 4, 1), 362, 25, "4,5"},
+		{1, conv.Square(64, 1024, 512, 2, 1), 2015, 725, "0,1"},
+		{2, conv.Square(256, 256, 128, 3, 1), 1510, 226, "2,3"},
+		{3, conv.Square(128, 128, 64, 7, 1), 3561, 113, "2,3"},
+		{4, conv.Square(128, 512, 256, 5, 1), 6567, 456, "2,3"},
+		{5, conv.Square(64, 64, 16, 11, 1), 1921, 44, "4,5"},
+	}
+}
+
+// NetLayer is one convolution layer of a benchmark network (Table 2).
+type NetLayer struct {
+	Network string
+	Layer   int
+	Spec    conv.Spec
+}
+
+// Table2 returns every convolution layer of the four benchmark networks,
+// with the paper's Table 2 geometries (Nx=Ny, Nf, Nc, Fx=Fy, sx=sy).
+func Table2() []NetLayer {
+	return []NetLayer{
+		// ImageNet-22K (Adam-ImageNet)
+		{"ImageNet-22K", 0, conv.Square(262, 120, 3, 7, 2)},
+		{"ImageNet-22K", 1, conv.Square(64, 250, 120, 5, 2)},
+		{"ImageNet-22K", 2, conv.Square(15, 400, 250, 3, 1)},
+		{"ImageNet-22K", 3, conv.Square(13, 400, 400, 3, 1)},
+		{"ImageNet-22K", 4, conv.Square(11, 600, 400, 3, 1)},
+		// ImageNet-1K (AlexNet)
+		{"ImageNet-1K", 0, conv.Square(224, 96, 3, 11, 4)},
+		{"ImageNet-1K", 1, conv.Square(55, 256, 96, 5, 1)},
+		{"ImageNet-1K", 2, conv.Square(27, 384, 256, 3, 1)},
+		{"ImageNet-1K", 3, conv.Square(13, 256, 192, 3, 1)},
+		// CIFAR-10
+		{"CIFAR-10", 0, conv.Square(36, 64, 3, 5, 1)},
+		{"CIFAR-10", 1, conv.Square(8, 64, 64, 5, 1)},
+		// MNIST
+		{"MNIST", 0, conv.Square(28, 20, 1, 5, 1)},
+	}
+}
+
+// ScaledForHost shrinks a spec so one FP invocation costs at most maxFlops
+// floating-point operations, preserving what matters for single-host
+// kernel comparisons: the feature count, kernel and stride (the
+// region-defining quantities) are never touched, and the channel count is
+// reduced BEFORE the spatial extent so the |O|/|W| footprint ratio — which
+// governs how layout-transform costs amortize in the sparse kernel — stays
+// close to the original's. Specs already small enough are unchanged.
+func ScaledForHost(s conv.Spec, maxFlops int64) conv.Spec {
+	for s.FlopsFP() > maxFlops && s.Nc > 4 {
+		s.Nc /= 2
+	}
+	for s.FlopsFP() > maxFlops {
+		nx, ny := s.Nx/2, s.Ny/2
+		if nx < s.Fx+s.Sx || ny < s.Fy+s.Sy {
+			break
+		}
+		s.Nx, s.Ny = nx, ny
+	}
+	for s.FlopsFP() > maxFlops && s.Nc > 1 {
+		s.Nc /= 2
+	}
+	return s
+}
+
+// CoreCounts is the x-axis of every scalability figure.
+var CoreCounts = []int{1, 2, 4, 8, 16}
+
+// SparsityLevels is the x-axis of Fig. 4e (goodput) — the paper sweeps
+// 0.5–0.9 there — and Fig. 4f extends to 0.99.
+var SparsityLevels = []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99}
+
+// Fig4fSparsities matches Fig. 4f's x-axis.
+var Fig4fSparsities = []float64{0, 0.5, 0.75, 0.88, 0.94, 0.97, 0.99}

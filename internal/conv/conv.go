@@ -1,0 +1,107 @@
+// Package conv defines the convolution specification shared by every
+// execution engine, plus direct reference implementations of the three
+// convolution computations of CNN training:
+//
+//	FP  — output activations          (paper Eq. 2)
+//	BP  — input-error gradients       (paper Eq. 3)
+//	SGD — delta-weights               (paper Eq. 4)
+//
+// The reference implementations are deliberately plain loop nests over the
+// defining equations; they are the correctness oracle every optimized
+// engine (unfold+GEMM, stencil, sparse) is tested against, and the
+// flop/byte accounting here feeds the AIT characterization of §3.
+package conv
+
+import "fmt"
+
+// Spec is the 2-D convolution geometry, matching the paper's 5-tuple
+// ⟨Nf, Fy, Fx, sy, sx⟩ plus the input geometry it is applied to.
+//
+// The convolution is "valid": no implicit padding (networks that need
+// padding pad explicitly, as Table 2's note on image padding indicates).
+type Spec struct {
+	Nx, Ny int // input spatial width (x) and height (y)
+	Nc     int // input channels  (paper: number of input features)
+	Nf     int // output features
+	Fx, Fy int // kernel width and height
+	Sx, Sy int // strides
+}
+
+// Validate reports whether the spec describes a computable convolution.
+func (s Spec) Validate() error {
+	switch {
+	case s.Nx < 1 || s.Ny < 1:
+		return fmt.Errorf("conv: non-positive input size %dx%d", s.Nx, s.Ny)
+	case s.Nc < 1 || s.Nf < 1:
+		return fmt.Errorf("conv: non-positive feature counts Nc=%d Nf=%d", s.Nc, s.Nf)
+	case s.Fx < 1 || s.Fy < 1:
+		return fmt.Errorf("conv: non-positive kernel %dx%d", s.Fx, s.Fy)
+	case s.Sx < 1 || s.Sy < 1:
+		return fmt.Errorf("conv: non-positive stride %dx%d", s.Sx, s.Sy)
+	case s.Fx > s.Nx || s.Fy > s.Ny:
+		return fmt.Errorf("conv: kernel %dx%d larger than input %dx%d", s.Fx, s.Fy, s.Nx, s.Ny)
+	}
+	return nil
+}
+
+// MustValidate panics if the spec is invalid.
+func (s Spec) MustValidate() {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+}
+
+// OutX returns the output width (Nx - Fx)/Sx + 1.
+func (s Spec) OutX() int { return (s.Nx-s.Fx)/s.Sx + 1 }
+
+// OutY returns the output height (Ny - Fy)/Sy + 1.
+func (s Spec) OutY() int { return (s.Ny-s.Fy)/s.Sy + 1 }
+
+// InputSize returns |I| = Nx·Ny·Nc (Eq. 6).
+func (s Spec) InputSize() int64 { return int64(s.Nx) * int64(s.Ny) * int64(s.Nc) }
+
+// WeightSize returns |W| = Nf·Fx·Fy·Nc (Eq. 7).
+func (s Spec) WeightSize() int64 {
+	return int64(s.Nf) * int64(s.Fx) * int64(s.Fy) * int64(s.Nc)
+}
+
+// OutputSize returns |O| = Nf·OutX·OutY. For unit stride this is Eq. 8's
+// Nf·(Nx−Fx+1)·(Ny−Fy+1).
+func (s Spec) OutputSize() int64 { return int64(s.Nf) * int64(s.OutX()) * int64(s.OutY()) }
+
+// UnfoldedSize returns |U|, the element count of the unfolded input matrix:
+// one row of Nc·Fx·Fy values per output pixel (Eq. in §3.1).
+func (s Spec) UnfoldedSize() int64 {
+	return int64(s.OutX()) * int64(s.OutY()) * int64(s.Nc) * int64(s.Fx) * int64(s.Fy)
+}
+
+// FlopsFP returns |A| for forward propagation: 2 flops (mul+add) per
+// kernel-tap per output element = 2·Nf·OutX·OutY·Nc·Fy·Fx. This is the
+// exact form of the paper's Eq. 5 (which writes Nx·Ny for the spatial
+// extent of the output).
+func (s Spec) FlopsFP() int64 {
+	return 2 * s.OutputSize() * int64(s.Nc) * int64(s.Fy) * int64(s.Fx)
+}
+
+// FlopsBPInput returns the flop count of the input-error gradient (Eq. 3),
+// which touches the same (output, tap) pairs as FP.
+func (s Spec) FlopsBPInput() int64 { return s.FlopsFP() }
+
+// FlopsBPWeights returns the flop count of the delta-weight computation
+// (Eq. 4), also the same tap structure.
+func (s Spec) FlopsBPWeights() int64 { return s.FlopsFP() }
+
+// String renders the spec in the paper's Table 1/2 column format:
+// Nx(=Ny),Nf,Nc,Fx(=Fy),sx(=sy).
+func (s Spec) String() string {
+	if s.Nx == s.Ny && s.Fx == s.Fy && s.Sx == s.Sy {
+		return fmt.Sprintf("%d,%d,%d,%d,%d", s.Nx, s.Nf, s.Nc, s.Fx, s.Sx)
+	}
+	return fmt.Sprintf("%dx%d,%d,%d,%dx%d,%dx%d", s.Nx, s.Ny, s.Nf, s.Nc, s.Fx, s.Fy, s.Sx, s.Sy)
+}
+
+// Square is a convenience constructor for square-geometry specs
+// (N, Nf, Nc, F, s), the form both paper tables use.
+func Square(n, nf, nc, f, stride int) Spec {
+	return Spec{Nx: n, Ny: n, Nc: nc, Nf: nf, Fx: f, Fy: f, Sx: stride, Sy: stride}
+}

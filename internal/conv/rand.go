@@ -1,0 +1,57 @@
+package conv
+
+import (
+	"spgcnn/internal/rng"
+	"spgcnn/internal/tensor"
+)
+
+// Helpers for generating random convolution problems. They are used by the
+// test suites of every engine package and by the benchmark harness's
+// workload generator, so they live here rather than in a _test file.
+
+// RandSpec draws a random valid spec with all dimensions bounded by max
+// (spatial sizes in [2, max+1], channels/features in [1, max/2+1], kernels
+// and strides small). max must be >= 2.
+func RandSpec(r *rng.RNG, max int) Spec {
+	if max < 2 {
+		max = 2
+	}
+	for {
+		s := Spec{
+			Nx: r.Intn(max) + 2,
+			Ny: r.Intn(max) + 2,
+			Nc: r.Intn(max/2+1) + 1,
+			Nf: r.Intn(max/2+1) + 1,
+			Fx: r.Intn(4) + 1,
+			Fy: r.Intn(4) + 1,
+			Sx: r.Intn(3) + 1,
+			Sy: r.Intn(3) + 1,
+		}
+		if s.Validate() == nil {
+			return s
+		}
+	}
+}
+
+// RandInput returns a normally-distributed random input tensor for s.
+func RandInput(r *rng.RNG, s Spec) *tensor.Tensor {
+	t := NewInput(s)
+	t.FillNormal(r, 0, 1)
+	return t
+}
+
+// RandWeights returns a normally-distributed random weight tensor for s.
+func RandWeights(r *rng.RNG, s Spec) *tensor.Tensor {
+	t := NewWeights(s)
+	t.FillNormal(r, 0, 0.5)
+	return t
+}
+
+// RandOutputError returns a random output-error tensor for s with the given
+// sparsity — the shape of data the Sparse-Kernel consumes in BP.
+func RandOutputError(r *rng.RNG, s Spec, sparsity float64) *tensor.Tensor {
+	t := NewOutput(s)
+	t.FillNormal(r, 0, 1)
+	t.Sparsify(r, sparsity)
+	return t
+}

@@ -1,0 +1,179 @@
+package conv
+
+import (
+	"fmt"
+
+	"spgcnn/internal/tensor"
+)
+
+// Shapes used throughout spgcnn for a convolution spec s:
+//
+//	input  I  : [Nc][Ny][Nx]        (channel, y, x — x fastest)
+//	weights W : [Nf][Nc][Fy][Fx]
+//	output O  : [Nf][OutY][OutX]
+//	EO        : same shape as O (output-error gradient)
+//	EI        : same shape as I (input-error gradient)
+//	dW        : same shape as W (delta-weights)
+
+// CheckInput panics unless t has the input shape for s.
+func CheckInput(s Spec, t *tensor.Tensor) {
+	if t.Rank() != 3 || t.Dim(0) != s.Nc || t.Dim(1) != s.Ny || t.Dim(2) != s.Nx {
+		panic(fmt.Sprintf("conv: input shape %v does not match spec %v (want [%d %d %d])",
+			t.Dims, s, s.Nc, s.Ny, s.Nx))
+	}
+}
+
+// CheckWeights panics unless t has the weight shape for s.
+func CheckWeights(s Spec, t *tensor.Tensor) {
+	if t.Rank() != 4 || t.Dim(0) != s.Nf || t.Dim(1) != s.Nc || t.Dim(2) != s.Fy || t.Dim(3) != s.Fx {
+		panic(fmt.Sprintf("conv: weight shape %v does not match spec %v (want [%d %d %d %d])",
+			t.Dims, s, s.Nf, s.Nc, s.Fy, s.Fx))
+	}
+}
+
+// CheckOutput panics unless t has the output shape for s.
+func CheckOutput(s Spec, t *tensor.Tensor) {
+	if t.Rank() != 3 || t.Dim(0) != s.Nf || t.Dim(1) != s.OutY() || t.Dim(2) != s.OutX() {
+		panic(fmt.Sprintf("conv: output shape %v does not match spec %v (want [%d %d %d])",
+			t.Dims, s, s.Nf, s.OutY(), s.OutX()))
+	}
+}
+
+// NewInput allocates a zero input tensor for s.
+func NewInput(s Spec) *tensor.Tensor { return tensor.New(s.Nc, s.Ny, s.Nx) }
+
+// NewWeights allocates a zero weight tensor for s.
+func NewWeights(s Spec) *tensor.Tensor { return tensor.New(s.Nf, s.Nc, s.Fy, s.Fx) }
+
+// NewOutput allocates a zero output tensor for s.
+func NewOutput(s Spec) *tensor.Tensor { return tensor.New(s.Nf, s.OutY(), s.OutX()) }
+
+// ForwardRef computes Eq. 2 directly:
+//
+//	O[f,y,x] = Σ_{c,ky,kx} I[c, y·sy+ky, x·sx+kx] · W[f,c,ky,kx]
+func ForwardRef(s Spec, out, in, w *tensor.Tensor) {
+	s.MustValidate()
+	CheckInput(s, in)
+	CheckWeights(s, w)
+	CheckOutput(s, out)
+	oy, ox := s.OutY(), s.OutX()
+	for f := 0; f < s.Nf; f++ {
+		for y := 0; y < oy; y++ {
+			for x := 0; x < ox; x++ {
+				var sum float32
+				for c := 0; c < s.Nc; c++ {
+					for ky := 0; ky < s.Fy; ky++ {
+						irow := in.Row3(c, y*s.Sy+ky)
+						wrow := w.Data[((f*s.Nc+c)*s.Fy+ky)*s.Fx:]
+						for kx := 0; kx < s.Fx; kx++ {
+							sum += irow[x*s.Sx+kx] * wrow[kx]
+						}
+					}
+				}
+				out.Set3(f, y, x, sum)
+			}
+		}
+	}
+}
+
+// BackwardInputRef computes Eq. 3 (as the adjoint scatter of Eq. 2, which
+// avoids the divisibility bookkeeping of the gather form):
+//
+//	EI[c, y·sy+ky, x·sx+kx] += EO[f,y,x] · W[f,c,ky,kx]
+func BackwardInputRef(s Spec, ei, eo, w *tensor.Tensor) {
+	s.MustValidate()
+	CheckInput(s, ei)
+	CheckWeights(s, w)
+	CheckOutput(s, eo)
+	ei.Zero()
+	oy, ox := s.OutY(), s.OutX()
+	for f := 0; f < s.Nf; f++ {
+		for y := 0; y < oy; y++ {
+			for x := 0; x < ox; x++ {
+				e := eo.At3(f, y, x)
+				if e == 0 {
+					continue
+				}
+				for c := 0; c < s.Nc; c++ {
+					for ky := 0; ky < s.Fy; ky++ {
+						erow := ei.Row3(c, y*s.Sy+ky)
+						wrow := w.Data[((f*s.Nc+c)*s.Fy+ky)*s.Fx:]
+						for kx := 0; kx < s.Fx; kx++ {
+							erow[x*s.Sx+kx] += e * wrow[kx]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// BackwardInputGatherRef computes Eq. 3 exactly as written in the paper —
+// the gather form with the (y−ky)/sy index arithmetic — as a second,
+// independently-derived oracle:
+//
+//	EI[c,y,x] = Σ_{f,ky,kx} EO[f, (y−ky)/sy, (x−kx)/sx] · W[f,c,ky,kx]
+//
+// where terms are included only when the divisions are exact and in range.
+func BackwardInputGatherRef(s Spec, ei, eo, w *tensor.Tensor) {
+	s.MustValidate()
+	CheckInput(s, ei)
+	CheckWeights(s, w)
+	CheckOutput(s, eo)
+	oy, ox := s.OutY(), s.OutX()
+	for c := 0; c < s.Nc; c++ {
+		for y := 0; y < s.Ny; y++ {
+			for x := 0; x < s.Nx; x++ {
+				var sum float32
+				for f := 0; f < s.Nf; f++ {
+					for ky := 0; ky < s.Fy; ky++ {
+						ry := y - ky
+						if ry < 0 || ry%s.Sy != 0 || ry/s.Sy >= oy {
+							continue
+						}
+						for kx := 0; kx < s.Fx; kx++ {
+							rx := x - kx
+							if rx < 0 || rx%s.Sx != 0 || rx/s.Sx >= ox {
+								continue
+							}
+							sum += eo.At3(f, ry/s.Sy, rx/s.Sx) * w.At4(f, c, ky, kx)
+						}
+					}
+				}
+				ei.Set3(c, y, x, sum)
+			}
+		}
+	}
+}
+
+// BackwardWeightsRef computes Eq. 4 directly:
+//
+//	dW[f,c,ky,kx] = Σ_{y,x} EO[f,y,x] · I[c, y·sy+ky, x·sx+kx]
+func BackwardWeightsRef(s Spec, dw, eo, in *tensor.Tensor) {
+	s.MustValidate()
+	CheckWeights(s, dw)
+	CheckOutput(s, eo)
+	CheckInput(s, in)
+	dw.Zero()
+	oy, ox := s.OutY(), s.OutX()
+	for f := 0; f < s.Nf; f++ {
+		for y := 0; y < oy; y++ {
+			erow := eo.Row3(f, y)
+			for x := 0; x < ox; x++ {
+				e := erow[x]
+				if e == 0 {
+					continue
+				}
+				for c := 0; c < s.Nc; c++ {
+					for ky := 0; ky < s.Fy; ky++ {
+						irow := in.Row3(c, y*s.Sy+ky)
+						drow := dw.Data[((f*s.Nc+c)*s.Fy+ky)*s.Fx:]
+						for kx := 0; kx < s.Fx; kx++ {
+							drow[kx] += e * irow[x*s.Sx+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sync"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/tensor"
+)
+
+// AutoConv is a convolution-layer executor that self-tunes: the first
+// batch triggers FP and BP measurement passes; thereafter the winning
+// strategies execute every batch. Because §4.4 observes that the relative
+// ranking of BP techniques changes as error-gradient sparsity grows during
+// training, the BP choice is re-measured every RecheckEpochs epochs using
+// the most recent real gradients.
+type AutoConv struct {
+	spec    conv.Spec
+	workers int
+	opts    AutoOptions
+
+	mu       sync.Mutex
+	fp       *Exec
+	bp       *Exec
+	fpSel    Selection
+	bpSel    Selection
+	epochs   int // epochs completed since the last BP check
+	tunedFP  bool
+	tunedBP  bool
+	lastEOs  []*tensor.Tensor // retained sample gradients for re-tuning
+	lastIns  []*tensor.Tensor
+	lastWRef *tensor.Tensor
+}
+
+// AutoOptions configures an AutoConv.
+type AutoOptions struct {
+	// RecheckEpochs is the BP re-measurement period in epochs
+	// (default 2; §4.4's "pre-specified number of epochs").
+	RecheckEpochs int
+	// Tune configures the measurement passes.
+	Tune TuneOptions
+	// FP / BP override the candidate strategy sets (defaults:
+	// FPStrategies / BPStrategies).
+	FP, BP []Strategy
+}
+
+func (o AutoOptions) recheck() int {
+	if o.RecheckEpochs <= 0 {
+		return 2
+	}
+	return o.RecheckEpochs
+}
+
+// NewAutoConv builds an auto-tuned layer executor.
+func NewAutoConv(s conv.Spec, workers int, opts AutoOptions) *AutoConv {
+	s.MustValidate()
+	if workers < 1 {
+		workers = 1
+	}
+	if opts.FP == nil {
+		opts.FP = FPStrategies(workers)
+	}
+	if opts.BP == nil {
+		opts.BP = BPStrategies(workers)
+	}
+	return &AutoConv{spec: s, workers: workers, opts: opts}
+}
+
+// Spec returns the layer geometry.
+func (a *AutoConv) Spec() conv.Spec { return a.spec }
+
+// Forward executes the batch, tuning on first use.
+func (a *AutoConv) Forward(outs, ins []*tensor.Tensor, w *tensor.Tensor) {
+	a.mu.Lock()
+	if !a.tunedFP {
+		sample := ins
+		if len(sample) > a.workers {
+			sample = sample[:a.workers]
+		}
+		a.fpSel = ChooseFP(a.opts.FP, a.spec, a.workers, sample, w, a.opts.Tune)
+		a.fp = a.fpSel.Chosen
+		a.tunedFP = true
+	}
+	fp := a.fp
+	a.mu.Unlock()
+	fp.Forward(outs, ins, w)
+}
+
+// Backward executes both BP computations for the batch, tuning on first
+// use with the batch's real error gradients (so measured sparsity is the
+// training run's actual sparsity).
+func (a *AutoConv) Backward(eis []*tensor.Tensor, dw *tensor.Tensor,
+	eos, ins []*tensor.Tensor, w *tensor.Tensor) {
+	a.mu.Lock()
+	if !a.tunedBP {
+		n := len(eos)
+		if n > a.workers {
+			n = a.workers
+		}
+		a.bpSel = ChooseBP(a.opts.BP, a.spec, a.workers, eos[:n], ins[:n], w, a.opts.Tune)
+		a.bp = a.bpSel.Chosen
+		a.tunedBP = true
+	}
+	// Retain references to the freshest gradients for epoch-boundary
+	// re-tuning.
+	n := len(eos)
+	if n > a.workers {
+		n = a.workers
+	}
+	a.lastEOs = eos[:n]
+	a.lastIns = ins[:n]
+	a.lastWRef = w
+	bp := a.bp
+	a.mu.Unlock()
+	bp.BackwardInput(eis, eos, w)
+	bp.BackwardWeights(dw, eos, ins)
+}
+
+// EpochEnd notifies the scheduler that a training epoch finished. Every
+// RecheckEpochs epochs the BP strategies are re-measured against the most
+// recent gradients and the deployment switches if the ranking changed.
+func (a *AutoConv) EpochEnd() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.epochs++
+	if !a.tunedBP || a.epochs < a.opts.recheck() || len(a.lastEOs) == 0 {
+		return
+	}
+	a.epochs = 0
+	a.bpSel = ChooseBP(a.opts.BP, a.spec, a.workers, a.lastEOs, a.lastIns, a.lastWRef, a.opts.Tune)
+	a.bp = a.bpSel.Chosen
+}
+
+// FPSelection returns the most recent FP measurement table (zero value
+// before first tuning).
+func (a *AutoConv) FPSelection() Selection {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.fpSel
+}
+
+// BPSelection returns the most recent BP measurement table.
+func (a *AutoConv) BPSelection() Selection {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.bpSel
+}

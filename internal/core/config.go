@@ -1,0 +1,61 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Tuning-configuration persistence: §1.3 describes spg-CNN as generating
+// "the best configurations" per network — the per-layer, per-phase
+// technique choices its measurement passes produce. Choices captures that
+// configuration in a serializable form so a tuned deployment can be saved
+// and reapplied (on the same machine) without re-measuring.
+
+// LayerChoice is one convolution layer's deployed techniques.
+type LayerChoice struct {
+	FP string `json:"fp"`
+	BP string `json:"bp"`
+}
+
+// Choices maps layer name to its deployed techniques.
+type Choices map[string]LayerChoice
+
+// Save writes the configuration as JSON.
+func (c Choices) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// LoadChoices reads a configuration written by Save and validates that
+// every named strategy exists.
+func LoadChoices(r io.Reader) (Choices, error) {
+	var c Choices
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("core: decoding tuning config: %w", err)
+	}
+	for layer, ch := range c {
+		if _, ok := StrategyByName(ch.FP, 1); !ok {
+			return nil, fmt.Errorf("core: layer %q names unknown FP strategy %q", layer, ch.FP)
+		}
+		if _, ok := StrategyByName(ch.BP, 1); !ok {
+			return nil, fmt.Errorf("core: layer %q names unknown BP strategy %q", layer, ch.BP)
+		}
+	}
+	return c, nil
+}
+
+// StrategyByName resolves a strategy name (from either candidate set) at
+// the given worker count.
+func StrategyByName(name string, workers int) (Strategy, bool) {
+	if workers < 1 {
+		workers = 1
+	}
+	for _, st := range append(FPStrategies(workers), BPStrategies(workers)...) {
+		if st.Name == name {
+			return st, true
+		}
+	}
+	return Strategy{}, false
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChoicesRoundTrip(t *testing.T) {
+	c := Choices{
+		"conv0": {FP: "stencil", BP: "sparse"},
+		"conv1": {FP: "gemm-in-parallel", BP: "parallel-gemm"},
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadChoices(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got["conv0"] != c["conv0"] || got["conv1"] != c["conv1"] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestLoadChoicesRejectsUnknownStrategy(t *testing.T) {
+	_, err := LoadChoices(strings.NewReader(`{"conv0": {"fp": "warp-drive", "bp": "sparse"}}`))
+	if err == nil || !strings.Contains(err.Error(), "warp-drive") {
+		t.Fatalf("unknown strategy accepted: %v", err)
+	}
+}
+
+func TestLoadChoicesRejectsGarbage(t *testing.T) {
+	if _, err := LoadChoices(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestStrategyByName(t *testing.T) {
+	for _, name := range []string{"parallel-gemm", "gemm-in-parallel", "stencil", "sparse"} {
+		st, ok := StrategyByName(name, 4)
+		if !ok || st.Name != name {
+			t.Fatalf("StrategyByName(%q) failed", name)
+		}
+	}
+	if _, ok := StrategyByName("nope", 4); ok {
+		t.Fatal("unknown name resolved")
+	}
+}

@@ -1,0 +1,245 @@
+// Package core is spg-CNN's scheduler (§4.4): given a convolution layer,
+// it generates code for every candidate technique, measures each on sample
+// inputs, and deploys the fastest — separately for forward propagation and
+// back-propagation — then re-checks the BP choice periodically because
+// error-gradient sparsity drifts as training converges (Fig. 3b).
+//
+// The candidate set matches the paper:
+//
+//	FP: Parallel-GEMM, GEMM-in-Parallel, Stencil-Kernel
+//	BP: Parallel-GEMM, GEMM-in-Parallel, Sparse-Kernel
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"spgcnn/internal/batchpar"
+	"spgcnn/internal/conv"
+	"spgcnn/internal/engine"
+	"spgcnn/internal/spkernel"
+	"spgcnn/internal/stencil"
+	"spgcnn/internal/tensor"
+	"spgcnn/internal/unfoldgemm"
+)
+
+// Strategy is one complete way to execute a layer phase over a batch: a
+// kernel generator plus a batch schedule. BatchParallel strategies run one
+// single-threaded kernel per worker on different inputs (GEMM-in-Parallel
+// scheduling); non-batch-parallel strategies process inputs sequentially
+// with a kernel that parallelizes internally (Parallel-GEMM scheduling).
+type Strategy struct {
+	Name          string
+	Gen           engine.Generator
+	BatchParallel bool
+}
+
+// FPStrategies returns the paper's forward-propagation candidates for the
+// given worker count.
+func FPStrategies(workers int) []Strategy {
+	return []Strategy{
+		{Name: "parallel-gemm", Gen: unfoldgemm.Generator(workers)},
+		{Name: "gemm-in-parallel", Gen: unfoldgemm.Generator(1), BatchParallel: true},
+		{Name: "stencil", Gen: stencil.Generator(), BatchParallel: true},
+	}
+}
+
+// BPStrategies returns the paper's back-propagation candidates for the
+// given worker count.
+func BPStrategies(workers int) []Strategy {
+	return []Strategy{
+		{Name: "parallel-gemm", Gen: unfoldgemm.Generator(workers)},
+		{Name: "gemm-in-parallel", Gen: unfoldgemm.Generator(1), BatchParallel: true},
+		{Name: "sparse", Gen: spkernel.Generator(), BatchParallel: true},
+	}
+}
+
+// Exec executes one layer phase over batches according to a strategy.
+type Exec struct {
+	strategy Strategy
+	spec     conv.Spec
+	workers  int
+
+	batch  *batchpar.Executor // BatchParallel strategies
+	single engine.Kernel      // sequential strategies
+	dwTmp  *tensor.Tensor     // sequential BackwardWeights scratch
+}
+
+// NewExec instantiates a strategy for a spec.
+func NewExec(st Strategy, s conv.Spec, workers int) *Exec {
+	s.MustValidate()
+	if workers < 1 {
+		workers = 1
+	}
+	e := &Exec{strategy: st, spec: s, workers: workers}
+	if st.BatchParallel {
+		e.batch = batchpar.New(st.Gen, s, workers)
+	} else {
+		e.single = st.Gen.New(s)
+		e.dwTmp = conv.NewWeights(s)
+	}
+	return e
+}
+
+// Strategy returns the strategy this exec runs.
+func (e *Exec) Strategy() Strategy { return e.strategy }
+
+// Name describes the exec.
+func (e *Exec) Name() string {
+	return fmt.Sprintf("%s(p=%d)", e.strategy.Name, e.workers)
+}
+
+// Forward computes outs[i] = conv(ins[i], w).
+func (e *Exec) Forward(outs, ins []*tensor.Tensor, w *tensor.Tensor) {
+	if e.batch != nil {
+		e.batch.Forward(outs, ins, w)
+		return
+	}
+	if len(outs) != len(ins) {
+		panic("core: Forward batch length mismatch")
+	}
+	for i := range ins {
+		e.single.Forward(outs[i], ins[i], w)
+	}
+}
+
+// BackwardInput computes eis[i] = corr(eos[i], w).
+func (e *Exec) BackwardInput(eis, eos []*tensor.Tensor, w *tensor.Tensor) {
+	if e.batch != nil {
+		e.batch.BackwardInput(eis, eos, w)
+		return
+	}
+	if len(eis) != len(eos) {
+		panic("core: BackwardInput batch length mismatch")
+	}
+	for i := range eos {
+		e.single.BackwardInput(eis[i], eos[i], w)
+	}
+}
+
+// BackwardWeights computes dw = Σ_i grad(eos[i], ins[i]). dw is
+// overwritten.
+func (e *Exec) BackwardWeights(dw *tensor.Tensor, eos, ins []*tensor.Tensor) {
+	if e.batch != nil {
+		e.batch.BackwardWeights(dw, eos, ins)
+		return
+	}
+	if len(eos) != len(ins) {
+		panic("core: BackwardWeights batch length mismatch")
+	}
+	dw.Zero()
+	for i := range eos {
+		e.single.BackwardWeights(e.dwTmp, eos[i], ins[i])
+		dw.AddScaled(e.dwTmp, 1)
+	}
+}
+
+// Timing records one candidate's measured cost.
+type Timing struct {
+	Strategy Strategy
+	Seconds  float64
+}
+
+// Selection is the scheduler's verdict for one layer phase: the chosen
+// exec plus the full measurement table (reported by spg-bench and Fig. 8).
+type Selection struct {
+	Chosen  *Exec
+	Timings []Timing
+}
+
+// Best returns the winning timing entry.
+func (s Selection) Best() Timing {
+	best := s.Timings[0]
+	for _, t := range s.Timings[1:] {
+		if t.Seconds < best.Seconds {
+			best = t
+		}
+	}
+	return best
+}
+
+// measure times fn over `reps` runs after one warm-up and returns the
+// minimum — the standard low-noise estimator for short kernels.
+func measure(reps int, fn func()) float64 {
+	fn() // warm-up: page in scratch, generate code paths
+	best := 0.0
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		el := time.Since(start).Seconds()
+		if i == 0 || el < best {
+			best = el
+		}
+	}
+	return best
+}
+
+// TuneOptions configures the measurement pass.
+type TuneOptions struct {
+	// Reps is the number of timed repetitions per candidate (default 3).
+	Reps int
+}
+
+func (o TuneOptions) reps() int {
+	if o.Reps <= 0 {
+		return 3
+	}
+	return o.Reps
+}
+
+// ChooseFP measures every FP strategy on the sample batch and returns the
+// fastest, instantiated and ready to deploy.
+func ChooseFP(strategies []Strategy, s conv.Spec, workers int,
+	ins []*tensor.Tensor, w *tensor.Tensor, opts TuneOptions) Selection {
+	if len(strategies) == 0 {
+		panic("core: ChooseFP with no candidates")
+	}
+	outs := make([]*tensor.Tensor, len(ins))
+	for i := range outs {
+		outs[i] = conv.NewOutput(s)
+	}
+	var sel Selection
+	var bestExec *Exec
+	bestT := 0.0
+	for _, st := range strategies {
+		e := NewExec(st, s, workers)
+		t := measure(opts.reps(), func() { e.Forward(outs, ins, w) })
+		sel.Timings = append(sel.Timings, Timing{Strategy: st, Seconds: t})
+		if bestExec == nil || t < bestT {
+			bestExec, bestT = e, t
+		}
+	}
+	sel.Chosen = bestExec
+	return sel
+}
+
+// ChooseBP measures every BP strategy (input-error plus delta-weights, the
+// two Eq. 3/Eq. 4 computations of one layer's backward pass) on sample
+// error gradients whose sparsity reflects the current training phase.
+func ChooseBP(strategies []Strategy, s conv.Spec, workers int,
+	eos, ins []*tensor.Tensor, w *tensor.Tensor, opts TuneOptions) Selection {
+	if len(strategies) == 0 {
+		panic("core: ChooseBP with no candidates")
+	}
+	eis := make([]*tensor.Tensor, len(eos))
+	for i := range eis {
+		eis[i] = conv.NewInput(s)
+	}
+	dw := conv.NewWeights(s)
+	var sel Selection
+	var bestExec *Exec
+	bestT := 0.0
+	for _, st := range strategies {
+		e := NewExec(st, s, workers)
+		t := measure(opts.reps(), func() {
+			e.BackwardInput(eis, eos, w)
+			e.BackwardWeights(dw, eos, ins)
+		})
+		sel.Timings = append(sel.Timings, Timing{Strategy: st, Seconds: t})
+		if bestExec == nil || t < bestT {
+			bestExec, bestT = e, t
+		}
+	}
+	sel.Chosen = bestExec
+	return sel
+}

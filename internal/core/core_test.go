@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/rng"
+	"spgcnn/internal/tensor"
+)
+
+func sampleBatch(r *rng.RNG, s conv.Spec, n int, sparsity float64) (ins, eos []*tensor.Tensor) {
+	for i := 0; i < n; i++ {
+		ins = append(ins, conv.RandInput(r, s))
+		eos = append(eos, conv.RandOutputError(r, s, sparsity))
+	}
+	return
+}
+
+func TestStrategySetsMatchPaper(t *testing.T) {
+	fp := FPStrategies(4)
+	if len(fp) != 3 || fp[0].Name != "parallel-gemm" || fp[1].Name != "gemm-in-parallel" || fp[2].Name != "stencil" {
+		t.Fatalf("FP candidates = %v", names(fp))
+	}
+	bp := BPStrategies(4)
+	if len(bp) != 3 || bp[2].Name != "sparse" {
+		t.Fatalf("BP candidates = %v", names(bp))
+	}
+	// Parallel-GEMM is the only non-batch-parallel strategy.
+	if fp[0].BatchParallel || !fp[1].BatchParallel || !fp[2].BatchParallel {
+		t.Fatal("batch-parallel flags wrong")
+	}
+}
+
+func names(sts []Strategy) []string {
+	var out []string
+	for _, s := range sts {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+func TestAllExecsAgree(t *testing.T) {
+	// Every strategy must compute identical results on the same batch —
+	// the scheduler's freedom to pick any of them depends on it.
+	r := rng.New(1)
+	s := conv.Square(10, 6, 3, 3, 1)
+	w := conv.RandWeights(r, s)
+	ins, eos := sampleBatch(r, s, 5, 0.8)
+
+	type result struct {
+		outs []*tensor.Tensor
+		eis  []*tensor.Tensor
+		dw   *tensor.Tensor
+	}
+	var results []result
+	var nms []string
+	for _, st := range append(FPStrategies(3), BPStrategies(3)...) {
+		e := NewExec(st, s, 3)
+		res := result{dw: conv.NewWeights(s)}
+		for range ins {
+			res.outs = append(res.outs, conv.NewOutput(s))
+			res.eis = append(res.eis, conv.NewInput(s))
+		}
+		e.Forward(res.outs, ins, w)
+		e.BackwardInput(res.eis, eos, w)
+		e.BackwardWeights(res.dw, eos, ins)
+		results = append(results, res)
+		nms = append(nms, e.Name())
+	}
+	base := results[0]
+	for i, res := range results[1:] {
+		for j := range ins {
+			if !tensor.AlmostEqual(base.outs[j], res.outs[j], 1e-3) {
+				t.Fatalf("%s FP differs from %s", nms[i+1], nms[0])
+			}
+			if !tensor.AlmostEqual(base.eis[j], res.eis[j], 1e-3) {
+				t.Fatalf("%s BP-EI differs from %s", nms[i+1], nms[0])
+			}
+		}
+		if !tensor.AlmostEqual(base.dw, res.dw, 1e-3) {
+			t.Fatalf("%s BP-dW differs from %s", nms[i+1], nms[0])
+		}
+	}
+}
+
+func TestChooseFPPicksMeasuredMinimum(t *testing.T) {
+	r := rng.New(2)
+	s := conv.Square(12, 8, 3, 3, 1)
+	w := conv.RandWeights(r, s)
+	ins, _ := sampleBatch(r, s, 2, 0)
+	sel := ChooseFP(FPStrategies(2), s, 2, ins, w, TuneOptions{Reps: 2})
+	if sel.Chosen == nil {
+		t.Fatal("no choice made")
+	}
+	if len(sel.Timings) != 3 {
+		t.Fatalf("timings = %d entries, want 3", len(sel.Timings))
+	}
+	best := sel.Best()
+	if sel.Chosen.Strategy().Name != best.Strategy.Name {
+		t.Fatalf("chosen %q but fastest measured was %q",
+			sel.Chosen.Strategy().Name, best.Strategy.Name)
+	}
+	for _, tm := range sel.Timings {
+		if tm.Seconds <= 0 {
+			t.Fatalf("non-positive timing for %s", tm.Strategy.Name)
+		}
+	}
+}
+
+func TestChooseBPPicksMeasuredMinimum(t *testing.T) {
+	r := rng.New(3)
+	s := conv.Square(12, 8, 3, 3, 1)
+	w := conv.RandWeights(r, s)
+	ins, eos := sampleBatch(r, s, 2, 0.9)
+	sel := ChooseBP(BPStrategies(2), s, 2, eos, ins, w, TuneOptions{Reps: 2})
+	if sel.Chosen == nil || len(sel.Timings) != 3 {
+		t.Fatal("ChooseBP incomplete")
+	}
+	if sel.Chosen.Strategy().Name != sel.Best().Strategy.Name {
+		t.Fatal("ChooseBP did not pick measured minimum")
+	}
+}
+
+func TestAutoConvTunesAndExecutes(t *testing.T) {
+	r := rng.New(4)
+	s := conv.Square(10, 4, 2, 3, 1)
+	a := NewAutoConv(s, 2, AutoOptions{Tune: TuneOptions{Reps: 1}})
+	w := conv.RandWeights(r, s)
+	ins, eos := sampleBatch(r, s, 4, 0.85)
+	outs := make([]*tensor.Tensor, len(ins))
+	eis := make([]*tensor.Tensor, len(ins))
+	for i := range ins {
+		outs[i] = conv.NewOutput(s)
+		eis[i] = conv.NewInput(s)
+	}
+	dw := conv.NewWeights(s)
+	a.Forward(outs, ins, w)
+	a.Backward(eis, dw, eos, ins, w)
+
+	if a.FPSelection().Chosen == nil || a.BPSelection().Chosen == nil {
+		t.Fatal("AutoConv did not tune")
+	}
+	// Results must match reference.
+	want := conv.NewOutput(s)
+	conv.ForwardRef(s, want, ins[0], w)
+	if !tensor.AlmostEqual(outs[0], want, 1e-3) {
+		t.Fatal("AutoConv forward result wrong")
+	}
+	wantEI := conv.NewInput(s)
+	conv.BackwardInputRef(s, wantEI, eos[0], w)
+	if !tensor.AlmostEqual(eis[0], wantEI, 1e-3) {
+		t.Fatal("AutoConv backward result wrong")
+	}
+}
+
+func TestAutoConvRechecksBP(t *testing.T) {
+	r := rng.New(5)
+	s := conv.Square(8, 4, 2, 3, 1)
+	a := NewAutoConv(s, 2, AutoOptions{RecheckEpochs: 1, Tune: TuneOptions{Reps: 1}})
+	w := conv.RandWeights(r, s)
+	ins, eos := sampleBatch(r, s, 2, 0.5)
+	eis := []*tensor.Tensor{conv.NewInput(s), conv.NewInput(s)}
+	dw := conv.NewWeights(s)
+	a.Backward(eis, dw, eos, ins, w)
+	first := a.BPSelection()
+	a.EpochEnd() // triggers re-tune with RecheckEpochs=1
+	second := a.BPSelection()
+	if len(second.Timings) == 0 {
+		t.Fatal("re-tune produced no timings")
+	}
+	// The tables are distinct objects (a fresh measurement ran).
+	if &first.Timings[0] == &second.Timings[0] {
+		t.Fatal("EpochEnd did not re-measure")
+	}
+}
+
+func TestEpochEndBeforeTuneIsNoop(t *testing.T) {
+	s := conv.Square(8, 4, 2, 3, 1)
+	a := NewAutoConv(s, 2, AutoOptions{RecheckEpochs: 1})
+	a.EpochEnd() // must not panic with no gradients retained
+}
+
+func TestSelectionBest(t *testing.T) {
+	sel := Selection{Timings: []Timing{
+		{Strategy: Strategy{Name: "a"}, Seconds: 3},
+		{Strategy: Strategy{Name: "b"}, Seconds: 1},
+		{Strategy: Strategy{Name: "c"}, Seconds: 2},
+	}}
+	if sel.Best().Strategy.Name != "b" {
+		t.Fatal("Best did not return minimum")
+	}
+}

@@ -1,0 +1,94 @@
+package data
+
+import (
+	"fmt"
+
+	"spgcnn/internal/rng"
+	"spgcnn/internal/tensor"
+)
+
+// Data augmentation: the standard transforms CNN training pipelines apply
+// per example. Augmented wraps any dataset and applies a deterministic
+// per-(example, epoch-salt) horizontal flip and random crop — deterministic
+// so training runs remain exactly reproducible, but with a distinct
+// augmentation per example index, like a fixed augmentation schedule.
+
+// Augmented decorates a base dataset with flips and shifted crops.
+type Augmented struct {
+	base interface {
+		Len() int
+		Classes() int
+		Label(i int) int
+		Image(i int, dst *tensor.Tensor)
+		Dims() []int
+	}
+	flip     bool
+	maxShift int
+	seed     uint64
+	scratch  *tensor.Tensor
+}
+
+// Augment wraps base with horizontal flips (50% of examples) and random
+// spatial shifts up to maxShift pixels (content shifted, border
+// zero-filled). maxShift 0 disables shifting.
+func Augment(base *Synthetic, maxShift int, seed uint64) *Augmented {
+	if maxShift < 0 {
+		panic(fmt.Sprintf("data: negative maxShift %d", maxShift))
+	}
+	dims := base.Dims()
+	return &Augmented{
+		base:     base,
+		flip:     true,
+		maxShift: maxShift,
+		seed:     seed,
+		scratch:  tensor.New(dims...),
+	}
+}
+
+// Len implements nn.Dataset.
+func (a *Augmented) Len() int { return a.base.Len() }
+
+// Classes implements nn.Dataset.
+func (a *Augmented) Classes() int { return a.base.Classes() }
+
+// Label implements nn.Dataset.
+func (a *Augmented) Label(i int) int { return a.base.Label(i) }
+
+// Dims returns the per-image shape (unchanged by augmentation).
+func (a *Augmented) Dims() []int { return a.base.Dims() }
+
+// Image implements nn.Dataset: render the base example, then apply the
+// example's deterministic flip/shift.
+func (a *Augmented) Image(i int, dst *tensor.Tensor) {
+	a.base.Image(i, a.scratch)
+	r := rng.New(a.seed ^ (0xa076_1d64_78bd_642f * uint64(i+1)))
+	doFlip := a.flip && r.Float64() < 0.5
+	sy, sx := 0, 0
+	if a.maxShift > 0 {
+		sy = r.Intn(2*a.maxShift+1) - a.maxShift
+		sx = r.Intn(2*a.maxShift+1) - a.maxShift
+	}
+	c, h, w := a.scratch.Dim(0), a.scratch.Dim(1), a.scratch.Dim(2)
+	dst.Zero()
+	for ci := 0; ci < c; ci++ {
+		for y := 0; y < h; y++ {
+			srcY := y - sy
+			if srcY < 0 || srcY >= h {
+				continue
+			}
+			srcRow := a.scratch.Row3(ci, srcY)
+			dstRow := dst.Row3(ci, y)
+			for x := 0; x < w; x++ {
+				srcX := x - sx
+				if srcX < 0 || srcX >= w {
+					continue
+				}
+				if doFlip {
+					dstRow[x] = srcRow[w-1-srcX]
+				} else {
+					dstRow[x] = srcRow[srcX]
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"spgcnn/internal/tensor"
+)
+
+func TestAugmentDeterministic(t *testing.T) {
+	aug := Augment(MNIST(50), 2, 99)
+	a := tensor.New(aug.Dims()...)
+	b := tensor.New(aug.Dims()...)
+	aug.Image(7, a)
+	aug.Image(7, b)
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("augmentation not deterministic per index")
+	}
+}
+
+func TestAugmentPreservesLabelsAndShape(t *testing.T) {
+	base := CIFAR(40)
+	aug := Augment(base, 3, 1)
+	if aug.Len() != 40 || aug.Classes() != 10 {
+		t.Fatal("metadata changed")
+	}
+	for i := 0; i < 40; i++ {
+		if aug.Label(i) != base.Label(i) {
+			t.Fatal("labels changed")
+		}
+	}
+}
+
+func TestAugmentChangesSomeImages(t *testing.T) {
+	base := MNIST(64)
+	aug := Augment(base, 2, 7)
+	raw := tensor.New(base.Dims()...)
+	mod := tensor.New(base.Dims()...)
+	changed := 0
+	for i := 0; i < 64; i++ {
+		base.Image(i, raw)
+		aug.Image(i, mod)
+		if tensor.MaxAbsDiff(raw, mod) > 1e-6 {
+			changed++
+		}
+	}
+	// Flips hit ~half; shifts most of the rest — expect a clear majority
+	// modified but determinism means a fixed count.
+	if changed < 32 {
+		t.Fatalf("only %d/64 images modified by augmentation", changed)
+	}
+}
+
+func TestAugmentShiftMovesMass(t *testing.T) {
+	// With zero noise and a single blob, the augmented image's center of
+	// mass moves by roughly the shift; verify mass is mostly preserved
+	// (border clipping loses a little).
+	base := New(Config{Name: "t", Examples: 8, Classes: 2, Channels: 1,
+		Height: 24, Width: 24, Seed: 5, BlobsPerClass: 1, Noise: 1e-9})
+	aug := Augment(base, 4, 11)
+	raw := tensor.New(base.Dims()...)
+	mod := tensor.New(base.Dims()...)
+	for i := 0; i < 8; i++ {
+		base.Image(i, raw)
+		aug.Image(i, mod)
+		var mRaw, mMod float64
+		for j := range raw.Data {
+			mRaw += math.Abs(float64(raw.Data[j]))
+			mMod += math.Abs(float64(mod.Data[j]))
+		}
+		if mMod < 0.5*mRaw {
+			t.Fatalf("example %d lost most of its mass: %v -> %v", i, mRaw, mMod)
+		}
+	}
+}
+
+func TestAugmentTrainsThroughDatasetInterface(t *testing.T) {
+	// Augmented must satisfy the nn.Dataset shape used by the trainer; a
+	// compile-time style check via a tiny interface assertion.
+	var ds interface {
+		Len() int
+		Classes() int
+		Label(int) int
+		Image(int, *tensor.Tensor)
+	} = Augment(MNIST(8), 1, 1)
+	img := tensor.New(1, 28, 28)
+	ds.Image(0, img)
+	if ds.Len() != 8 {
+		t.Fatal("interface adaptation broken")
+	}
+}
+
+func TestAugmentNegativeShiftPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative shift accepted")
+		}
+	}()
+	Augment(MNIST(4), -1, 0)
+}

@@ -1,0 +1,246 @@
+// Package dataparallel implements synchronous data-parallel SGD across
+// model replicas — the cluster-scale context the paper situates spg-CNN in
+// (§1, §6: DistBelief and Adam train large CNNs with many multicore-CPU
+// workers; spg-CNN raises each worker's throughput). Workers here are
+// goroutines with full model replicas, which makes the scaling structure
+// of data parallelism — shard compute, synchronize parameters — executable
+// and testable on one machine.
+//
+// Every global minibatch is sharded across the replicas; each replica runs
+// forward/backward on its shard and applies a locally-scaled SGD step, and
+// every SyncEvery steps the replicas' parameters are averaged (an
+// all-reduce). With SyncEvery = 1 and plain SGD this is mathematically
+// identical to single-worker large-batch SGD (the averaging of
+// per-shard-scaled steps reconstructs the global gradient average);
+// SyncEvery > 1 is local SGD with periodic averaging, trading
+// synchronization cost for gradient staleness exactly as the paper's §6
+// discussion of parameter-synchronization latency describes.
+package dataparallel
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"spgcnn/internal/nn"
+	"spgcnn/internal/rng"
+	"spgcnn/internal/tensor"
+)
+
+// Config tunes the data-parallel run.
+type Config struct {
+	// Replicas is the worker count (>= 1).
+	Replicas int
+	// LR is the learning rate of the equivalent global-batch SGD.
+	LR float32
+	// GlobalBatch is the per-step minibatch size, sharded across replicas.
+	GlobalBatch int
+	// SyncEvery is the parameter-averaging period in steps (default 1 =
+	// fully synchronous).
+	SyncEvery int
+}
+
+// Trainer coordinates the replicas.
+type Trainer struct {
+	cfg      Config
+	replicas []*nn.Network
+	trainers []*shardState
+	loss     nn.SoftmaxXent
+
+	steps int
+	syncs int
+}
+
+// shardState is one replica's working storage.
+type shardState struct {
+	inputs  []*tensor.Tensor
+	dlogits []*tensor.Tensor
+	loss    float64
+	correct int
+	images  int
+}
+
+// New builds a data-parallel trainer. The builder must return
+// identically-initialized networks (call it with the same seed per
+// replica); this is verified by comparing the first parameter tensor.
+func New(build func(replica int) *nn.Network, cfg Config) (*Trainer, error) {
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("dataparallel: replicas %d < 1", cfg.Replicas)
+	}
+	if cfg.GlobalBatch < cfg.Replicas {
+		return nil, fmt.Errorf("dataparallel: global batch %d smaller than replica count %d",
+			cfg.GlobalBatch, cfg.Replicas)
+	}
+	if cfg.GlobalBatch%cfg.Replicas != 0 {
+		return nil, fmt.Errorf("dataparallel: global batch %d not divisible by %d replicas",
+			cfg.GlobalBatch, cfg.Replicas)
+	}
+	if cfg.SyncEvery < 1 {
+		cfg.SyncEvery = 1
+	}
+	t := &Trainer{cfg: cfg}
+	for i := 0; i < cfg.Replicas; i++ {
+		net := build(i)
+		if net == nil {
+			return nil, fmt.Errorf("dataparallel: builder returned nil for replica %d", i)
+		}
+		t.replicas = append(t.replicas, net)
+		t.trainers = append(t.trainers, &shardState{})
+	}
+	if err := t.checkAligned(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// checkAligned verifies the replicas start from identical parameters.
+func (t *Trainer) checkAligned() error {
+	if len(t.replicas) < 2 {
+		return nil
+	}
+	ref := t.replicas[0].Parameters()
+	for i := 1; i < len(t.replicas); i++ {
+		ps := t.replicas[i].Parameters()
+		if len(ps) != len(ref) {
+			return fmt.Errorf("dataparallel: replica %d has %d parameters, replica 0 has %d",
+				i, len(ps), len(ref))
+		}
+		for j := range ps {
+			if ps[j].Name != ref[j].Name || !ps[j].Tensor.SameShape(ref[j].Tensor) {
+				return fmt.Errorf("dataparallel: replica %d parameter %q mismatches replica 0", i, ps[j].Name)
+			}
+			if tensor.MaxAbsDiff(ps[j].Tensor, ref[j].Tensor) != 0 {
+				return fmt.Errorf("dataparallel: replica %d parameter %q initialized differently "+
+					"(the builder must use the same seed for every replica)", i, ps[j].Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats reports one epoch.
+type Stats struct {
+	Loss         float64
+	Accuracy     float64
+	Images       int
+	ImagesPerSec float64
+	Steps        int
+	Syncs        int
+}
+
+// TrainEpoch runs one shuffled pass over the dataset. Trailing examples
+// that do not fill a whole global batch are skipped (every step must shard
+// evenly); size datasets as multiples of GlobalBatch for exact epochs.
+func (t *Trainer) TrainEpoch(ds nn.Dataset, r *rng.RNG) Stats {
+	cfg := t.cfg
+	shard := cfg.GlobalBatch / cfg.Replicas
+	t.ensureBuffers(shard)
+	order := r.Perm(ds.Len())
+	start := time.Now()
+	var totalLoss float64
+	correct, images := 0, 0
+	epochSyncs := 0
+
+	for lo := 0; lo+cfg.GlobalBatch <= len(order); lo += cfg.GlobalBatch {
+		var wg sync.WaitGroup
+		wg.Add(cfg.Replicas)
+		for w := 0; w < cfg.Replicas; w++ {
+			go func(w int) {
+				defer wg.Done()
+				st := t.trainers[w]
+				net := t.replicas[w]
+				base := lo + w*shard
+				for i := 0; i < shard; i++ {
+					ds.Image(order[base+i], st.inputs[i])
+				}
+				logits := net.Forward(st.inputs[:shard])
+				st.loss, st.correct = 0, 0
+				for i := 0; i < shard; i++ {
+					l, ok := t.loss.Loss(logits[i], ds.Label(order[base+i]), st.dlogits[i])
+					st.loss += l
+					if ok {
+						st.correct++
+					}
+				}
+				st.images = shard
+				net.Backward(st.dlogits[:shard], st.inputs[:shard])
+				// Locally-scaled step: lr/shard per replica; averaging
+				// across replicas reconstructs the lr/GlobalBatch global
+				// step (see package comment).
+				net.ApplyGrads(cfg.LR, shard)
+			}(w)
+		}
+		wg.Wait()
+		for _, st := range t.trainers {
+			totalLoss += st.loss
+			correct += st.correct
+			images += st.images
+		}
+		t.steps++
+		if t.steps%cfg.SyncEvery == 0 {
+			t.allReduce()
+			t.syncs++
+			epochSyncs++
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	stats := Stats{
+		Loss:     safeDiv(totalLoss, float64(images)),
+		Accuracy: safeDiv(float64(correct), float64(images)),
+		Images:   images,
+		Steps:    t.steps,
+		Syncs:    epochSyncs,
+	}
+	if elapsed > 0 {
+		stats.ImagesPerSec = float64(images) / elapsed
+	}
+	return stats
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// allReduce averages every parameter across replicas and writes the mean
+// back to all of them.
+func (t *Trainer) allReduce() {
+	if len(t.replicas) < 2 {
+		return
+	}
+	params := make([][]nn.NamedParam, len(t.replicas))
+	for i, net := range t.replicas {
+		params[i] = net.Parameters()
+	}
+	inv := 1 / float32(len(t.replicas))
+	for j := range params[0] {
+		mean := params[0][j].Tensor
+		for i := 1; i < len(t.replicas); i++ {
+			mean.AddScaled(params[i][j].Tensor, 1)
+		}
+		mean.Scale(inv)
+		for i := 1; i < len(t.replicas); i++ {
+			copy(params[i][j].Tensor.Data, mean.Data)
+		}
+	}
+}
+
+// Replica returns replica i's network (replica 0 is the canonical model
+// after a sync).
+func (t *Trainer) Replica(i int) *nn.Network { return t.replicas[i] }
+
+// Syncs returns the total number of all-reduce rounds performed.
+func (t *Trainer) Syncs() int { return t.syncs }
+
+func (t *Trainer) ensureBuffers(shard int) {
+	in := t.replicas[0].InDims()
+	out := t.replicas[0].OutDims()
+	for _, st := range t.trainers {
+		for len(st.inputs) < shard {
+			st.inputs = append(st.inputs, tensor.New(in...))
+			st.dlogits = append(st.dlogits, tensor.New(out...))
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package engine defines the seam between spg-CNN's scheduler and its
+// convolution kernels.
+//
+// A Kernel is an executable convolution for one fixed Spec — the product of
+// one of the framework's "code generators" (§4): the unfold+GEMM lowering,
+// the stencil basic-block/schedule generator, or the sparse CT-CSR kernel
+// generator. Kernels own their scratch memory (unfold buffers, layout-
+// transformed copies, sparse index arrays), so one instance is cheap to
+// invoke repeatedly but must not be shared across goroutines; batch
+// schedulers instantiate one kernel per worker via the Generator.
+package engine
+
+import (
+	"fmt"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/tensor"
+)
+
+// Kernel executes the three convolution computations of one training step
+// (paper Eqs. 2–4) for a single training input, for the Spec it was
+// generated for. Implementations are not safe for concurrent use.
+type Kernel interface {
+	// Name identifies the kernel family and configuration, e.g.
+	// "unfold-gemm(serial)" or "stencil(rx=2,ry=4)".
+	Name() string
+
+	// Spec returns the convolution geometry the kernel was generated for.
+	Spec() conv.Spec
+
+	// Forward computes out = conv(in, w) (Eq. 2).
+	Forward(out, in, w *tensor.Tensor)
+
+	// BackwardInput computes ei = corr(eo, w) (Eq. 3). ei is overwritten.
+	BackwardInput(ei, eo, w *tensor.Tensor)
+
+	// BackwardWeights computes dw = grad(eo, in) (Eq. 4). dw is
+	// overwritten.
+	BackwardWeights(dw, eo, in *tensor.Tensor)
+}
+
+// Generator builds a kernel specialized to a spec. It plays the role of
+// the paper's code generators: invoked once per (layer, technique), the
+// result is then run for every training input.
+type Generator struct {
+	// Name identifies the technique, e.g. "stencil".
+	Name string
+	// New generates a kernel for s. Generators must be safe for concurrent
+	// use (the batch scheduler calls New once per worker).
+	New func(s conv.Spec) Kernel
+}
+
+// Registry is an ordered collection of kernel generators the scheduler
+// chooses among.
+type Registry struct {
+	gens []Generator
+}
+
+// Register appends a generator. Duplicate names panic — the scheduler
+// reports choices by name, so names must be unambiguous.
+func (r *Registry) Register(g Generator) {
+	if g.New == nil {
+		panic("engine: Register with nil constructor")
+	}
+	for _, existing := range r.gens {
+		if existing.Name == g.Name {
+			panic(fmt.Sprintf("engine: duplicate generator %q", g.Name))
+		}
+	}
+	r.gens = append(r.gens, g)
+}
+
+// Generators returns the registered generators in registration order.
+func (r *Registry) Generators() []Generator {
+	return append([]Generator(nil), r.gens...)
+}
+
+// Lookup returns the generator with the given name.
+func (r *Registry) Lookup(name string) (Generator, bool) {
+	for _, g := range r.gens {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return Generator{}, false
+}

@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"testing"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/tensor"
+)
+
+type fakeKernel struct{ s conv.Spec }
+
+func (f fakeKernel) Name() string                           { return "fake" }
+func (f fakeKernel) Spec() conv.Spec                        { return f.s }
+func (f fakeKernel) Forward(_, _, _ *tensor.Tensor)         {}
+func (f fakeKernel) BackwardInput(_, _, _ *tensor.Tensor)   {}
+func (f fakeKernel) BackwardWeights(_, _, _ *tensor.Tensor) {}
+
+func TestRegistryRegisterLookup(t *testing.T) {
+	var r Registry
+	r.Register(Generator{Name: "a", New: func(s conv.Spec) Kernel { return fakeKernel{s} }})
+	r.Register(Generator{Name: "b", New: func(s conv.Spec) Kernel { return fakeKernel{s} }})
+	if len(r.Generators()) != 2 {
+		t.Fatalf("Generators = %d entries, want 2", len(r.Generators()))
+	}
+	g, ok := r.Lookup("b")
+	if !ok || g.Name != "b" {
+		t.Fatal("Lookup(b) failed")
+	}
+	if _, ok := r.Lookup("missing"); ok {
+		t.Fatal("Lookup(missing) succeeded")
+	}
+	// Order preserved.
+	if r.Generators()[0].Name != "a" {
+		t.Fatal("registration order not preserved")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	var r Registry
+	g := Generator{Name: "a", New: func(s conv.Spec) Kernel { return fakeKernel{s} }}
+	r.Register(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	r.Register(g)
+}
+
+func TestRegistryNilConstructorPanics(t *testing.T) {
+	var r Registry
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil constructor Register did not panic")
+		}
+	}()
+	r.Register(Generator{Name: "x"})
+}
+
+func TestGeneratorsReturnsCopy(t *testing.T) {
+	var r Registry
+	r.Register(Generator{Name: "a", New: func(s conv.Spec) Kernel { return fakeKernel{s} }})
+	gens := r.Generators()
+	gens[0].Name = "mutated"
+	if g, _ := r.Lookup("a"); g.Name != "a" {
+		t.Fatal("Generators exposed internal slice")
+	}
+}

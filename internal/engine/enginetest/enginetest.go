@@ -1,0 +1,139 @@
+// Package enginetest provides the shared conformance suite every
+// convolution kernel must pass: agreement with the direct reference
+// implementations of Eqs. 2–4 over randomized geometries, including strided
+// and non-square cases, and over sparse error gradients.
+//
+// Engine packages call Run from their tests, so a new kernel automatically
+// inherits the full battery.
+package enginetest
+
+import (
+	"testing"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/engine"
+	"spgcnn/internal/rng"
+	"spgcnn/internal/tensor"
+)
+
+// Options tunes the conformance run.
+type Options struct {
+	// Trials is the number of random specs exercised (default 20).
+	Trials int
+	// MaxDim bounds random spec dimensions (default 12).
+	MaxDim int
+	// Seed seeds the generator (default 0xC0FFEE).
+	Seed uint64
+	// Tol is the comparison tolerance (default 1e-3, loose enough for
+	// float32 kernels that reassociate sums).
+	Tol float64
+	// SkipBackward skips BP checks for FP-only kernels (the paper's
+	// Stencil-Kernel is FP-only).
+	SkipBackward bool
+	// Sparsities are the EO sparsity levels exercised in BP checks
+	// (default 0, 0.5, 0.9, 1.0).
+	Sparsities []float64
+	// ExtraSpecs are always tested in addition to random ones.
+	ExtraSpecs []conv.Spec
+}
+
+func (o *Options) fill() {
+	if o.Trials == 0 {
+		o.Trials = 20
+	}
+	if o.MaxDim == 0 {
+		o.MaxDim = 12
+	}
+	if o.Seed == 0 {
+		o.Seed = 0xC0FFEE
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-3
+	}
+	if o.Sparsities == nil {
+		o.Sparsities = []float64{0, 0.5, 0.9, 1.0}
+	}
+}
+
+// Run executes the conformance suite for the generator.
+func Run(t *testing.T, gen engine.Generator, opts Options) {
+	t.Helper()
+	opts.fill()
+	r := rng.New(opts.Seed)
+
+	specs := append([]conv.Spec(nil), opts.ExtraSpecs...)
+	// Hand-picked edge geometries: 1x1 kernel, kernel == input, single
+	// channel/feature, rectangular, strided.
+	specs = append(specs,
+		conv.Square(4, 1, 1, 1, 1),
+		conv.Square(4, 2, 3, 4, 1),
+		conv.Square(9, 3, 2, 3, 3),
+		conv.Spec{Nx: 11, Ny: 5, Nc: 2, Nf: 3, Fx: 3, Fy: 2, Sx: 2, Sy: 1},
+		conv.Square(36, 64, 3, 5, 1), // CIFAR L0 geometry
+	)
+	for i := 0; i < opts.Trials; i++ {
+		specs = append(specs, conv.RandSpec(r, opts.MaxDim))
+	}
+
+	for _, s := range specs {
+		k := gen.New(s)
+		if k.Spec() != s {
+			t.Fatalf("%s: Spec() = %v, want %v", gen.Name, k.Spec(), s)
+		}
+		checkForward(t, k, r, opts)
+		if !opts.SkipBackward {
+			for _, sp := range opts.Sparsities {
+				checkBackward(t, k, r, sp, opts)
+			}
+		}
+	}
+}
+
+func checkForward(t *testing.T, k engine.Kernel, r *rng.RNG, opts Options) {
+	t.Helper()
+	s := k.Spec()
+	in := conv.RandInput(r, s)
+	w := conv.RandWeights(r, s)
+	got := conv.NewOutput(s)
+	want := conv.NewOutput(s)
+	k.Forward(got, in, w)
+	conv.ForwardRef(s, want, in, w)
+	if !tensor.AlmostEqual(got, want, opts.Tol) {
+		t.Fatalf("%s: Forward differs from reference for %v (max diff %g)",
+			k.Name(), s, tensor.MaxAbsDiff(got, want))
+	}
+	// Repeat invocation must be idempotent (scratch reuse must not leak
+	// state between calls).
+	k.Forward(got, in, w)
+	if !tensor.AlmostEqual(got, want, opts.Tol) {
+		t.Fatalf("%s: second Forward call differs (stale scratch?) for %v", k.Name(), s)
+	}
+}
+
+func checkBackward(t *testing.T, k engine.Kernel, r *rng.RNG, sparsity float64, opts Options) {
+	t.Helper()
+	s := k.Spec()
+	in := conv.RandInput(r, s)
+	w := conv.RandWeights(r, s)
+	eo := conv.RandOutputError(r, s, sparsity)
+
+	gotEI := conv.NewInput(s)
+	gotEI.FillUniform(r, -9, 9) // pre-poison: kernels must overwrite
+	wantEI := conv.NewInput(s)
+	k.BackwardInput(gotEI, eo, w)
+	conv.BackwardInputRef(s, wantEI, eo, w)
+	if !tensor.AlmostEqual(gotEI, wantEI, opts.Tol) {
+		t.Fatalf("%s: BackwardInput differs for %v at sparsity %.2f (max diff %g)",
+			k.Name(), s, sparsity, tensor.MaxAbsDiff(gotEI, wantEI))
+	}
+
+	gotDW := conv.NewWeights(s)
+	gotDW.FillUniform(r, -9, 9)
+	wantDW := conv.NewWeights(s)
+	k.BackwardWeights(gotDW, eo, in)
+	conv.BackwardWeightsRef(s, wantDW, eo, in)
+	if !tensor.AlmostEqual(gotDW, wantDW, opts.Tol) {
+		t.Fatalf("%s: BackwardWeights differs for %v at sparsity %.2f (max diff %g)",
+			k.Name(), s, sparsity, tensor.MaxAbsDiff(gotDW, wantDW))
+	}
+}

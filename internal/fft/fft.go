@@ -1,0 +1,137 @@
+// Package fft implements the fast Fourier transform substrate behind the
+// FFT-based convolution engine (the complementary technique the paper's
+// related work cites via Mathieu, Henaff & LeCun): an iterative radix-2
+// Cooley–Tukey transform over complex128, with 2-D helpers for image
+// planes.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// NextPow2 returns the smallest power of two >= n (minimum 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// FFT computes the in-place forward transform of x, whose length must be a
+// power of two.
+func FFT(x []complex128) { transform(x, false) }
+
+// IFFT computes the in-place inverse transform (including the 1/N
+// normalization).
+func IFFT(x []complex128) {
+	transform(x, true)
+	inv := 1 / float64(len(x))
+	for i := range x {
+		x[i] = complex(real(x[i])*inv, imag(x[i])*inv)
+	}
+}
+
+// transform runs the iterative radix-2 decimation-in-time FFT.
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	if n == 1 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wStep := complex(math.Cos(ang), math.Sin(ang))
+		half := size / 2
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// FFT2D transforms a flat row-major h×w plane (both powers of two) in
+// place: rows first, then columns.
+func FFT2D(x []complex128, h, w int) { transform2D(x, h, w, FFT) }
+
+// IFFT2D inverts FFT2D.
+func IFFT2D(x []complex128, h, w int) { transform2D(x, h, w, IFFT) }
+
+func transform2D(x []complex128, h, w int, fn func([]complex128)) {
+	if len(x) != h*w {
+		panic(fmt.Sprintf("fft: plane length %d != %d x %d", len(x), h, w))
+	}
+	if !IsPow2(h) || !IsPow2(w) {
+		panic(fmt.Sprintf("fft: plane dims %dx%d not powers of two", h, w))
+	}
+	for y := 0; y < h; y++ {
+		fn(x[y*w : (y+1)*w])
+	}
+	col := make([]complex128, h)
+	for cx := 0; cx < w; cx++ {
+		for y := 0; y < h; y++ {
+			col[y] = x[y*w+cx]
+		}
+		fn(col)
+		for y := 0; y < h; y++ {
+			x[y*w+cx] = col[y]
+		}
+	}
+}
+
+// Convolve1D computes the full linear convolution of a and b
+// (len(a)+len(b)-1 outputs) via the convolution theorem — used by tests
+// and as the reference for the 2-D engine.
+func Convolve1D(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	outLen := len(a) + len(b) - 1
+	n := NextPow2(outLen)
+	fa := make([]complex128, n)
+	fb := make([]complex128, n)
+	for i, v := range a {
+		fa[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		fb[i] = complex(v, 0)
+	}
+	FFT(fa)
+	FFT(fb)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	IFFT(fa)
+	out := make([]float64, outLen)
+	for i := range out {
+		out[i] = real(fa[i])
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"spgcnn/internal/rng"
+)
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	if !IsPow2(1) || !IsPow2(64) || IsPow2(0) || IsPow2(3) || IsPow2(-4) {
+		t.Fatal("IsPow2 wrong")
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	FFT(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestFFTConstant(t *testing.T) {
+	// FFT of a constant c has c·N at DC and zero elsewhere.
+	x := make([]complex128, 16)
+	for i := range x {
+		x[i] = 3
+	}
+	FFT(x)
+	if cmplx.Abs(x[0]-48) > 1e-9 {
+		t.Fatalf("DC = %v, want 48", x[0])
+	}
+	for i := 1; i < 16; i++ {
+		if cmplx.Abs(x[i]) > 1e-9 {
+			t.Fatalf("bin %d = %v, want 0", i, x[i])
+		}
+	}
+}
+
+func TestFFTKnownSinusoid(t *testing.T) {
+	// cos(2πk·3/N) puts energy N/2 at bins 3 and N-3.
+	const n = 32
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Cos(2*math.Pi*3*float64(i)/n), 0)
+	}
+	FFT(x)
+	for i := 0; i < n; i++ {
+		want := 0.0
+		if i == 3 || i == n-3 {
+			want = n / 2
+		}
+		if math.Abs(cmplx.Abs(x[i])-want) > 1e-9 {
+			t.Fatalf("bin %d magnitude %v, want %v", i, cmplx.Abs(x[i]), want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{1, 2, 8, 64, 512} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			orig[i] = x[i]
+		}
+		FFT(x)
+		IFFT(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d: round trip diverged at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	// Σ|x|² = (1/N)·Σ|X|².
+	r := rng.New(2)
+	const n = 128
+	x := make([]complex128, n)
+	var timeE float64
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), 0)
+		timeE += real(x[i]) * real(x[i])
+	}
+	FFT(x)
+	var freqE float64
+	for _, v := range x {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(timeE-freqE/n) > 1e-9*timeE {
+		t.Fatalf("Parseval violated: %v vs %v", timeE, freqE/n)
+	}
+}
+
+func TestLinearityQuick(t *testing.T) {
+	r := rng.New(3)
+	if err := quick.Check(func(seed uint16) bool {
+		rr := rng.New(uint64(seed))
+		const n = 64
+		a := make([]complex128, n)
+		b := make([]complex128, n)
+		sum := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(rr.NormFloat64(), 0)
+			b[i] = complex(rr.NormFloat64(), 0)
+			sum[i] = a[i] + 2*b[i]
+		}
+		FFT(a)
+		FFT(b)
+		FFT(sum)
+		for i := range sum {
+			if cmplx.Abs(sum[i]-(a[i]+2*b[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestNonPow2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-pow2 length accepted")
+		}
+	}()
+	FFT(make([]complex128, 6))
+}
+
+func TestConvolve1DMatchesDirect(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 20; trial++ {
+		na, nb := r.Intn(20)+1, r.Intn(20)+1
+		a := make([]float64, na)
+		b := make([]float64, nb)
+		for i := range a {
+			a[i] = r.NormFloat64()
+		}
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		got := Convolve1D(a, b)
+		want := make([]float64, na+nb-1)
+		for i := range a {
+			for j := range b {
+				want[i+j] += a[i] * b[j]
+			}
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("conv differs at %d: %v vs %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFT2DSeparability(t *testing.T) {
+	// A rank-1 plane f(y,x) = g(y)·h(x) transforms to G(ky)·H(kx).
+	const h, w = 8, 16
+	r := rng.New(5)
+	g := make([]complex128, h)
+	hh := make([]complex128, w)
+	for i := range g {
+		g[i] = complex(r.NormFloat64(), 0)
+	}
+	for i := range hh {
+		hh[i] = complex(r.NormFloat64(), 0)
+	}
+	plane := make([]complex128, h*w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			plane[y*w+x] = g[y] * hh[x]
+		}
+	}
+	FFT2D(plane, h, w)
+	G := append([]complex128(nil), g...)
+	H := append([]complex128(nil), hh...)
+	FFT(G)
+	FFT(H)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if cmplx.Abs(plane[y*w+x]-G[y]*H[x]) > 1e-9 {
+				t.Fatalf("separability violated at (%d,%d)", y, x)
+			}
+		}
+	}
+}
+
+func TestFFT2DRoundTrip(t *testing.T) {
+	r := rng.New(6)
+	const h, w = 16, 8
+	x := make([]complex128, h*w)
+	orig := make([]complex128, h*w)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		orig[i] = x[i]
+	}
+	FFT2D(x, h, w)
+	IFFT2D(x, h, w)
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+			t.Fatal("2D round trip diverged")
+		}
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(float64(i), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFFT2D64(b *testing.B) {
+	x := make([]complex128, 64*64)
+	for i := range x {
+		x[i] = complex(float64(i), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT2D(x, 64, 64)
+	}
+}

@@ -1,0 +1,152 @@
+// Package fftconv implements FFT-based forward convolution — the
+// complementary acceleration the paper's related work cites (Mathieu,
+// Henaff & LeCun, "Fast training of convolutional networks through FFTs").
+//
+// For a unit-stride convolution, Eq. 2 is a cross-correlation; flipping
+// the kernel turns it into a linear convolution, which the convolution
+// theorem evaluates as a pointwise product in the frequency domain:
+//
+//	O_f = Σ_c valid( IFFT( FFT(pad(I_c)) · FFT(pad(flip(W_fc))) ) )
+//
+// The asymptotic win over direct convolution grows with kernel size
+// (O(P²·log P) per plane versus O(N²·F²)); for the small kernels of most
+// CNN layers the transforms dominate, which is why the paper's stencil —
+// not the FFT — is the small-kernel answer. This engine exists to make
+// that trade-off executable and measurable.
+//
+// Strided convolutions do not map onto the convolution theorem; this
+// kernel transparently falls back to unfold+GEMM for them, and for both
+// back-propagation computations (the paper treats FFT as an FP technique).
+package fftconv
+
+import (
+	"spgcnn/internal/conv"
+	"spgcnn/internal/engine"
+	"spgcnn/internal/fft"
+	"spgcnn/internal/tensor"
+	"spgcnn/internal/unfoldgemm"
+)
+
+// Kernel is an FFT forward-convolution kernel for one spec.
+type Kernel struct {
+	spec   conv.Spec
+	ph, pw int // padded plane dims (powers of two)
+
+	ifreq [][]complex128 // per-channel input spectra
+	wbuf  []complex128   // kernel spectrum scratch
+	acc   []complex128   // per-feature accumulator
+
+	fallback *unfoldgemm.Kernel
+}
+
+// New builds an FFT convolution kernel for s.
+func New(s conv.Spec) *Kernel {
+	s.MustValidate()
+	k := &Kernel{
+		spec:     s,
+		ph:       fft.NextPow2(s.Ny + s.Fy - 1),
+		pw:       fft.NextPow2(s.Nx + s.Fx - 1),
+		fallback: unfoldgemm.New(s, 1),
+	}
+	if s.Sx == 1 && s.Sy == 1 {
+		n := k.ph * k.pw
+		k.ifreq = make([][]complex128, s.Nc)
+		for c := range k.ifreq {
+			k.ifreq[c] = make([]complex128, n)
+		}
+		k.wbuf = make([]complex128, n)
+		k.acc = make([]complex128, n)
+	}
+	return k
+}
+
+// Name implements engine.Kernel.
+func (k *Kernel) Name() string { return "fft-conv" }
+
+// Spec implements engine.Kernel.
+func (k *Kernel) Spec() conv.Spec { return k.spec }
+
+// PaddedDims returns the transform plane size.
+func (k *Kernel) PaddedDims() (h, w int) { return k.ph, k.pw }
+
+// Forward computes Eq. 2 via the convolution theorem for unit-stride
+// specs, falling back to unfold+GEMM otherwise.
+func (k *Kernel) Forward(out, in, w *tensor.Tensor) {
+	s := k.spec
+	if s.Sx != 1 || s.Sy != 1 {
+		k.fallback.Forward(out, in, w)
+		return
+	}
+	conv.CheckInput(s, in)
+	conv.CheckWeights(s, w)
+	conv.CheckOutput(s, out)
+
+	// Input spectra, once per channel.
+	for c := 0; c < s.Nc; c++ {
+		plane := k.ifreq[c]
+		for i := range plane {
+			plane[i] = 0
+		}
+		for y := 0; y < s.Ny; y++ {
+			row := in.Row3(c, y)
+			base := y * k.pw
+			for x, v := range row {
+				plane[base+x] = complex(float64(v), 0)
+			}
+		}
+		fft.FFT2D(plane, k.ph, k.pw)
+	}
+
+	oy, ox := s.OutY(), s.OutX()
+	for f := 0; f < s.Nf; f++ {
+		for i := range k.acc {
+			k.acc[i] = 0
+		}
+		for c := 0; c < s.Nc; c++ {
+			// Flipped, padded kernel spectrum.
+			for i := range k.wbuf {
+				k.wbuf[i] = 0
+			}
+			wBase := (f*s.Nc + c) * s.Fy * s.Fx
+			for ky := 0; ky < s.Fy; ky++ {
+				for kx := 0; kx < s.Fx; kx++ {
+					v := w.Data[wBase+ky*s.Fx+kx]
+					k.wbuf[(s.Fy-1-ky)*k.pw+(s.Fx-1-kx)] = complex(float64(v), 0)
+				}
+			}
+			fft.FFT2D(k.wbuf, k.ph, k.pw)
+			src := k.ifreq[c]
+			for i := range k.acc {
+				k.acc[i] += src[i] * k.wbuf[i]
+			}
+		}
+		fft.IFFT2D(k.acc, k.ph, k.pw)
+		// The correlation's valid region sits at offset (Fy-1, Fx-1) of
+		// the linear convolution with the flipped kernel.
+		for y := 0; y < oy; y++ {
+			dst := out.Row3(f, y)
+			base := (y + s.Fy - 1) * k.pw
+			for x := 0; x < ox; x++ {
+				dst[x] = float32(real(k.acc[base+x+s.Fx-1]))
+			}
+		}
+	}
+}
+
+// BackwardInput implements engine.Kernel via the unfold+GEMM fallback.
+func (k *Kernel) BackwardInput(ei, eo, w *tensor.Tensor) {
+	k.fallback.BackwardInput(ei, eo, w)
+}
+
+// BackwardWeights implements engine.Kernel via the unfold+GEMM fallback.
+func (k *Kernel) BackwardWeights(dw, eo, in *tensor.Tensor) {
+	k.fallback.BackwardWeights(dw, eo, in)
+}
+
+// Generator returns the engine.Generator for the FFT technique.
+func Generator() engine.Generator {
+	return engine.Generator{
+		Name: "fft-conv",
+		New:  func(s conv.Spec) engine.Kernel { return New(s) },
+	}
+}

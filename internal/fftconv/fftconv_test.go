@@ -1,0 +1,79 @@
+package fftconv
+
+import (
+	"testing"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/engine/enginetest"
+	"spgcnn/internal/rng"
+	"spgcnn/internal/stencil"
+	"spgcnn/internal/tensor"
+	"spgcnn/internal/unfoldgemm"
+)
+
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, Generator(), enginetest.Options{
+		Trials: 20,
+		Seed:   31,
+		ExtraSpecs: []conv.Spec{
+			conv.Square(28, 20, 1, 5, 1), // MNIST L0
+			conv.Square(64, 4, 2, 11, 1), // big kernel: FFT's home turf
+			conv.Square(16, 3, 2, 16, 1), // kernel == input
+			conv.Square(20, 8, 3, 5, 2),  // strided -> fallback path
+		},
+	})
+}
+
+func TestPaddedDimsArePow2AndSufficient(t *testing.T) {
+	s := conv.Square(28, 4, 2, 5, 1)
+	k := New(s)
+	h, w := k.PaddedDims()
+	if h < 28+5-1 || w < 28+5-1 {
+		t.Fatalf("padded dims %dx%d too small for linear convolution", h, w)
+	}
+	if h&(h-1) != 0 || w&(w-1) != 0 {
+		t.Fatalf("padded dims %dx%d not powers of two", h, w)
+	}
+}
+
+func TestAgreesWithOtherEngines(t *testing.T) {
+	r := rng.New(1)
+	s := conv.Square(24, 6, 3, 7, 1)
+	in := conv.RandInput(r, s)
+	w := conv.RandWeights(r, s)
+	a, b, c := conv.NewOutput(s), conv.NewOutput(s), conv.NewOutput(s)
+	New(s).Forward(a, in, w)
+	unfoldgemm.New(s, 1).Forward(b, in, w)
+	stencil.New(s).Forward(c, in, w)
+	if !tensor.AlmostEqual(a, b, 1e-3) || !tensor.AlmostEqual(a, c, 1e-3) {
+		t.Fatalf("fft-conv disagrees with other engines (vs unfold %g, vs stencil %g)",
+			tensor.MaxAbsDiff(a, b), tensor.MaxAbsDiff(a, c))
+	}
+}
+
+func benchFFT(b *testing.B, s conv.Spec, useFFT bool) {
+	r := rng.New(1)
+	in := conv.RandInput(r, s)
+	w := conv.RandWeights(r, s)
+	out := conv.NewOutput(s)
+	b.ResetTimer()
+	if useFFT {
+		k := New(s)
+		for i := 0; i < b.N; i++ {
+			k.Forward(out, in, w)
+		}
+	} else {
+		k := unfoldgemm.New(s, 1)
+		for i := 0; i < b.N; i++ {
+			k.Forward(out, in, w)
+		}
+	}
+	b.ReportMetric(float64(s.FlopsFP())*float64(b.N)/b.Elapsed().Seconds()/1e9, "direct-GFlops-equiv")
+}
+
+// The kernel-size trade-off the package doc describes: FFT amortizes for
+// very large kernels, direct methods win for small ones.
+func BenchmarkFFTKernel21(b *testing.B)    { benchFFT(b, conv.Square(64, 4, 4, 21, 1), true) }
+func BenchmarkUnfoldKernel21(b *testing.B) { benchFFT(b, conv.Square(64, 4, 4, 21, 1), false) }
+func BenchmarkFFTKernel3(b *testing.B)     { benchFFT(b, conv.Square(64, 4, 4, 3, 1), true) }
+func BenchmarkUnfoldKernel3(b *testing.B)  { benchFFT(b, conv.Square(64, 4, 4, 3, 1), false) }

@@ -1,0 +1,167 @@
+package gemm
+
+// Packed (Goto-style) SGEMM: for matrices beyond cache-resident sizes, the
+// dominant cost of the plain blocked kernel is strided access to B and
+// repeated TLB pressure on A. The classical remedy (Goto & van de Geijn,
+// "Anatomy of High-Performance Matrix Multiplication" — the paper's [26])
+// is to copy blocks of A and panels of B into contiguous buffers laid out
+// exactly in the order the micro-kernel consumes them, then run the
+// register-tiled kernel over the packed data. The packing cost is O(n²)
+// against O(n³) arithmetic, so it amortizes for large enough K and N.
+//
+// PackedSerial mirrors Serial's contract (C = A·B overwritten) and is what
+// Serial dispatches to above a size threshold.
+
+const (
+	// packKC × packNC floats of packed B (~192 KiB) target L2; packMC ×
+	// packKC of packed A (~96 KiB) sits alongside it.
+	packKC = 384
+	packMC = 64
+	packNC = 512
+	// Micro-tile: MR rows × NR columns of C in registers.
+	packMR = 4
+	packNR = 4
+)
+
+// packBuf holds reusable packing storage; a zero value is ready to use.
+type packBuf struct {
+	a []float32 // packMC × packKC, MR-interleaved
+	b []float32 // packKC × packNC, NR-interleaved
+}
+
+func (p *packBuf) ensure() {
+	if p.a == nil {
+		p.a = make([]float32, packMC*packKC)
+		p.b = make([]float32, packKC*packNC)
+	}
+}
+
+// packA copies the A block rows [m0, m0+mc) × cols [k0, k0+kc) into buf in
+// MR-row interleaved order: for each strip of MR rows, column-major within
+// the strip, so the micro-kernel reads MR values per k with stride MR.
+// Rows past A's edge are zero-filled.
+func packA(buf []float32, a *Matrix, m0, mc, k0, kc int) {
+	idx := 0
+	for i := 0; i < mc; i += packMR {
+		for k := 0; k < kc; k++ {
+			for r := 0; r < packMR; r++ {
+				row := m0 + i + r
+				if row < m0+mc && row < a.Rows {
+					buf[idx] = a.Data[row*a.Cols+k0+k]
+				} else {
+					buf[idx] = 0
+				}
+				idx++
+			}
+		}
+	}
+}
+
+// packB copies the B panel rows [k0, k0+kc) × cols [n0, n0+nc) into buf in
+// NR-column interleaved order. Columns past B's edge are zero-filled.
+func packB(buf []float32, b *Matrix, k0, kc, n0, nc int) {
+	idx := 0
+	for j := 0; j < nc; j += packNR {
+		for k := 0; k < kc; k++ {
+			brow := b.Data[(k0+k)*b.Cols:]
+			for c := 0; c < packNR; c++ {
+				col := n0 + j + c
+				if col < n0+nc && col < b.Cols {
+					buf[idx] = brow[col]
+				} else {
+					buf[idx] = 0
+				}
+				idx++
+			}
+		}
+	}
+}
+
+// microPacked computes one MR×NR tile of C += packed-A-strip · packed-B-strip.
+// ap walks MR values per k; bp walks NR values per k.
+func microPacked(c *Matrix, m0, n0, mEdge, nEdge int, ap, bp []float32, kc int) {
+	var s00, s01, s02, s03 float32
+	var s10, s11, s12, s13 float32
+	var s20, s21, s22, s23 float32
+	var s30, s31, s32, s33 float32
+	ia, ib := 0, 0
+	for k := 0; k < kc; k++ {
+		a0, a1, a2, a3 := ap[ia], ap[ia+1], ap[ia+2], ap[ia+3]
+		b0, b1, b2, b3 := bp[ib], bp[ib+1], bp[ib+2], bp[ib+3]
+		ia += packMR
+		ib += packNR
+		s00 += a0 * b0
+		s01 += a0 * b1
+		s02 += a0 * b2
+		s03 += a0 * b3
+		s10 += a1 * b0
+		s11 += a1 * b1
+		s12 += a1 * b2
+		s13 += a1 * b3
+		s20 += a2 * b0
+		s21 += a2 * b1
+		s22 += a2 * b2
+		s23 += a2 * b3
+		s30 += a3 * b0
+		s31 += a3 * b1
+		s32 += a3 * b2
+		s33 += a3 * b3
+	}
+	sums := [packMR][packNR]float32{
+		{s00, s01, s02, s03},
+		{s10, s11, s12, s13},
+		{s20, s21, s22, s23},
+		{s30, s31, s32, s33},
+	}
+	for r := 0; r < mEdge; r++ {
+		crow := c.Row(m0 + r)
+		for cc := 0; cc < nEdge; cc++ {
+			crow[n0+cc] += sums[r][cc]
+		}
+	}
+}
+
+// PackedSerial computes C = A·B with Goto-style packing, single-threaded.
+// C is overwritten.
+func PackedSerial(c, a, b *Matrix) {
+	checkMul(c, a, b)
+	c.Zero()
+	var buf packBuf
+	PackedAccumWith(&buf, c, a, b)
+}
+
+// PackedAccumWith computes C += A·B using caller-owned packing buffers
+// (reusable across calls, e.g. by a conv kernel invoked per image).
+func PackedAccumWith(buf *packBuf, c, a, b *Matrix) {
+	checkMul(c, a, b)
+	buf.ensure()
+	M, K, N := a.Rows, a.Cols, b.Cols
+	for k0 := 0; k0 < K; k0 += packKC {
+		kc := min(packKC, K-k0)
+		for n0 := 0; n0 < N; n0 += packNC {
+			nc := min(packNC, N-n0)
+			ncPad := (nc + packNR - 1) / packNR * packNR
+			packB(buf.b, b, k0, kc, n0, ncPad)
+			for m0 := 0; m0 < M; m0 += packMC {
+				mc := min(packMC, M-m0)
+				mcPad := (mc + packMR - 1) / packMR * packMR
+				packA(buf.a, a, m0, mcPad, k0, kc)
+				for i := 0; i < mcPad; i += packMR {
+					mEdge := min(packMR, mc-i)
+					if mEdge <= 0 {
+						break
+					}
+					ap := buf.a[i*kc:]
+					for j := 0; j < ncPad; j += packNR {
+						nEdge := min(packNR, nc-j)
+						if nEdge <= 0 {
+							break
+						}
+						bp := buf.b[j*kc:]
+						microPacked(c, m0+i, n0+j, mEdge, nEdge, ap, bp, kc)
+					}
+				}
+			}
+		}
+	}
+}

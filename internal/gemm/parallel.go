@@ -1,0 +1,122 @@
+package gemm
+
+import "spgcnn/internal/par"
+
+// Parallel computes C = A·B with the M dimension (rows of C) statically
+// partitioned across workers, the way MKL/OpenBLAS parallelize a GEMM.
+//
+// This is the paper's "Parallel-GEMM" baseline. Its defining property
+// (§3.2) is that worker w computes rows [w·M/P, (w+1)·M/P) of C, which
+// requires that slice of A and of C but the ENTIRE B matrix, so the
+// arithmetic intensity per core falls as P grows:
+//
+//	AIT/core = (2·M·N·K/P) / (M·K/P + K·N + M·N/P)
+//
+// For the square case this is the paper's n/2 at P=2 versus 2n/3 serial.
+// Workers <= 1 degrades to Serial.
+func Parallel(c, a, b *Matrix, workers int) {
+	checkMul(c, a, b)
+	c.Zero()
+	ParallelAccum(c, a, b, workers)
+}
+
+// ParallelAccum computes C += A·B with row partitioning across workers.
+// Large operands take the packed Goto-style path per worker (each worker
+// owns packing buffers and its contiguous row slice of A and C).
+func ParallelAccum(c, a, b *Matrix, workers int) {
+	checkMul(c, a, b)
+	if a.Cols*b.Cols >= packedThreshold {
+		par.ForChunked(a.Rows, workers, func(lo, hi int) {
+			aView := FromSlice(a.Data[lo*a.Cols:hi*a.Cols], hi-lo, a.Cols)
+			cView := FromSlice(c.Data[lo*c.Cols:hi*c.Cols], hi-lo, c.Cols)
+			var buf packBuf
+			PackedAccumWith(&buf, cView, aView, b)
+		})
+		return
+	}
+	par.ForChunked(a.Rows, workers, func(lo, hi int) {
+		serialRange(c, a, b, lo, hi)
+	})
+}
+
+// Batch runs one independent single-threaded GEMM per (c, a, b) triple,
+// spreading the instances across workers. This is the execution primitive
+// of GEMM-in-Parallel (§4.1): inputs are NOT divided across cores, so the
+// per-core AIT — and therefore per-core performance — stays at the
+// single-GEMM level no matter how many cores participate.
+//
+// All three slices must have equal length; instance i computes
+// cs[i] = as[i]·bs[i].
+func Batch(cs, as, bs []*Matrix, workers int) {
+	if len(cs) != len(as) || len(cs) != len(bs) {
+		panic("gemm: Batch slice length mismatch")
+	}
+	for i := range cs {
+		checkMul(cs[i], as[i], bs[i])
+	}
+	par.For(len(cs), workers, func(i int) {
+		Serial(cs[i], as[i], bs[i])
+	})
+}
+
+// MulTransA computes C = Aᵀ·B without materializing the transpose:
+// C[i][j] = Σ_k A[k][i]·B[k][j]. Used by the backward-weights GEMM where
+// the unfolded input appears transposed.
+func MulTransA(c, a, b *Matrix) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic("gemm: MulTransA dimension mismatch")
+	}
+	c.Zero()
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, aki := range arow {
+			if aki == 0 {
+				continue
+			}
+			crow := c.Row(i)
+			for j, bkj := range brow {
+				crow[j] += aki * bkj
+			}
+		}
+	}
+}
+
+// MulTransB computes C = A·Bᵀ without materializing the transpose:
+// C[i][j] = Σ_k A[i][k]·B[j][k]. The inner loop is a dot product of two
+// contiguous rows, which the register blocking exploits four rows of B at
+// a time.
+func MulTransB(c, a, b *Matrix) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic("gemm: MulTransB dimension mismatch")
+	}
+	K := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		j := 0
+		for ; j+4 <= b.Rows; j += 4 {
+			b0, b1, b2, b3 := b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3)
+			var s0, s1, s2, s3 float32
+			for k := 0; k < K; k++ {
+				av := arow[k]
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+			}
+			crow[j] = s0
+			crow[j+1] = s1
+			crow[j+2] = s2
+			crow[j+3] = s3
+		}
+		for ; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float32
+			for k := 0; k < K; k++ {
+				s += arow[k] * brow[k]
+			}
+			crow[j] = s
+		}
+	}
+}

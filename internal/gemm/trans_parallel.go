@@ -1,0 +1,90 @@
+package gemm
+
+import "spgcnn/internal/par"
+
+// Parallel variants of the transpose multiplies, row-partitioned over the
+// output matrix C the way a BLAS Parallel-GEMM partitions work. These are
+// what the Unfold+Parallel-GEMM baseline uses for the three training GEMMs,
+// and they inherit its §3.2 property: every worker reads the whole of one
+// operand, so AIT per core shrinks with the worker count.
+
+// ParallelMulTransB computes C = A·Bᵀ with rows of C (= rows of A) divided
+// across workers.
+func ParallelMulTransB(c, a, b *Matrix, workers int) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic("gemm: ParallelMulTransB dimension mismatch")
+	}
+	par.ForChunked(a.Rows, workers, func(lo, hi int) {
+		mulTransBRange(c, a, b, lo, hi)
+	})
+}
+
+// mulTransBRange computes rows [lo, hi) of C = A·Bᵀ.
+func mulTransBRange(c, a, b *Matrix, lo, hi int) {
+	K := a.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		j := 0
+		for ; j+4 <= b.Rows; j += 4 {
+			b0, b1, b2, b3 := b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3)
+			var s0, s1, s2, s3 float32
+			for k := 0; k < K; k++ {
+				av := arow[k]
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+			}
+			crow[j] = s0
+			crow[j+1] = s1
+			crow[j+2] = s2
+			crow[j+3] = s3
+		}
+		for ; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float32
+			for k := 0; k < K; k++ {
+				s += arow[k] * brow[k]
+			}
+			crow[j] = s
+		}
+	}
+}
+
+// ParallelMulTransA computes C = Aᵀ·B with rows of C (= columns of A)
+// divided across workers. Each worker walks all of A and B but writes only
+// its row slice of C, so no synchronization is needed.
+func ParallelMulTransA(c, a, b *Matrix, workers int) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic("gemm: ParallelMulTransA dimension mismatch")
+	}
+	par.ForChunked(c.Rows, workers, func(lo, hi int) {
+		mulTransARange(c, a, b, lo, hi)
+	})
+}
+
+// mulTransARange computes rows [lo, hi) of C = Aᵀ·B: for each source row k,
+// scatter A[k][i]·B[k][*] into C rows i in [lo, hi).
+func mulTransARange(c, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		crow := c.Row(i)
+		for j := range crow {
+			crow[j] = 0
+		}
+	}
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i := lo; i < hi; i++ {
+			aki := arow[i]
+			if aki == 0 {
+				continue
+			}
+			crow := c.Row(i)
+			for j, bkj := range brow {
+				crow[j] += aki * bkj
+			}
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package machine
+
+import "testing"
+
+func TestCalibrateHostSane(t *testing.T) {
+	m := CalibrateHost()
+	if m.Cores < 1 {
+		t.Fatalf("cores = %d", m.Cores)
+	}
+	if m.PeakGFlopsPerCore <= 0.1 || m.PeakGFlopsPerCore > 200 {
+		t.Fatalf("implausible measured peak %v GFlops", m.PeakGFlopsPerCore)
+	}
+	if m.SharedBandwidthGBs <= 0.1 || m.SharedBandwidthGBs > 2000 {
+		t.Fatalf("implausible bandwidth %v GB/s", m.SharedBandwidthGBs)
+	}
+	if m.HalfPerfAIT <= 0 {
+		t.Fatalf("non-positive knee %v", m.HalfPerfAIT)
+	}
+	if m.TransformGBsPerCore <= 0 {
+		t.Fatalf("non-positive transform rate %v", m.TransformGBsPerCore)
+	}
+	// The calibrated model must still produce the paper's shape claims:
+	// GiP >= Parallel-GEMM at high core counts for a moderate conv.
+	s := t1[2]
+	if m.GEMMInParallelTraining(s, 16) < m.ParallelGEMMTraining(s, 16) {
+		t.Fatal("calibrated model inverted the GiP/Parallel-GEMM ordering")
+	}
+}

@@ -1,0 +1,214 @@
+package machine
+
+import (
+	"testing"
+
+	"spgcnn/internal/ait"
+	"spgcnn/internal/conv"
+)
+
+// The six Table 1 convolutions, by paper ID.
+var t1 = []conv.Spec{
+	conv.Square(32, 32, 32, 4, 1),
+	conv.Square(64, 1024, 512, 2, 1),
+	conv.Square(256, 256, 128, 3, 1),
+	conv.Square(128, 128, 64, 7, 1),
+	conv.Square(128, 512, 256, 5, 1),
+	conv.Square(64, 64, 16, 11, 1),
+}
+
+func TestEffPerCoreSaturates(t *testing.T) {
+	m := Paper()
+	if m.EffPerCore(0) != 0 {
+		t.Fatal("zero AIT should give zero")
+	}
+	if got := m.EffPerCore(m.HalfPerfAIT); got < 20.7 || got > 20.9 {
+		t.Fatalf("half-perf AIT gives %v, want ~peak/2 = 20.8", got)
+	}
+	if m.EffPerCore(1e9) > m.PeakGFlopsPerCore {
+		t.Fatal("efficiency exceeded peak")
+	}
+	if m.EffPerCore(100) <= m.EffPerCore(10) {
+		t.Fatal("efficiency not monotone in AIT")
+	}
+}
+
+func TestParallelGEMMPerCoreDegrades(t *testing.T) {
+	// Fig. 3a: Parallel-GEMM performance per core falls as cores grow, for
+	// every Table 1 convolution, with an average drop > 50% at 16 cores
+	// (the paper's reported figure).
+	m := Paper()
+	dropSum := 0.0
+	for id, s := range t1 {
+		p1 := m.ParallelGEMMTraining(s, 1)
+		prev := p1
+		for _, p := range []int{2, 4, 8, 16} {
+			cur := m.ParallelGEMMTraining(s, p)
+			if cur > prev+1e-9 {
+				t.Fatalf("ID %d: per-core rate rose from %v to %v at p=%d", id, prev, cur, p)
+			}
+			prev = cur
+		}
+		dropSum += 1 - prev/p1
+	}
+	if avg := dropSum / float64(len(t1)); avg < 0.5 {
+		t.Fatalf("average per-core drop at 16 cores = %.0f%%, paper reports > 50%%", avg*100)
+	}
+}
+
+func TestGEMMInParallelNearlyFlat(t *testing.T) {
+	// Fig. 4a: GEMM-in-Parallel per-core performance is roughly steady,
+	// dropping < 15% on average at 16 cores.
+	m := Paper()
+	dropSum := 0.0
+	for id, s := range t1 {
+		p1 := m.GEMMInParallelTraining(s, 1)
+		p16 := m.GEMMInParallelTraining(s, 16)
+		if p16 > p1+1e-9 {
+			t.Fatalf("ID %d: per-core rate rose with cores", id)
+		}
+		dropSum += 1 - p16/p1
+	}
+	if avg := dropSum / float64(len(t1)); avg > 0.15 {
+		t.Fatalf("average GiP drop = %.0f%%, paper reports < 15%%", avg*100)
+	}
+}
+
+func TestGEMMInParallelBeatsParallelGEMMAndGrowsWithCores(t *testing.T) {
+	// Fig. 4b: the relative speedup of GEMM-in-Parallel over Parallel-GEMM
+	// grows with core count, and convolutions with fewer output features
+	// benefit more.
+	m := Paper()
+	for id, s := range t1 {
+		prevSpeedup := 0.0
+		for _, p := range []int{1, 2, 4, 8, 16} {
+			sp := m.GEMMInParallelTraining(s, p) / m.ParallelGEMMTraining(s, p)
+			if sp < prevSpeedup-1e-9 {
+				t.Fatalf("ID %d: speedup shrank with cores (%v -> %v at p=%d)", id, prevSpeedup, sp, p)
+			}
+			prevSpeedup = sp
+		}
+		if prevSpeedup < 1 {
+			t.Fatalf("ID %d: GiP slower than Parallel-GEMM at 16 cores (%v)", id, prevSpeedup)
+		}
+	}
+	// Fewer features (ID 0, Nf=32) must benefit more than many (ID 1, 1024).
+	sp0 := m.GEMMInParallelTraining(t1[0], 16) / m.ParallelGEMMTraining(t1[0], 16)
+	sp1 := m.GEMMInParallelTraining(t1[1], 16) / m.ParallelGEMMTraining(t1[1], 16)
+	if sp0 <= sp1 {
+		t.Fatalf("small conv speedup %v not above large conv speedup %v", sp0, sp1)
+	}
+}
+
+func TestStencilBeatsGiPForSmallConvsOnly(t *testing.T) {
+	// Fig. 4d: Stencil-Kernel wins for < 128 output features (IDs 0, 5);
+	// GEMM-in-Parallel wins for the larger convolutions (ID 1 at least).
+	m := Paper()
+	for _, id := range []int{0, 5} {
+		st := m.Stencil(t1[id], 16)
+		gp := m.GEMMInParallel(t1[id], ait.FP, 16)
+		if st <= gp {
+			t.Errorf("ID %d (Nf=%d): stencil %v not above GiP %v", id, t1[id].Nf, st, gp)
+		}
+	}
+	st := m.Stencil(t1[1], 16)
+	gp := m.GEMMInParallel(t1[1], ait.FP, 16)
+	if st >= gp {
+		t.Errorf("ID 1 (Nf=1024): stencil %v should lose to GiP %v", st, gp)
+	}
+}
+
+func TestStencilScalesFlat(t *testing.T) {
+	// Fig. 4c: stencil per-core performance barely moves with core count.
+	m := Paper()
+	for id, s := range t1 {
+		p1 := m.Stencil(s, 1)
+		p16 := m.Stencil(s, 16)
+		if p16 > p1+1e-9 {
+			t.Fatalf("ID %d: stencil rate rose with cores", id)
+		}
+		if 1-p16/p1 > 0.2 {
+			t.Fatalf("ID %d: stencil dropped %.0f%% at 16 cores", id, (1-p16/p1)*100)
+		}
+	}
+}
+
+func TestSparseGoodputShape(t *testing.T) {
+	// Fig. 4e: goodput is high and fairly steady below ~90% sparsity, then
+	// rolls off as the layout transforms become the bottleneck.
+	m := Paper()
+	for id, s := range t1 {
+		g50 := m.SparseGoodput(s, 0.5, 16)
+		g90 := m.SparseGoodput(s, 0.9, 16)
+		g99 := m.SparseGoodput(s, 0.99, 16)
+		if g50 <= 0 || g90 <= 0 || g99 <= 0 {
+			t.Fatalf("ID %d: non-positive goodput", id)
+		}
+		if g99 >= g90 {
+			t.Errorf("ID %d: goodput did not roll off past 90%% sparsity (%v -> %v)", id, g90, g99)
+		}
+		// Goodput never exceeds the Eq. 10 bound shape: it is at most the
+		// peak axpy rate.
+		if g50 > m.PeakGFlopsPerCore {
+			t.Errorf("ID %d: goodput %v above peak", id, g50)
+		}
+	}
+}
+
+func TestSparseSpeedupCrossover(t *testing.T) {
+	// Fig. 4f: the sparse kernel consistently outperforms at >= 75%
+	// sparsity and is 3x+ faster at >= 90% for the small-AIT convolutions;
+	// below ~50% it can lose.
+	m := Paper()
+	for id, s := range t1 {
+		sp75 := m.SparseSpeedup(s, 0.75, 16)
+		sp90 := m.SparseSpeedup(s, 0.90, 16)
+		if sp75 < 1 {
+			t.Errorf("ID %d: speedup at 75%% sparsity = %v, want >= 1", id, sp75)
+		}
+		if sp90 < sp75 {
+			t.Errorf("ID %d: speedup not increasing in sparsity", id)
+		}
+	}
+	// The small convolutions (IDs 0, 5 — Region 5) gain the most at high
+	// sparsity because the sparse kernel also avoids the unfold AIT loss.
+	if m.SparseSpeedup(t1[0], 0.97, 16) < 3 {
+		t.Errorf("ID 0 speedup at 97%% = %v, want >= 3", m.SparseSpeedup(t1[0], 0.97, 16))
+	}
+}
+
+func TestSparseSpeedupFullySparse(t *testing.T) {
+	m := Paper()
+	if sp := m.SparseSpeedup(t1[2], 1.0, 16); sp <= 0 {
+		t.Fatalf("fully sparse speedup = %v, want positive (transforms only)", sp)
+	}
+}
+
+func TestSharedBandwidthCap(t *testing.T) {
+	m := Paper()
+	// A kernel demanding 8 GB/s per core fits alone but not on 16 cores:
+	// rate 20 GFlops at AIT 10 elements → 20·4/10 = 8 GB/s demand.
+	r1 := m.shareBandwidth(20, 10, 1)
+	r16 := m.shareBandwidth(20, 10, 16)
+	if r1 != 20 {
+		t.Fatalf("single core should be uncapped, got %v", r1)
+	}
+	if r16 >= r1 {
+		t.Fatalf("16-core low-AIT rate %v not capped below 1-core %v", r16, r1)
+	}
+	// The cap preserves aggregate bandwidth: 16·rate·4/10 = shared BW.
+	if agg := 16 * r16 * 4 / 10; agg < m.SharedBandwidthGBs-1e-9 || agg > m.SharedBandwidthGBs+1e-9 {
+		t.Fatalf("capped aggregate demand = %v, want %v", agg, m.SharedBandwidthGBs)
+	}
+	// A high-AIT kernel is unaffected.
+	if m.shareBandwidth(40, 1e6, 16) != 40 {
+		t.Fatal("high-AIT kernel should not be bandwidth-capped")
+	}
+}
+
+func TestPaperDefaults(t *testing.T) {
+	m := Paper()
+	if m.Cores != 16 || m.PeakGFlopsPerCore != 41.6 {
+		t.Fatalf("Paper() constants changed: %+v", m)
+	}
+}

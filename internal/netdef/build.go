@@ -1,0 +1,199 @@
+package netdef
+
+import (
+	"fmt"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/core"
+	"spgcnn/internal/nn"
+	"spgcnn/internal/rng"
+)
+
+// BuildOptions controls how a parsed description becomes a runnable
+// network.
+type BuildOptions struct {
+	// Workers is the core count every layer schedules over (default 1).
+	Workers int
+	// FixedStrategy pins every convolution to one strategy (how the
+	// baseline configurations of Fig. 9 are constructed). Nil selects
+	// spg-CNN's auto-tuning scheduler.
+	FixedStrategy *core.Strategy
+	// Choices deploys a saved tuning configuration: any conv layer named
+	// in it gets the recorded FP/BP strategies (taking precedence over
+	// FixedStrategy and auto-tuning for that layer).
+	Choices core.Choices
+	// Seed seeds weight initialization.
+	Seed uint64
+}
+
+// Build constructs the network, inferring each layer's input shape from
+// the previous layer's output.
+func Build(def *NetDef, opts BuildOptions) (*nn.Network, error) {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	r := rng.New(opts.Seed ^ 0xB111D)
+	dims := []int{def.Input.Channels, def.Input.Height, def.Input.Width}
+	var layers []nn.Layer
+	for i, l := range def.Layers {
+		switch l.Type {
+		case "conv":
+			if len(dims) != 3 {
+				return nil, fmt.Errorf("netdef: layer %q: conv needs a [C][H][W] input, have %v", l.Name, dims)
+			}
+			nf, err := l.MustField("features")
+			if err != nil {
+				return nil, err
+			}
+			k, err := l.MustField("kernel")
+			if err != nil {
+				return nil, err
+			}
+			stride := l.Field("stride", 1)
+			s := conv.Spec{
+				Nx: dims[2], Ny: dims[1], Nc: dims[0],
+				Nf: nf, Fx: k, Fy: k, Sx: stride, Sy: stride,
+			}
+			if err := s.Validate(); err != nil {
+				return nil, fmt.Errorf("netdef: layer %q: %w", l.Name, err)
+			}
+			var cl *nn.Conv
+			name := nameOr(l, i)
+			if ch, ok := opts.Choices[name]; ok {
+				fp, okFP := core.StrategyByName(ch.FP, workers)
+				bp, okBP := core.StrategyByName(ch.BP, workers)
+				if !okFP || !okBP {
+					return nil, fmt.Errorf("netdef: layer %q: tuning config names unknown strategy (%q/%q)",
+						name, ch.FP, ch.BP)
+				}
+				cl = nn.NewConvSplit(name, s, fp, bp, workers, r)
+			} else if opts.FixedStrategy != nil {
+				cl = nn.NewConvFixed(name, s, *opts.FixedStrategy, workers, r)
+			} else {
+				cl = nn.NewConv(name, s, workers, r)
+			}
+			layers = append(layers, cl)
+			dims = cl.OutDims()
+		case "relu":
+			rl := nn.NewReLU(nameOr(l, i), dims, workers)
+			layers = append(layers, rl)
+		case "maxpool":
+			if len(dims) != 3 {
+				return nil, fmt.Errorf("netdef: layer %q: maxpool needs a [C][H][W] input, have %v", l.Name, dims)
+			}
+			k, err := l.MustField("kernel")
+			if err != nil {
+				return nil, err
+			}
+			stride := l.Field("stride", k)
+			pl := nn.NewMaxPool(nameOr(l, i), dims, k, stride, workers)
+			layers = append(layers, pl)
+			dims = pl.OutDims()
+		case "pad":
+			if len(dims) != 3 {
+				return nil, fmt.Errorf("netdef: layer %q: pad needs a [C][H][W] input, have %v", l.Name, dims)
+			}
+			py := l.Field("rows", l.Field("size", 0))
+			px := l.Field("cols", l.Field("size", 0))
+			if py < 0 || px < 0 || (py == 0 && px == 0) {
+				return nil, fmt.Errorf("netdef: layer %q: pad needs a positive size (or rows/cols)", l.Name)
+			}
+			pl := nn.NewPad(nameOr(l, i), dims, py, px, workers)
+			layers = append(layers, pl)
+			dims = pl.OutDims()
+		case "avgpool":
+			if len(dims) != 3 {
+				return nil, fmt.Errorf("netdef: layer %q: avgpool needs a [C][H][W] input, have %v", l.Name, dims)
+			}
+			k, err := l.MustField("kernel")
+			if err != nil {
+				return nil, err
+			}
+			stride := l.Field("stride", k)
+			pl := nn.NewAvgPool(nameOr(l, i), dims, k, stride, workers)
+			layers = append(layers, pl)
+			dims = pl.OutDims()
+		case "dropout":
+			rate := l.FloatField("rate", 0.5)
+			if rate < 0 || rate >= 1 {
+				return nil, fmt.Errorf("netdef: layer %q: dropout rate %v outside [0, 1)", l.Name, rate)
+			}
+			dl := nn.NewDropout(nameOr(l, i), dims, rate, workers, r.Split())
+			layers = append(layers, dl)
+		case "fc":
+			out, err := l.MustField("outputs")
+			if err != nil {
+				return nil, err
+			}
+			fl := nn.NewFC(nameOr(l, i), dims, out, workers, r)
+			layers = append(layers, fl)
+			dims = fl.OutDims()
+		default:
+			return nil, fmt.Errorf("netdef: layer %q has unknown type %q", l.Name, l.Type)
+		}
+	}
+	return nn.NewNetwork(layers...), nil
+}
+
+func nameOr(l LayerDef, i int) string {
+	if l.Name != "" {
+		return l.Name
+	}
+	return fmt.Sprintf("%s%d", l.Type, i)
+}
+
+// The built-in runnable benchmark networks. Layer-0 conv geometries come
+// from the paper's Table 2; pooling bridges the published conv layers.
+
+// MNISTNet is the LeNet-style MNIST network: Table 2's 28,20,1,5,1 conv.
+const MNISTNet = `
+name: "mnist"
+input { channels: 1 height: 28 width: 28 }
+layer { name: "conv0" type: "conv" features: 20 kernel: 5 stride: 1 }
+layer { name: "relu0" type: "relu" }
+layer { name: "pool0" type: "maxpool" kernel: 2 stride: 2 }
+layer { name: "fc0" type: "fc" outputs: 10 }
+`
+
+// CIFARNet is the CIFAR-10 network with Table 2's two conv layers
+// (36,64,3,5,1 and 8,64,64,5,1); a 4×4 pool bridges the 32×32 conv0
+// output to conv1's 8×8 input.
+const CIFARNet = `
+name: "cifar10"
+input { channels: 3 height: 36 width: 36 }
+layer { name: "conv0" type: "conv" features: 64 kernel: 5 stride: 1 }
+layer { name: "relu0" type: "relu" }
+layer { name: "pool0" type: "maxpool" kernel: 4 stride: 4 }
+layer { name: "conv1" type: "conv" features: 64 kernel: 5 stride: 1 }
+layer { name: "relu1" type: "relu" }
+layer { name: "fc0" type: "fc" outputs: 10 }
+`
+
+// ImageNet100Net is the reduced-scale network used for the Fig. 3b
+// sparsity trajectories (see DESIGN.md §2 on scale substitution).
+const ImageNet100Net = `
+name: "imagenet100"
+input { channels: 3 height: 32 width: 32 }
+layer { name: "conv0" type: "conv" features: 32 kernel: 5 stride: 1 }
+layer { name: "relu0" type: "relu" }
+layer { name: "pool0" type: "maxpool" kernel: 2 stride: 2 }
+layer { name: "conv1" type: "conv" features: 64 kernel: 3 stride: 1 }
+layer { name: "relu1" type: "relu" }
+layer { name: "pool1" type: "maxpool" kernel: 2 stride: 2 }
+layer { name: "fc0" type: "fc" outputs: 100 }
+`
+
+// MustBuild parses and builds a built-in description; it panics on error
+// (the built-ins are compile-time constants).
+func MustBuild(src string, opts BuildOptions) *nn.Network {
+	def, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	net, err := Build(def, opts)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}

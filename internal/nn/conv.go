@@ -1,0 +1,213 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/core"
+	"spgcnn/internal/rng"
+	"spgcnn/internal/tensor"
+)
+
+// ConvExecutor abstracts how a convolution layer's batch computations run:
+// a fixed core.Exec (one strategy) or a core.AutoConv (spg-CNN's
+// self-tuning scheduler). Both satisfy this interface shape; Conv adapts
+// them through small funcs to keep the layer independent of the choice.
+type ConvExecutor interface {
+	Forward(outs, ins []*tensor.Tensor, w *tensor.Tensor)
+	EpochEnd()
+}
+
+// fixedExec adapts a core.Exec (single strategy for both phases).
+type fixedExec struct{ e *core.Exec }
+
+func (f fixedExec) Forward(outs, ins []*tensor.Tensor, w *tensor.Tensor) {
+	f.e.Forward(outs, ins, w)
+}
+func (f fixedExec) backward(eis []*tensor.Tensor, dw *tensor.Tensor, eos, ins []*tensor.Tensor, w *tensor.Tensor) {
+	f.e.BackwardInput(eis, eos, w)
+	f.e.BackwardWeights(dw, eos, ins)
+}
+func (f fixedExec) EpochEnd() {}
+
+// splitExec runs different fixed strategies for FP and BP — how the
+// paper's composed configurations (e.g. Stencil-Kernel FP + Sparse-Kernel
+// BP, Fig. 9) are expressed.
+type splitExec struct{ fp, bp *core.Exec }
+
+func (s splitExec) Forward(outs, ins []*tensor.Tensor, w *tensor.Tensor) {
+	s.fp.Forward(outs, ins, w)
+}
+func (s splitExec) backward(eis []*tensor.Tensor, dw *tensor.Tensor, eos, ins []*tensor.Tensor, w *tensor.Tensor) {
+	s.bp.BackwardInput(eis, eos, w)
+	s.bp.BackwardWeights(dw, eos, ins)
+}
+func (s splitExec) EpochEnd() {}
+
+// autoExec adapts core.AutoConv.
+type autoExec struct{ a *core.AutoConv }
+
+func (x autoExec) Forward(outs, ins []*tensor.Tensor, w *tensor.Tensor) {
+	x.a.Forward(outs, ins, w)
+}
+func (x autoExec) backward(eis []*tensor.Tensor, dw *tensor.Tensor, eos, ins []*tensor.Tensor, w *tensor.Tensor) {
+	x.a.Backward(eis, dw, eos, ins, w)
+}
+func (x autoExec) EpochEnd() { x.a.EpochEnd() }
+
+type convBackend interface {
+	ConvExecutor
+	backward(eis []*tensor.Tensor, dw *tensor.Tensor, eos, ins []*tensor.Tensor, w *tensor.Tensor)
+}
+
+// Conv is a convolution layer with per-feature bias. The execution
+// strategy is pluggable: NewConv uses spg-CNN's auto-tuning scheduler;
+// NewConvFixed pins one strategy (how the baseline configurations of
+// Fig. 9 are built).
+type Conv struct {
+	name string
+	spec conv.Spec
+
+	W, B   *tensor.Tensor // weights [Nf][Nc][Fy][Fx], bias [Nf]
+	dW, dB *tensor.Tensor
+	dwTmp  *tensor.Tensor // per-batch gradient scratch
+	opt    sgdState       // optimizer config (momentum.go)
+
+	exec convBackend
+
+	// EOSparsity accumulates the observed sparsity of the output-error
+	// gradients across Backward calls since the last TakeSparsity — the
+	// Fig. 3b probe.
+	eoSparsitySum float64
+	eoBatches     int
+}
+
+// NewConv builds an auto-tuned convolution layer (spg-CNN scheduling).
+func NewConv(name string, s conv.Spec, workers int, r *rng.RNG) *Conv {
+	c := newConvCommon(name, s, r)
+	c.exec = autoExec{core.NewAutoConv(s, workers, core.AutoOptions{})}
+	return c
+}
+
+// NewConvFixed builds a convolution layer pinned to one strategy.
+func NewConvFixed(name string, s conv.Spec, st core.Strategy, workers int, r *rng.RNG) *Conv {
+	c := newConvCommon(name, s, r)
+	c.exec = fixedExec{core.NewExec(st, s, workers)}
+	return c
+}
+
+// NewConvSplit builds a convolution layer with separate fixed strategies
+// for forward and backward propagation.
+func NewConvSplit(name string, s conv.Spec, fp, bp core.Strategy, workers int, r *rng.RNG) *Conv {
+	c := newConvCommon(name, s, r)
+	c.exec = splitExec{fp: core.NewExec(fp, s, workers), bp: core.NewExec(bp, s, workers)}
+	return c
+}
+
+func newConvCommon(name string, s conv.Spec, r *rng.RNG) *Conv {
+	s.MustValidate()
+	c := &Conv{
+		name:  name,
+		spec:  s,
+		W:     conv.NewWeights(s),
+		B:     tensor.New(s.Nf),
+		dW:    conv.NewWeights(s),
+		dB:    tensor.New(s.Nf),
+		dwTmp: conv.NewWeights(s),
+	}
+	// He initialization: stddev = sqrt(2 / fan-in).
+	fanIn := float64(s.Nc * s.Fy * s.Fx)
+	c.W.FillNormal(r, 0, float32(math.Sqrt(2/fanIn)))
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv) Name() string { return c.name }
+
+// Spec returns the convolution geometry.
+func (c *Conv) Spec() conv.Spec { return c.spec }
+
+// InDims implements Layer.
+func (c *Conv) InDims() []int { return []int{c.spec.Nc, c.spec.Ny, c.spec.Nx} }
+
+// OutDims implements Layer.
+func (c *Conv) OutDims() []int { return []int{c.spec.Nf, c.spec.OutY(), c.spec.OutX()} }
+
+// Forward implements Layer: convolution plus per-feature bias.
+func (c *Conv) Forward(outs, ins []*tensor.Tensor) {
+	c.exec.Forward(outs, ins, c.W)
+	oy, ox := c.spec.OutY(), c.spec.OutX()
+	for _, out := range outs {
+		for f := 0; f < c.spec.Nf; f++ {
+			b := c.B.Data[f]
+			if b == 0 {
+				continue
+			}
+			plane := out.Data[f*oy*ox : (f+1)*oy*ox]
+			for i := range plane {
+				plane[i] += b
+			}
+		}
+	}
+}
+
+// Backward implements Layer. It also records the error-gradient sparsity
+// the Fig. 3b experiment tracks.
+func (c *Conv) Backward(eis, eos, ins []*tensor.Tensor) {
+	for _, eo := range eos {
+		c.eoSparsitySum += eo.Sparsity()
+		c.eoBatches++
+	}
+	c.exec.backward(eis, c.dwTmp, eos, ins, c.W)
+	c.dW.AddScaled(c.dwTmp, 1)
+	oy, ox := c.spec.OutY(), c.spec.OutX()
+	for _, eo := range eos {
+		for f := 0; f < c.spec.Nf; f++ {
+			plane := eo.Data[f*oy*ox : (f+1)*oy*ox]
+			var sum float32
+			for _, v := range plane {
+				sum += v
+			}
+			c.dB.Data[f] += sum
+		}
+	}
+}
+
+// ApplyGrads implements Layer.
+func (c *Conv) ApplyGrads(lr float32, batch int) {
+	c.opt.step(c.W, c.dW, lr, batch)
+	c.opt.step(c.B, c.dB, lr, batch)
+}
+
+// EpochEnd implements Layer: forwards to the scheduler (BP re-check).
+func (c *Conv) EpochEnd() { c.exec.EpochEnd() }
+
+// TakeSparsity returns the mean observed EO sparsity since the last call
+// and resets the probe. Returns 0 with ok=false if nothing was recorded.
+func (c *Conv) TakeSparsity() (float64, bool) {
+	if c.eoBatches == 0 {
+		return 0, false
+	}
+	s := c.eoSparsitySum / float64(c.eoBatches)
+	c.eoSparsitySum, c.eoBatches = 0, 0
+	return s, true
+}
+
+// Selections returns the spg-CNN scheduler's FP and BP measurement tables
+// when this layer is auto-tuned (ok=false for fixed-strategy layers or
+// before the first tuned batch).
+func (c *Conv) Selections() (fp, bp core.Selection, ok bool) {
+	a, isAuto := c.exec.(autoExec)
+	if !isAuto {
+		return core.Selection{}, core.Selection{}, false
+	}
+	fp = a.a.FPSelection()
+	bp = a.a.BPSelection()
+	return fp, bp, fp.Chosen != nil || bp.Chosen != nil
+}
+
+// String describes the layer.
+func (c *Conv) String() string {
+	return fmt.Sprintf("Conv(%s: %v)", c.name, c.spec)
+}

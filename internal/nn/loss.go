@@ -1,0 +1,45 @@
+package nn
+
+import (
+	"math"
+
+	"spgcnn/internal/tensor"
+)
+
+// SoftmaxXent is the softmax + cross-entropy loss head used by every
+// benchmark network. It is not a Layer: the trainer calls it directly on
+// the final logits to obtain the loss and the initial error gradient that
+// back-propagation starts from.
+type SoftmaxXent struct{}
+
+// Loss computes, for one image, the cross-entropy of softmax(logits)
+// against the label, writing dlogits = softmax(logits) − onehot(label)
+// (the standard fused gradient). It returns the loss and whether the
+// argmax prediction was correct.
+func (SoftmaxXent) Loss(logits *tensor.Tensor, label int, dlogits *tensor.Tensor) (loss float64, correct bool) {
+	n := logits.Len()
+	if label < 0 || label >= n {
+		panic("nn: label out of range")
+	}
+	// Stabilized softmax.
+	maxv := logits.Data[0]
+	argmax := 0
+	for i, v := range logits.Data {
+		if v > maxv {
+			maxv = v
+			argmax = i
+		}
+	}
+	var sum float64
+	for _, v := range logits.Data {
+		sum += math.Exp(float64(v - maxv))
+	}
+	logSum := math.Log(sum)
+	for i, v := range logits.Data {
+		p := math.Exp(float64(v-maxv)) / sum
+		dlogits.Data[i] = float32(p)
+	}
+	dlogits.Data[label] -= 1
+	loss = -(float64(logits.Data[label]-maxv) - logSum)
+	return loss, argmax == label
+}

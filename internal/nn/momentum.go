@@ -1,0 +1,72 @@
+package nn
+
+import "spgcnn/internal/tensor"
+
+// Momentum SGD with L2 weight decay — the optimizer configuration the
+// benchmark models actually train with in practice. Layers with parameters
+// implement the optional momentumLayer interface; Trainer.SetMomentum
+// applies the setting to every such layer.
+//
+// The update per parameter tensor is the classical
+//
+//	v ← µ·v − (lr/batch)·(∂L/∂w + λ·w)
+//	w ← w + v
+//
+// with µ = 0 degrading exactly to the plain SGD step.
+
+type momentumLayer interface {
+	SetMomentum(mu, weightDecay float32)
+}
+
+// SetMomentum configures momentum µ and L2 weight decay λ on every
+// parameterized layer of the network.
+func (t *Trainer) SetMomentum(mu, weightDecay float32) {
+	for _, l := range t.Net.Layers() {
+		if ml, ok := l.(momentumLayer); ok {
+			ml.SetMomentum(mu, weightDecay)
+		}
+	}
+}
+
+// sgdState holds one layer's optimizer configuration and velocity buffers.
+type sgdState struct {
+	mu, wd float32
+	vel    map[*tensor.Tensor]*tensor.Tensor // param -> velocity
+}
+
+func (s *sgdState) set(mu, wd float32) {
+	s.mu, s.wd = mu, wd
+}
+
+// step applies the update to one (param, grad) pair and clears the grad.
+func (s *sgdState) step(param, grad *tensor.Tensor, lr float32, batch int) {
+	if batch < 1 {
+		batch = 1
+	}
+	scale := lr / float32(batch)
+	if s.mu == 0 && s.wd == 0 {
+		param.AddScaled(grad, -scale)
+		grad.Zero()
+		return
+	}
+	if s.vel == nil {
+		s.vel = map[*tensor.Tensor]*tensor.Tensor{}
+	}
+	v, ok := s.vel[param]
+	if !ok {
+		v = tensor.New(param.Dims...)
+		s.vel[param] = v
+	}
+	for i := range param.Data {
+		g := grad.Data[i] + s.wd*param.Data[i]
+		v.Data[i] = s.mu*v.Data[i] - scale*g
+		param.Data[i] += v.Data[i]
+	}
+	grad.Zero()
+}
+
+// SetMomentum implements momentumLayer for Conv.
+func (c *Conv) SetMomentum(mu, weightDecay float32) { c.opt.set(mu, weightDecay) }
+
+// SetMomentum implements momentumLayer for FC.
+func (l *FC) SetMomentum(mu, weightDecay float32) { l.opt.set(mu, weightDecay) }

@@ -1,0 +1,163 @@
+package nn
+
+import (
+	"fmt"
+
+	"spgcnn/internal/core"
+	"spgcnn/internal/tensor"
+)
+
+// Network is an ordered stack of layers with preallocated per-batch-slot
+// activation and gradient storage, so steady-state training performs no
+// tensor allocation.
+type Network struct {
+	layers []Layer
+
+	// acts[l][i]: output of layer l for batch slot i. grads[l][i]: error
+	// gradient of layer l's output for slot i.
+	acts  [][]*tensor.Tensor
+	grads [][]*tensor.Tensor
+	cap   int
+
+	// profiling state (profile.go).
+	profiling bool
+	profile   []LayerProfile
+}
+
+// NewNetwork validates that consecutive layer shapes chain and returns the
+// network.
+func NewNetwork(layers ...Layer) *Network {
+	if len(layers) == 0 {
+		panic("nn: empty network")
+	}
+	for i := 1; i < len(layers); i++ {
+		if prod(layers[i-1].OutDims()) != prod(layers[i].InDims()) {
+			panic(fmt.Sprintf("nn: layer %d (%s) output %v does not feed layer %d (%s) input %v",
+				i-1, layers[i-1].Name(), layers[i-1].OutDims(),
+				i, layers[i].Name(), layers[i].InDims()))
+		}
+	}
+	n := &Network{layers: layers}
+	n.acts = make([][]*tensor.Tensor, len(layers))
+	n.grads = make([][]*tensor.Tensor, len(layers))
+	return n
+}
+
+// Layers returns the layer stack.
+func (n *Network) Layers() []Layer { return n.layers }
+
+// InDims returns the per-image input shape.
+func (n *Network) InDims() []int { return n.layers[0].InDims() }
+
+// OutDims returns the per-image output (logits) shape.
+func (n *Network) OutDims() []int { return n.layers[len(n.layers)-1].OutDims() }
+
+// EnsureBatch grows the preallocated activation/gradient storage to hold
+// at least `size` batch slots.
+func (n *Network) EnsureBatch(size int) {
+	if size <= n.cap {
+		return
+	}
+	for l, layer := range n.layers {
+		dims := layer.OutDims()
+		for len(n.acts[l]) < size {
+			n.acts[l] = append(n.acts[l], tensor.New(dims...))
+			n.grads[l] = append(n.grads[l], tensor.New(layer.InDims()...))
+		}
+	}
+	n.cap = size
+}
+
+// reshaped returns ts[i] viewed with the given dims (activations flow
+// between layers that may flatten, e.g. pool -> FC).
+func reshaped(ts []*tensor.Tensor, dims []int) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ts))
+	for i, t := range ts {
+		if dimsEqual(t.Dims, dims) {
+			out[i] = t
+		} else {
+			out[i] = t.Reshape(dims...)
+		}
+	}
+	return out
+}
+
+// Forward runs the batch through every layer and returns the logits
+// (aliasing internal storage — valid until the next Forward).
+func (n *Network) Forward(ins []*tensor.Tensor) []*tensor.Tensor {
+	n.EnsureBatch(len(ins))
+	cur := ins
+	for l, layer := range n.layers {
+		in := reshaped(cur, layer.InDims())
+		out := n.acts[l][:len(ins)]
+		n.timed(l, false, func() { layer.Forward(out, in) })
+		cur = out
+	}
+	return cur
+}
+
+// Backward runs back-propagation from the logits gradients, given the
+// original batch inputs, accumulating parameter gradients in each layer.
+func (n *Network) Backward(dlogits, ins []*tensor.Tensor) {
+	batch := len(dlogits)
+	cur := dlogits
+	for l := len(n.layers) - 1; l >= 0; l-- {
+		layer := n.layers[l]
+		var layerIns []*tensor.Tensor
+		if l == 0 {
+			layerIns = ins
+		} else {
+			layerIns = n.acts[l-1][:batch]
+		}
+		layerIns = reshaped(layerIns, layer.InDims())
+		eos := reshaped(cur, layer.OutDims())
+		eis := n.grads[l][:batch]
+		n.timed(l, true, func() { layer.Backward(eis, eos, layerIns) })
+		cur = eis
+	}
+}
+
+// ApplyGrads performs the SGD step on every layer.
+func (n *Network) ApplyGrads(lr float32, batch int) {
+	for _, layer := range n.layers {
+		layer.ApplyGrads(lr, batch)
+	}
+}
+
+// EpochEnd notifies every layer (spg-CNN BP re-check hook).
+func (n *Network) EpochEnd() {
+	for _, layer := range n.layers {
+		layer.EpochEnd()
+	}
+}
+
+// TuningChoices harvests the spg-CNN scheduler's current per-layer
+// deployments from every auto-tuned conv layer — the network's "best
+// configuration" (§1.3), serializable via core.Choices.Save. Layers that
+// have not tuned yet (or run fixed strategies) are omitted.
+func (n *Network) TuningChoices() core.Choices {
+	out := core.Choices{}
+	for _, c := range n.ConvLayers() {
+		fp, bp, ok := c.Selections()
+		if !ok || fp.Chosen == nil || bp.Chosen == nil {
+			continue
+		}
+		out[c.Name()] = core.LayerChoice{
+			FP: fp.Chosen.Strategy().Name,
+			BP: bp.Chosen.Strategy().Name,
+		}
+	}
+	return out
+}
+
+// ConvLayers returns the convolution layers, in order — the Fig. 3b/Fig. 8
+// instrumentation points.
+func (n *Network) ConvLayers() []*Conv {
+	var out []*Conv
+	for _, l := range n.layers {
+		if c, ok := l.(*Conv); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}

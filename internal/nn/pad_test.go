@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"spgcnn/internal/rng"
+	"spgcnn/internal/tensor"
+)
+
+func TestPadForwardBackward(t *testing.T) {
+	l := NewPad("pad", []int{1, 2, 2}, 1, 2, 1)
+	if od := l.OutDims(); od[1] != 4 || od[2] != 6 {
+		t.Fatalf("OutDims = %v", od)
+	}
+	in := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
+	out := tensor.New(1, 4, 6)
+	l.Forward([]*tensor.Tensor{out}, []*tensor.Tensor{in})
+	if out.At3(0, 1, 2) != 1 || out.At3(0, 2, 3) != 4 {
+		t.Fatalf("interior misplaced: %v", out.Data)
+	}
+	if out.At3(0, 0, 0) != 0 || out.At3(0, 3, 5) != 0 {
+		t.Fatal("border not zero")
+	}
+	eo := tensor.New(1, 4, 6)
+	for i := range eo.Data {
+		eo.Data[i] = float32(i)
+	}
+	ei := tensor.New(1, 2, 2)
+	l.Backward([]*tensor.Tensor{ei}, []*tensor.Tensor{eo}, nil)
+	// Interior of eo maps back: position (1,2) -> (0,0), etc.
+	if ei.At3(0, 0, 0) != eo.At3(0, 1, 2) || ei.At3(0, 1, 1) != eo.At3(0, 2, 3) {
+		t.Fatalf("crop gradients wrong: %v", ei.Data)
+	}
+}
+
+func TestPadAdjoint(t *testing.T) {
+	r := rng.New(1)
+	l := NewPad("pad", []int{3, 4, 5}, 2, 1, 2)
+	in := tensor.New(3, 4, 5)
+	in.FillNormal(r, 0, 1)
+	out := tensor.New(l.OutDims()...)
+	l.Forward([]*tensor.Tensor{out}, []*tensor.Tensor{in})
+	eo := tensor.New(l.OutDims()...)
+	eo.FillNormal(r, 0, 1)
+	ei := tensor.New(3, 4, 5)
+	l.Backward([]*tensor.Tensor{ei}, []*tensor.Tensor{eo}, nil)
+	var lhs, rhs float64
+	for i := range eo.Data {
+		lhs += float64(eo.Data[i]) * float64(out.Data[i])
+	}
+	for i := range in.Data {
+		rhs += float64(ei.Data[i]) * float64(in.Data[i])
+	}
+	if math.Abs(lhs-rhs) > 1e-3*math.Max(1, math.Abs(lhs)) {
+		t.Fatalf("pad not adjoint: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestPadValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative padding accepted")
+		}
+	}()
+	NewPad("p", []int{1, 2, 2}, -1, 0, 1)
+}

@@ -1,0 +1,71 @@
+package nn
+
+import (
+	"testing"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/rng"
+	"spgcnn/internal/tensor"
+)
+
+func TestParametersOrderAndAliasing(t *testing.T) {
+	net := tinyTrainNet(rng.New(1))
+	ps := net.Parameters()
+	wantNames := []string{"conv0/W", "conv0/B", "fc0/W", "fc0/B"}
+	if len(ps) != len(wantNames) {
+		t.Fatalf("got %d parameters, want %d", len(ps), len(wantNames))
+	}
+	for i, want := range wantNames {
+		if ps[i].Name != want {
+			t.Fatalf("parameter %d = %q, want %q", i, ps[i].Name, want)
+		}
+	}
+	// The tensors alias the live model.
+	ps[0].Tensor.Data[0] = 42
+	if net.ConvLayers()[0].W.Data[0] != 42 {
+		t.Fatal("Parameters does not alias live weights")
+	}
+}
+
+func TestParametersDeterministicAcrossCalls(t *testing.T) {
+	net := tinyTrainNet(rng.New(2))
+	a := net.Parameters()
+	b := net.Parameters()
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Tensor != b[i].Tensor {
+			t.Fatal("Parameters not stable across calls")
+		}
+	}
+}
+
+func TestTuningChoicesHarvestAfterAutoTune(t *testing.T) {
+	r := rng.New(3)
+	s := conv.Square(8, 3, 2, 3, 1)
+	cv := NewConv("conv0", s, 1, r)
+	re := NewReLU("relu0", cv.OutDims(), 1)
+	fc := NewFC("fc0", re.OutDims(), 3, 1, r)
+	net := NewNetwork(cv, re, fc)
+
+	// Before any batch: nothing tuned, nothing harvested.
+	if len(net.TuningChoices()) != 0 {
+		t.Fatal("choices harvested before tuning")
+	}
+
+	in := tensor.New(net.InDims()...)
+	in.FillNormal(r, 0, 1)
+	logits := net.Forward([]*tensor.Tensor{in})
+	d := tensor.New(net.OutDims()...)
+	SoftmaxXent{}.Loss(logits[0], 1, d)
+	net.Backward([]*tensor.Tensor{d}, []*tensor.Tensor{in})
+
+	choices := net.TuningChoices()
+	ch, ok := choices["conv0"]
+	if !ok {
+		t.Fatalf("conv0 missing from harvested choices: %v", choices)
+	}
+	validFP := map[string]bool{"parallel-gemm": true, "gemm-in-parallel": true, "stencil": true}
+	validBP := map[string]bool{"parallel-gemm": true, "gemm-in-parallel": true, "sparse": true}
+	if !validFP[ch.FP] || !validBP[ch.BP] {
+		t.Fatalf("harvested invalid strategies: %+v", ch)
+	}
+}

@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Per-layer profiling: when enabled, Forward and Backward record wall time
+// per layer, giving the per-layer breakdown behind Fig. 8/Fig. 9 — where a
+// training step's time actually goes, and therefore which layers the
+// spg-CNN techniques can help.
+
+// LayerProfile is one layer's accumulated timings.
+type LayerProfile struct {
+	Name            string
+	ForwardSeconds  float64
+	BackwardSeconds float64
+	Calls           int
+}
+
+// Total returns forward + backward time.
+func (p LayerProfile) Total() float64 { return p.ForwardSeconds + p.BackwardSeconds }
+
+// EnableProfiling turns on per-layer timing (off by default; the timer
+// calls cost ~100 ns per layer per batch).
+func (n *Network) EnableProfiling() {
+	if n.profile == nil {
+		n.profile = make([]LayerProfile, len(n.layers))
+		for i, l := range n.layers {
+			n.profile[i].Name = l.Name()
+		}
+	}
+	n.profiling = true
+}
+
+// DisableProfiling stops recording (accumulated data is kept).
+func (n *Network) DisableProfiling() { n.profiling = false }
+
+// ResetProfile clears accumulated timings.
+func (n *Network) ResetProfile() {
+	for i := range n.profile {
+		n.profile[i].ForwardSeconds = 0
+		n.profile[i].BackwardSeconds = 0
+		n.profile[i].Calls = 0
+	}
+}
+
+// Profile returns a copy of the per-layer timings, in layer order.
+func (n *Network) Profile() []LayerProfile {
+	return append([]LayerProfile(nil), n.profile...)
+}
+
+// ProfileReport renders the profile as an aligned table, layers sorted by
+// total time descending, with a share column.
+func (n *Network) ProfileReport() string {
+	profs := n.Profile()
+	if len(profs) == 0 {
+		return "profiling not enabled\n"
+	}
+	total := 0.0
+	for _, p := range profs {
+		total += p.Total()
+	}
+	sorted := append([]LayerProfile(nil), profs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Total() > sorted[j].Total() })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s %7s\n", "layer", "fwd ms", "bwd ms", "total ms", "share")
+	for _, p := range sorted {
+		share := 0.0
+		if total > 0 {
+			share = p.Total() / total * 100
+		}
+		fmt.Fprintf(&b, "%-12s %10.2f %10.2f %10.2f %6.1f%%\n",
+			p.Name, p.ForwardSeconds*1e3, p.BackwardSeconds*1e3, p.Total()*1e3, share)
+	}
+	fmt.Fprintf(&b, "%-12s %10s %10s %10.2f %6.1f%%\n", "TOTAL", "", "", total*1e3, 100.0)
+	return b.String()
+}
+
+// timed wraps a layer call with the profiling clock.
+func (n *Network) timed(layer int, backward bool, fn func()) {
+	if !n.profiling {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	el := time.Since(start).Seconds()
+	p := &n.profile[layer]
+	if backward {
+		p.BackwardSeconds += el
+	} else {
+		p.ForwardSeconds += el
+		p.Calls++
+	}
+}

@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+
+	"spgcnn/internal/rng"
+	"spgcnn/internal/tensor"
+)
+
+func TestProfilingRecordsPerLayer(t *testing.T) {
+	r := rng.New(1)
+	net := tinyTrainNet(r)
+	net.EnableProfiling()
+	in := tensor.New(net.InDims()...)
+	in.FillNormal(r, 0, 1)
+	logits := net.Forward([]*tensor.Tensor{in})
+	d := tensor.New(net.OutDims()...)
+	SoftmaxXent{}.Loss(logits[0], 1, d)
+	net.Backward([]*tensor.Tensor{d}, []*tensor.Tensor{in})
+
+	profs := net.Profile()
+	if len(profs) != 3 {
+		t.Fatalf("profile has %d layers, want 3", len(profs))
+	}
+	for _, p := range profs {
+		if p.ForwardSeconds <= 0 {
+			t.Fatalf("layer %s recorded no forward time", p.Name)
+		}
+		if p.BackwardSeconds <= 0 {
+			t.Fatalf("layer %s recorded no backward time", p.Name)
+		}
+		if p.Calls != 1 {
+			t.Fatalf("layer %s calls = %d, want 1", p.Name, p.Calls)
+		}
+	}
+	report := net.ProfileReport()
+	if !strings.Contains(report, "conv0") || !strings.Contains(report, "TOTAL") {
+		t.Fatalf("report missing expected rows:\n%s", report)
+	}
+}
+
+func TestProfilingDisabledByDefault(t *testing.T) {
+	r := rng.New(2)
+	net := tinyTrainNet(r)
+	in := tensor.New(net.InDims()...)
+	net.Forward([]*tensor.Tensor{in})
+	if len(net.Profile()) != 0 {
+		t.Fatal("profile recorded without EnableProfiling")
+	}
+	if !strings.Contains(net.ProfileReport(), "not enabled") {
+		t.Fatal("report should say profiling is off")
+	}
+}
+
+func TestProfileResetAndDisable(t *testing.T) {
+	r := rng.New(3)
+	net := tinyTrainNet(r)
+	net.EnableProfiling()
+	in := tensor.New(net.InDims()...)
+	net.Forward([]*tensor.Tensor{in})
+	net.ResetProfile()
+	for _, p := range net.Profile() {
+		if p.ForwardSeconds != 0 || p.Calls != 0 {
+			t.Fatal("ResetProfile did not clear")
+		}
+	}
+	net.DisableProfiling()
+	net.Forward([]*tensor.Tensor{in})
+	for _, p := range net.Profile() {
+		if p.ForwardSeconds != 0 {
+			t.Fatal("recording continued after DisableProfiling")
+		}
+	}
+}

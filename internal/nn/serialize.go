@@ -1,0 +1,143 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"spgcnn/internal/tensor"
+)
+
+// Model serialization: weights are saved keyed by layer name, so a network
+// rebuilt from the same description (same names, same shapes) can restore
+// them — the checkpoint mechanism behind spg-train's -save/-load flags.
+// Execution strategy is deliberately NOT serialized: the spg-CNN scheduler
+// re-measures on the restoring machine (§4.4's choices are
+// machine-specific).
+
+// paramOwner is implemented by layers with learnable parameters.
+type paramOwner interface {
+	// params returns the layer's parameter tensors keyed by a stable
+	// within-layer name.
+	params() map[string]*tensor.Tensor
+}
+
+func (c *Conv) params() map[string]*tensor.Tensor {
+	return map[string]*tensor.Tensor{"W": c.W, "B": c.B}
+}
+
+func (l *FC) params() map[string]*tensor.Tensor {
+	return map[string]*tensor.Tensor{"W": l.W, "B": l.B}
+}
+
+// NamedParam is one learnable parameter tensor with its stable
+// "layer/param" key.
+type NamedParam struct {
+	Name   string
+	Tensor *tensor.Tensor
+}
+
+// Parameters returns every learnable parameter of the network, in layer
+// order with a deterministic within-layer order. The tensors alias the
+// network's live weights (mutations affect the model) — the hook that
+// weight averaging, regularizers and inspection tools build on.
+func (n *Network) Parameters() []NamedParam {
+	var out []NamedParam
+	for _, layer := range n.layers {
+		po, ok := layer.(paramOwner)
+		if !ok {
+			continue
+		}
+		params := po.params()
+		// Deterministic order: W before B (the only keys in use), then
+		// any others lexicographically.
+		for _, key := range []string{"W", "B"} {
+			if t, ok := params[key]; ok {
+				out = append(out, NamedParam{Name: layer.Name() + "/" + key, Tensor: t})
+				delete(params, key)
+			}
+		}
+		rest := make([]string, 0, len(params))
+		for key := range params {
+			rest = append(rest, key)
+		}
+		sort.Strings(rest)
+		for _, key := range rest {
+			out = append(out, NamedParam{Name: layer.Name() + "/" + key, Tensor: params[key]})
+		}
+	}
+	return out
+}
+
+// savedTensor is the gob wire form of one parameter tensor.
+type savedTensor struct {
+	Dims []int
+	Data []float32
+}
+
+// snapshot is the gob wire form of a whole model.
+type snapshot struct {
+	Version int
+	Params  map[string]savedTensor // "layerName/paramName"
+}
+
+const snapshotVersion = 1
+
+// Save writes every parameter of the network to w in gob format.
+func (n *Network) Save(w io.Writer) error {
+	snap := snapshot{Version: snapshotVersion, Params: map[string]savedTensor{}}
+	for _, layer := range n.layers {
+		po, ok := layer.(paramOwner)
+		if !ok {
+			continue
+		}
+		for name, t := range po.params() {
+			key := layer.Name() + "/" + name
+			if _, dup := snap.Params[key]; dup {
+				return fmt.Errorf("nn: duplicate parameter key %q (layer names must be unique)", key)
+			}
+			snap.Params[key] = savedTensor{Dims: t.Dims, Data: t.Data}
+		}
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Load restores parameters saved by Save into this network. Every
+// parameter in the snapshot must find a same-shaped destination, and every
+// parameter of this network must be present in the snapshot — partial
+// restores are an error, not a silent half-initialization.
+func (n *Network) Load(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("nn: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("nn: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	want := map[string]*tensor.Tensor{}
+	for _, layer := range n.layers {
+		po, ok := layer.(paramOwner)
+		if !ok {
+			continue
+		}
+		for name, t := range po.params() {
+			want[layer.Name()+"/"+name] = t
+		}
+	}
+	if len(want) != len(snap.Params) {
+		return fmt.Errorf("nn: snapshot has %d parameters, network has %d", len(snap.Params), len(want))
+	}
+	for key, saved := range snap.Params {
+		dst, ok := want[key]
+		if !ok {
+			return fmt.Errorf("nn: snapshot parameter %q has no destination in this network", key)
+		}
+		if !dimsEqual(saved.Dims, dst.Dims) {
+			return fmt.Errorf("nn: parameter %q shape %v does not match network shape %v",
+				key, saved.Dims, dst.Dims)
+		}
+		copy(dst.Data, saved.Data)
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+// Package par provides the small parallel-execution substrate that every
+// spg-CNN scheduling strategy is built on: a bounded worker pool and
+// static-chunked parallel-for loops.
+//
+// The distinction the paper draws between Parallel-GEMM (one matrix multiply
+// partitioned across cores) and GEMM-in-Parallel (many independent
+// single-threaded multiplies, one per core) is, at this layer, just two
+// different ways of handing work items to For: fine-grained row blocks of a
+// single GEMM versus coarse whole-GEMM tasks, respectively.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MaxWorkers returns the degree of parallelism to use when the caller asks
+// for "all cores": GOMAXPROCS at call time.
+func MaxWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n) using at most workers goroutines.
+// Work is divided into contiguous static chunks, mirroring how a BLAS
+// library statically partitions GEMM rows across threads: worker w receives
+// the w-th contiguous chunk, so data touched by one worker stays contiguous.
+//
+// workers <= 1 (or n <= 1) executes inline on the calling goroutine with no
+// synchronization, so sequential baselines pay no scheduling cost.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForChunked runs fn(lo, hi) over disjoint contiguous ranges covering
+// [0, n), one range per worker. It is the primitive under Parallel-GEMM:
+// the caller decides how to interpret the range (e.g. as rows of an output
+// matrix). workers <= 1 calls fn(0, n) inline.
+func ForChunked(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForWorkers runs fn(worker, lo, hi) over disjoint contiguous ranges
+// covering [0, n), one per worker, passing each worker's index so the
+// callee can use worker-private scratch (kernel instances, gradient
+// accumulators). workers <= 1 calls fn(0, 0, n) inline.
+func ForWorkers(n, workers int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// Pool is a long-lived set of worker goroutines that execute submitted
+// tasks. The spg-CNN trainer keeps one pool alive across an entire training
+// run (as a BLAS library keeps its thread pool) so per-layer dispatch does
+// not pay goroutine start-up cost.
+type Pool struct {
+	tasks   chan func()
+	wg      sync.WaitGroup
+	workers int
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts a pool with the given number of workers (minimum 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{
+		tasks:   make(chan func(), workers*4),
+		workers: workers,
+	}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for task := range p.tasks {
+				task()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers reports the pool's degree of parallelism.
+func (p *Pool) Workers() int { return p.workers }
+
+// Submit enqueues a task. It panics if the pool is closed.
+func (p *Pool) Submit(task func()) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("par: Submit on closed Pool")
+	}
+	p.wg.Add(1)
+	p.mu.Unlock()
+	p.tasks <- task
+}
+
+// Wait blocks until every submitted task has finished.
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Close waits for outstanding tasks and stops the workers. The pool cannot
+// be reused afterwards. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.wg.Wait()
+	close(p.tasks)
+}
+
+// Map applies fn to every index in [0, n) on the pool and waits for
+// completion. Unlike For, tasks are dynamically scheduled, which suits
+// GEMM-in-Parallel when per-item cost is uneven (e.g. sparse inputs of
+// varying density).
+func (p *Pool) Map(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.Submit(func() {
+			defer wg.Done()
+			fn(i)
+		})
+	}
+	wg.Wait()
+}

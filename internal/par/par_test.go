@@ -1,0 +1,169 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			hits := make([]int32, n)
+			For(n, workers, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunkedPartition(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, n := range []int{1, 2, 5, 64, 101} {
+			var mu sync.Mutex
+			covered := make([]bool, n)
+			ForChunked(n, workers, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("bad range [%d,%d) for n=%d", lo, hi, n)
+					return
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				for i := lo; i < hi; i++ {
+					if covered[i] {
+						t.Errorf("index %d covered twice", i)
+					}
+					covered[i] = true
+				}
+			})
+			for i, c := range covered {
+				if !c {
+					t.Fatalf("workers=%d n=%d: index %d never covered", workers, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunkedSequentialInline(t *testing.T) {
+	calls := 0
+	ForChunked(10, 1, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("sequential ForChunked got [%d,%d), want [0,10)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("sequential ForChunked called fn %d times, want 1", calls)
+	}
+}
+
+func TestForProperty(t *testing.T) {
+	// Sum over parallel-for equals the closed form for arbitrary n, workers.
+	if err := quick.Check(func(n8, w8 uint8) bool {
+		n := int(n8)
+		w := int(w8%8) + 1
+		var sum int64
+		For(n, w, func(i int) {
+			atomic.AddInt64(&sum, int64(i))
+		})
+		return sum == int64(n)*int64(n-1)/2
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolMap(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sum int64
+	p.Map(1000, func(i int) {
+		atomic.AddInt64(&sum, int64(i))
+	})
+	if sum != 499500 {
+		t.Fatalf("sum = %d, want 499500", sum)
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	for round := 0; round < 5; round++ {
+		var count int64
+		p.Map(100, func(int) { atomic.AddInt64(&count, 1) })
+		if count != 100 {
+			t.Fatalf("round %d: count = %d, want 100", round, count)
+		}
+	}
+}
+
+func TestPoolSubmitWait(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var count int64
+	for i := 0; i < 50; i++ {
+		p.Submit(func() { atomic.AddInt64(&count, 1) })
+	}
+	p.Wait()
+	if count != 50 {
+		t.Fatalf("count = %d, want 50", count)
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	p.Close() // must not panic or deadlock
+}
+
+func TestPoolSubmitAfterClosePanics(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Submit after Close did not panic")
+		}
+	}()
+	p.Submit(func() {})
+}
+
+func TestPoolMinWorkers(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", p.Workers())
+	}
+	done := false
+	p.Submit(func() { done = true })
+	p.Wait()
+	if !done {
+		t.Fatal("task did not run")
+	}
+}
+
+func TestMaxWorkersPositive(t *testing.T) {
+	if MaxWorkers() < 1 {
+		t.Fatalf("MaxWorkers() = %d", MaxWorkers())
+	}
+}
+
+func BenchmarkForOverheadTiny(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		For(8, 4, func(int) {})
+	}
+}
+
+func BenchmarkPoolMapOverhead(b *testing.B) {
+	p := NewPool(4)
+	defer p.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Map(8, func(int) {})
+	}
+}

@@ -1,0 +1,168 @@
+package spkernel
+
+import (
+	"testing"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/rng"
+	"spgcnn/internal/tensor"
+)
+
+// --- fused ReLU-mask BP ---
+
+func maskedCopy(grad *tensor.Tensor, mask []bool) *tensor.Tensor {
+	out := grad.Clone()
+	for i := range out.Data {
+		if !mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+func randMask(r *rng.RNG, n int, keep float64) []bool {
+	m := make([]bool, n)
+	for i := range m {
+		m[i] = r.Float64() < keep
+	}
+	return m
+}
+
+func TestFusedBackwardMatchesUnfused(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 12; trial++ {
+		s := conv.RandSpec(r, 10)
+		k := New(s, 0)
+		w := conv.RandWeights(r, s)
+		in := conv.RandInput(r, s)
+		grad := conv.NewOutput(s)
+		grad.FillNormal(r, 0, 1)
+		mask := randMask(r, grad.Len(), 0.3)
+		eo := maskedCopy(grad, mask)
+
+		fusedEI, plainEI := conv.NewInput(s), conv.NewInput(s)
+		k.BackwardInputFused(fusedEI, grad, mask, w)
+		k.BackwardInput(plainEI, eo, w)
+		if !tensor.AlmostEqual(fusedEI, plainEI, 1e-4) {
+			t.Fatalf("fused EI differs for %v", s)
+		}
+
+		fusedDW, plainDW := conv.NewWeights(s), conv.NewWeights(s)
+		k.BackwardWeightsFused(fusedDW, grad, mask, in)
+		k.BackwardWeights(plainDW, eo, in)
+		if !tensor.AlmostEqual(fusedDW, plainDW, 1e-4) {
+			t.Fatalf("fused dW differs for %v", s)
+		}
+	}
+}
+
+func TestFusedMaskLengthCheck(t *testing.T) {
+	s := conv.Square(6, 2, 1, 3, 1)
+	k := New(s, 0)
+	r := rng.New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short mask accepted")
+		}
+	}()
+	k.BackwardInputFused(conv.NewInput(s), conv.RandOutputError(r, s, 0),
+		make([]bool, 3), conv.RandWeights(r, s))
+}
+
+func TestFusedAllMaskedGivesZero(t *testing.T) {
+	s := conv.Square(8, 3, 2, 3, 1)
+	r := rng.New(3)
+	k := New(s, 0)
+	grad := conv.NewOutput(s)
+	grad.FillNormal(r, 0, 1)
+	ei := conv.NewInput(s)
+	ei.FillUniform(r, 1, 2)
+	k.BackwardInputFused(ei, grad, make([]bool, grad.Len()), conv.RandWeights(r, s))
+	if ei.NNZ() != 0 {
+		t.Fatal("all-masked gradient produced non-zero EI")
+	}
+}
+
+// --- sparse-weights inference ---
+
+func TestInferenceMatchesReference(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 12; trial++ {
+		s := conv.RandSpec(r, 10)
+		w := conv.RandWeights(r, s)
+		w.Sparsify(r, 0.8) // pruned model
+		ik := CompileWeights(s, w)
+		in := conv.RandInput(r, s)
+		got := conv.NewOutput(s)
+		got.FillUniform(r, 5, 6) // must be overwritten
+		ik.Forward(got, in)
+		want := conv.NewOutput(s)
+		conv.ForwardRef(s, want, in, w)
+		if !tensor.AlmostEqual(got, want, 1e-4) {
+			t.Fatalf("inference differs for %v (max diff %g)", s, tensor.MaxAbsDiff(got, want))
+		}
+	}
+}
+
+func TestInferenceAccounting(t *testing.T) {
+	s := conv.Square(8, 2, 2, 2, 1)
+	w := conv.NewWeights(s) // 2·2·2·2 = 16 weights
+	w.Data[0] = 1
+	w.Data[5] = 2
+	w.Data[15] = -1
+	ik := CompileWeights(s, w)
+	if ik.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", ik.NNZ())
+	}
+	if got := ik.WeightSparsity(); got != 1-3.0/16 {
+		t.Fatalf("WeightSparsity = %v", got)
+	}
+	if ik.Flops() != 2*3*7*7 {
+		t.Fatalf("Flops = %d", ik.Flops())
+	}
+	if ik.Spec() != s {
+		t.Fatal("Spec accessor wrong")
+	}
+}
+
+func TestInferenceFullyPruned(t *testing.T) {
+	s := conv.Square(6, 2, 1, 3, 1)
+	ik := CompileWeights(s, conv.NewWeights(s))
+	r := rng.New(5)
+	out := conv.NewOutput(s)
+	out.FillUniform(r, 1, 2)
+	ik.Forward(out, conv.RandInput(r, s))
+	if out.NNZ() != 0 {
+		t.Fatal("fully-pruned weights produced non-zero output")
+	}
+}
+
+func TestInferenceStrided(t *testing.T) {
+	r := rng.New(6)
+	s := conv.Square(15, 4, 3, 3, 2)
+	w := conv.RandWeights(r, s)
+	w.Sparsify(r, 0.6)
+	in := conv.RandInput(r, s)
+	got := conv.NewOutput(s)
+	CompileWeights(s, w).Forward(got, in)
+	want := conv.NewOutput(s)
+	conv.ForwardRef(s, want, in, w)
+	if !tensor.AlmostEqual(got, want, 1e-4) {
+		t.Fatal("strided inference differs")
+	}
+}
+
+func BenchmarkInferenceDenseVsSparseWeights(b *testing.B) {
+	s := conv.Square(32, 32, 16, 3, 1)
+	r := rng.New(1)
+	w := conv.RandWeights(r, s)
+	w.Sparsify(r, 0.9)
+	ik := CompileWeights(s, w)
+	in := conv.RandInput(r, s)
+	out := conv.NewOutput(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ik.Forward(out, in)
+	}
+	b.ReportMetric(float64(ik.Flops())*float64(b.N)/b.Elapsed().Seconds()/1e9, "goodput-GFlops")
+}

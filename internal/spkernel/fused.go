@@ -1,0 +1,65 @@
+package spkernel
+
+import (
+	"fmt"
+
+	"spgcnn/internal/sparse"
+	"spgcnn/internal/tensor"
+)
+
+// Fused ReLU-mask back-propagation: in a CNN, the error gradient a
+// convolution layer consumes is almost always the output of a ReLU
+// derivative — `eo[i] = grad[i] if activation i was positive else 0` —
+// which is precisely what makes it sparse (§3.3). The standard pipeline
+// materializes that masked tensor densely and the sparse kernel then
+// compresses it; the fused path below builds the CT-CSR representation
+// directly from (pre-mask gradient, ReLU mask), skipping the dense
+// intermediate entirely. An extension beyond the paper (its future-work
+// direction of pushing sparsity exploitation earlier in the pipeline).
+
+// buildEOMasked transforms grad to feature-fastest layout, applying the
+// mask inline, and compresses the result to CT-CSR. mask is in the same
+// [Nf][OutY][OutX] layout as grad; element i passes iff mask[i].
+func (k *Kernel) buildEOMasked(grad *tensor.Tensor, mask []bool) *sparse.CTCSR {
+	s := k.spec
+	if len(mask) != grad.Len() {
+		panic(fmt.Sprintf("spkernel: mask length %d != gradient length %d", len(mask), grad.Len()))
+	}
+	oy, ox := s.OutY(), s.OutX()
+	dst := k.eoHWC.Data
+	for f := 0; f < s.Nf; f++ {
+		for y := 0; y < oy; y++ {
+			base := (f*oy + y) * ox
+			row := grad.Data[base : base+ox]
+			mrow := mask[base : base+ox]
+			for x := 0; x < ox; x++ {
+				v := row[x]
+				if !mrow[x] {
+					v = 0
+				}
+				dst[(y*ox+x)*s.Nf+f] = v
+			}
+		}
+	}
+	return sparse.FromDenseCT(dst, oy*ox, s.Nf, k.tileWidth)
+}
+
+// BackwardInputFused computes Eq. 3 for eo = grad⊙mask without
+// materializing the masked gradient.
+func (k *Kernel) BackwardInputFused(ei, grad *tensor.Tensor, mask []bool, w *tensor.Tensor) {
+	ceo := k.buildEOMasked(grad, mask)
+	tensor.FCKKToKKFCInto(k.wKKFC, w)
+	k.eiHWC.Zero()
+	k.scatterEI(ceo)
+	tensor.HWCToCHWInto(ei, k.eiHWC)
+}
+
+// BackwardWeightsFused computes Eq. 4 for eo = grad⊙mask without
+// materializing the masked gradient.
+func (k *Kernel) BackwardWeightsFused(dw, grad *tensor.Tensor, mask []bool, in *tensor.Tensor) {
+	ceo := k.buildEOMasked(grad, mask)
+	tensor.CHWToHWCInto(k.inHWC, in)
+	k.dwKK.Zero()
+	k.scatterDW(ceo)
+	tensor.KKFCToFCKKInto(dw, k.dwKK)
+}

@@ -1,0 +1,107 @@
+package spkernel
+
+import (
+	"spgcnn/internal/conv"
+	"spgcnn/internal/tensor"
+)
+
+// Sparse-weights inference: the complementary direction the paper's
+// related work ([42], Liu et al.) covers — exploiting sparsity in the
+// *weights* (after pruning) rather than in the error gradients. The
+// non-zero positions of a pruned model are known ahead of time, so the
+// "code generation" here is a one-time compilation of the weight tensor
+// into a tap list; forward propagation then executes only the surviving
+// taps as row-level axpys. Applicable to inference only (training changes
+// the weights every step), exactly as the paper notes.
+
+// wtap is one surviving weight: its value and coordinates.
+type wtap struct {
+	f, c, ky, kx int
+	v            float32
+}
+
+// InferenceKernel executes forward propagation with a compiled sparse
+// weight tensor.
+type InferenceKernel struct {
+	spec conv.Spec
+	taps []wtap
+	nnz  int
+}
+
+// CompileWeights builds an inference kernel from w, keeping only non-zero
+// taps. The returned kernel is immutable and safe for concurrent use.
+func CompileWeights(s conv.Spec, w *tensor.Tensor) *InferenceKernel {
+	s.MustValidate()
+	conv.CheckWeights(s, w)
+	k := &InferenceKernel{spec: s}
+	for f := 0; f < s.Nf; f++ {
+		for c := 0; c < s.Nc; c++ {
+			for ky := 0; ky < s.Fy; ky++ {
+				for kx := 0; kx < s.Fx; kx++ {
+					v := w.At4(f, c, ky, kx)
+					if v != 0 {
+						k.taps = append(k.taps, wtap{f: f, c: c, ky: ky, kx: kx, v: v})
+					}
+				}
+			}
+		}
+	}
+	k.nnz = len(k.taps)
+	return k
+}
+
+// Spec returns the convolution geometry.
+func (k *InferenceKernel) Spec() conv.Spec { return k.spec }
+
+// NNZ returns the number of surviving weight taps.
+func (k *InferenceKernel) NNZ() int { return k.nnz }
+
+// WeightSparsity returns the fraction of pruned (zero) weights.
+func (k *InferenceKernel) WeightSparsity() float64 {
+	total := k.spec.WeightSize()
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(k.nnz)/float64(total)
+}
+
+// Flops returns the useful flop count of one Forward: 2 per tap per
+// output pixel.
+func (k *InferenceKernel) Flops() int64 {
+	return 2 * int64(k.nnz) * int64(k.spec.OutX()) * int64(k.spec.OutY())
+}
+
+// Forward computes Eq. 2 executing only the non-zero taps: for each tap,
+// one shifted row-axpy per output row. out is overwritten.
+func (k *InferenceKernel) Forward(out, in *tensor.Tensor) {
+	s := k.spec
+	conv.CheckInput(s, in)
+	conv.CheckOutput(s, out)
+	out.Zero()
+	oy, ox := s.OutY(), s.OutX()
+	for i := range k.taps {
+		t := &k.taps[i]
+		for y := 0; y < oy; y++ {
+			dst := out.Row3(t.f, y)
+			src := in.Row3(t.c, y*s.Sy+t.ky)
+			if s.Sx == 1 {
+				sv := src[t.kx:][:ox]
+				v := t.v
+				x := 0
+				for ; x+4 <= ox; x += 4 {
+					dst[x] += v * sv[x]
+					dst[x+1] += v * sv[x+1]
+					dst[x+2] += v * sv[x+2]
+					dst[x+3] += v * sv[x+3]
+				}
+				for ; x < ox; x++ {
+					dst[x] += v * sv[x]
+				}
+			} else {
+				for x := 0; x < ox; x++ {
+					dst[x] += t.v * src[x*s.Sx+t.kx]
+				}
+			}
+		}
+	}
+}

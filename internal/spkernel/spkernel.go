@@ -1,0 +1,203 @@
+// Package spkernel implements the paper's Sparse-Kernel (§4.2): the
+// back-propagation kernels that exploit the moderate (50–95%) sparsity of
+// output-activation errors to raise goodput.
+//
+// The ingredients match §4.2 one for one:
+//
+//   - Sparse data representation: the error gradient EO is stored in
+//     CT-CSR (column-tiled CSR, Fig. 5a) with the spatial positions as rows
+//     and the features as tiled columns.
+//   - Data-layout transformation: weights are transformed to [ky][kx][f][c]
+//     (c fastest — Eq. 13's W'), EO and I to HWC (f/c fastest), and the
+//     results EI/dW are produced channel-contiguous and transformed back.
+//   - Pointer shifting (Eq. 15): each non-zero EO[y′,x′,f] is multiplied
+//     against the contiguous weight vector W′[ky][kx][f][·] and accumulated
+//     in place into the output vector EI[y′·sy+ky, x′·sx+kx, ·] — a series
+//     of small dense vector operations, with no unfolding and nothing done
+//     for zero gradients (Fig. 6).
+//
+// The delta-weight computation (Eq. 4) follows the same structure with the
+// input activations in place of the weights.
+package spkernel
+
+import (
+	"fmt"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/engine"
+	"spgcnn/internal/sparse"
+	"spgcnn/internal/tensor"
+	"spgcnn/internal/unfoldgemm"
+)
+
+// Kernel is a generated sparse BP kernel for one spec. Forward propagation
+// is not this technique's job (the paper pairs Sparse-Kernel BP with
+// GEMM-in-Parallel or Stencil-Kernel FP), so Forward delegates to a serial
+// unfold+GEMM kernel for interface completeness.
+type Kernel struct {
+	spec      conv.Spec
+	tileWidth int
+
+	eoHWC *tensor.Tensor // [OutY][OutX][Nf]
+	wKKFC *tensor.Tensor // [Fy][Fx][Nf][Nc]
+	eiHWC *tensor.Tensor // [Ny][Nx][Nc]
+	inHWC *tensor.Tensor // [Ny][Nx][Nc]
+	dwKK  *tensor.Tensor // [Fy][Fx][Nf][Nc]
+
+	fwd *unfoldgemm.Kernel
+}
+
+// New generates a sparse kernel for s. tileWidth <= 0 selects the CT-CSR
+// default tile width.
+func New(s conv.Spec, tileWidth int) *Kernel {
+	s.MustValidate()
+	if tileWidth <= 0 {
+		tileWidth = sparse.DefaultTileWidth
+	}
+	return &Kernel{
+		spec:      s,
+		tileWidth: tileWidth,
+		eoHWC:     tensor.New(s.OutY(), s.OutX(), s.Nf),
+		wKKFC:     tensor.New(s.Fy, s.Fx, s.Nf, s.Nc),
+		eiHWC:     tensor.New(s.Ny, s.Nx, s.Nc),
+		inHWC:     tensor.New(s.Ny, s.Nx, s.Nc),
+		dwKK:      tensor.New(s.Fy, s.Fx, s.Nf, s.Nc),
+		fwd:       unfoldgemm.New(s, 1),
+	}
+}
+
+// Name implements engine.Kernel.
+func (k *Kernel) Name() string { return fmt.Sprintf("sparse(tile=%d)", k.tileWidth) }
+
+// Spec implements engine.Kernel.
+func (k *Kernel) Spec() conv.Spec { return k.spec }
+
+// Forward delegates to serial unfold+GEMM (see type comment).
+func (k *Kernel) Forward(out, in, w *tensor.Tensor) { k.fwd.Forward(out, in, w) }
+
+// buildEO transforms eo to feature-fastest layout and compresses it to
+// CT-CSR: rows are the OutY·OutX spatial positions, columns the Nf
+// features, tiled by tileWidth.
+func (k *Kernel) buildEO(eo *tensor.Tensor) *sparse.CTCSR {
+	tensor.CHWToHWCInto(k.eoHWC, eo)
+	s := k.spec
+	return sparse.FromDenseCT(k.eoHWC.Data, s.OutY()*s.OutX(), s.Nf, k.tileWidth)
+}
+
+// BackwardInput computes Eq. 3 by pointer shifting: for every stored
+// non-zero of EO and every kernel coordinate, one dense axpy of length Nc
+// lands directly at its shifted output position (Eq. 15).
+func (k *Kernel) BackwardInput(ei, eo, w *tensor.Tensor) {
+	s := k.spec
+	conv.CheckInput(s, ei)
+	conv.CheckOutput(s, eo)
+	conv.CheckWeights(s, w)
+
+	ceo := k.buildEO(eo)
+	tensor.FCKKToKKFCInto(k.wKKFC, w)
+	k.eiHWC.Zero()
+	k.scatterEI(ceo)
+	tensor.HWCToCHWInto(ei, k.eiHWC)
+}
+
+// scatterEI performs the Eq. 15 pointer-shifting scatter of every stored
+// non-zero into the channel-contiguous EI scratch. Weights must already be
+// in KKFC layout and eiHWC zeroed.
+func (k *Kernel) scatterEI(ceo *sparse.CTCSR) {
+	s := k.spec
+	nc := s.Nc
+	ox := s.OutX()
+	wdat := k.wKKFC.Data
+	edat := k.eiHWC.Data
+	for t := range ceo.Tiles {
+		ceo.VisitTile(t, func(row, f int, v float32) {
+			yq, xq := row/ox, row%ox
+			yBase := yq * s.Sy
+			xBase := xq * s.Sx
+			for ky := 0; ky < s.Fy; ky++ {
+				iy := yBase + ky
+				rowBase := (iy*s.Nx + xBase) * nc
+				for kx := 0; kx < s.Fx; kx++ {
+					src := wdat[((ky*s.Fx+kx)*s.Nf+f)*nc:][:nc]
+					dst := edat[rowBase+kx*nc:][:nc]
+					axpy(dst, src, v)
+				}
+			}
+		})
+	}
+}
+
+// BackwardWeights computes Eq. 4 with the same non-zero-driven structure:
+// each stored EO non-zero contributes one Nc-length axpy of the input
+// vector at its shifted position into the (ky, kx, f) weight-gradient row.
+func (k *Kernel) BackwardWeights(dw, eo, in *tensor.Tensor) {
+	s := k.spec
+	conv.CheckWeights(s, dw)
+	conv.CheckOutput(s, eo)
+	conv.CheckInput(s, in)
+
+	ceo := k.buildEO(eo)
+	tensor.CHWToHWCInto(k.inHWC, in)
+	k.dwKK.Zero()
+	k.scatterDW(ceo)
+	tensor.KKFCToFCKKInto(dw, k.dwKK)
+}
+
+// scatterDW accumulates every stored non-zero's input-vector contribution
+// into the KKFC-layout weight-gradient scratch (Eq. 4, non-zero-driven).
+// Inputs must already be in HWC layout and dwKK zeroed.
+func (k *Kernel) scatterDW(ceo *sparse.CTCSR) {
+	s := k.spec
+	nc := s.Nc
+	ox := s.OutX()
+	idat := k.inHWC.Data
+	ddat := k.dwKK.Data
+	for t := range ceo.Tiles {
+		ceo.VisitTile(t, func(row, f int, v float32) {
+			yq, xq := row/ox, row%ox
+			yBase := yq * s.Sy
+			xBase := xq * s.Sx
+			for ky := 0; ky < s.Fy; ky++ {
+				iy := yBase + ky
+				rowBase := (iy*s.Nx + xBase) * nc
+				for kx := 0; kx < s.Fx; kx++ {
+					src := idat[rowBase+kx*nc:][:nc]
+					dst := ddat[((ky*s.Fx+kx)*s.Nf+f)*nc:][:nc]
+					axpy(dst, src, v)
+				}
+			}
+		})
+	}
+}
+
+// axpy computes dst += a*src for equal-length slices, 4-way unrolled.
+func axpy(dst, src []float32, a float32) {
+	n := len(dst)
+	src = src[:n]
+	x := 0
+	for ; x+4 <= n; x += 4 {
+		dst[x] += a * src[x]
+		dst[x+1] += a * src[x+1]
+		dst[x+2] += a * src[x+2]
+		dst[x+3] += a * src[x+3]
+	}
+	for ; x < n; x++ {
+		dst[x] += a * src[x]
+	}
+}
+
+// NonZeroFlops returns the useful (non-zero) flop count of one BP pass of
+// spec s when EO has nnz stored non-zeros: 2 flops per (non-zero, tap,
+// channel) triple — the numerator of the paper's goodput (Eq. 9).
+func NonZeroFlops(s conv.Spec, nnz int) int64 {
+	return 2 * int64(nnz) * int64(s.Fy) * int64(s.Fx) * int64(s.Nc)
+}
+
+// Generator returns the engine.Generator for the sparse technique with the
+// default CT-CSR tile width.
+func Generator() engine.Generator {
+	return engine.Generator{
+		Name: "sparse",
+		New:  func(s conv.Spec) engine.Kernel { return New(s, 0) },
+	}
+}

@@ -1,0 +1,176 @@
+package stencil
+
+// The specialized basic blocks the generator dispatches to. Each saxpyN
+// routine is the scalar-Go analogue of the paper's Fig. 7 generated code:
+// one streamed input row contributes to N accumulator rows at once, so
+// every 4-element group of input loads feeds 4·N multiply-accumulates —
+// the load reuse that restores the convolution's arithmetic intensity.
+//
+// dst rows and src must have at least n elements; weights are broadcast
+// scalars, one per destination row (the wvec[..] = mm256_set1(weight[..])
+// of Fig. 7).
+
+// saxpy1 computes dst[x] += w * src[x] for x in [0, n).
+func saxpy1(dst, src []float32, w float32, n int) {
+	dst = dst[:n]
+	src = src[:n]
+	x := 0
+	for ; x+4 <= n; x += 4 {
+		v0, v1, v2, v3 := src[x], src[x+1], src[x+2], src[x+3]
+		dst[x] += w * v0
+		dst[x+1] += w * v1
+		dst[x+2] += w * v2
+		dst[x+3] += w * v3
+	}
+	for ; x < n; x++ {
+		dst[x] += w * src[x]
+	}
+}
+
+// saxpy2 streams src once into two accumulator rows.
+func saxpy2(d0, d1, src []float32, w0, w1 float32, n int) {
+	d0 = d0[:n]
+	d1 = d1[:n]
+	src = src[:n]
+	x := 0
+	for ; x+4 <= n; x += 4 {
+		v0, v1, v2, v3 := src[x], src[x+1], src[x+2], src[x+3]
+		d0[x] += w0 * v0
+		d0[x+1] += w0 * v1
+		d0[x+2] += w0 * v2
+		d0[x+3] += w0 * v3
+		d1[x] += w1 * v0
+		d1[x+1] += w1 * v1
+		d1[x+2] += w1 * v2
+		d1[x+3] += w1 * v3
+	}
+	for ; x < n; x++ {
+		v := src[x]
+		d0[x] += w0 * v
+		d1[x] += w1 * v
+	}
+}
+
+// saxpy3 streams src once into three accumulator rows.
+func saxpy3(d0, d1, d2, src []float32, w0, w1, w2 float32, n int) {
+	d0 = d0[:n]
+	d1 = d1[:n]
+	d2 = d2[:n]
+	src = src[:n]
+	x := 0
+	for ; x+4 <= n; x += 4 {
+		v0, v1, v2, v3 := src[x], src[x+1], src[x+2], src[x+3]
+		d0[x] += w0 * v0
+		d0[x+1] += w0 * v1
+		d0[x+2] += w0 * v2
+		d0[x+3] += w0 * v3
+		d1[x] += w1 * v0
+		d1[x+1] += w1 * v1
+		d1[x+2] += w1 * v2
+		d1[x+3] += w1 * v3
+		d2[x] += w2 * v0
+		d2[x+1] += w2 * v1
+		d2[x+2] += w2 * v2
+		d2[x+3] += w2 * v3
+	}
+	for ; x < n; x++ {
+		v := src[x]
+		d0[x] += w0 * v
+		d1[x] += w1 * v
+		d2[x] += w2 * v
+	}
+}
+
+// saxpy4 streams src once into four accumulator rows.
+func saxpy4(d0, d1, d2, d3, src []float32, w0, w1, w2, w3 float32, n int) {
+	d0 = d0[:n]
+	d1 = d1[:n]
+	d2 = d2[:n]
+	d3 = d3[:n]
+	src = src[:n]
+	x := 0
+	for ; x+4 <= n; x += 4 {
+		v0, v1, v2, v3 := src[x], src[x+1], src[x+2], src[x+3]
+		d0[x] += w0 * v0
+		d0[x+1] += w0 * v1
+		d0[x+2] += w0 * v2
+		d0[x+3] += w0 * v3
+		d1[x] += w1 * v0
+		d1[x+1] += w1 * v1
+		d1[x+2] += w1 * v2
+		d1[x+3] += w1 * v3
+		d2[x] += w2 * v0
+		d2[x+1] += w2 * v1
+		d2[x+2] += w2 * v2
+		d2[x+3] += w2 * v3
+		d3[x] += w3 * v0
+		d3[x+1] += w3 * v1
+		d3[x+2] += w3 * v2
+		d3[x+3] += w3 * v3
+	}
+	for ; x < n; x++ {
+		v := src[x]
+		d0[x] += w0 * v
+		d1[x] += w1 * v
+		d2[x] += w2 * v
+		d3[x] += w3 * v
+	}
+}
+
+// saxpyRows dispatches one source-row contribution to up to four
+// accumulator rows (the per-input-row fan-out of the stencil scatter).
+func saxpyRows(dsts [][]float32, ws []float32, src []float32, n int) {
+	switch len(dsts) {
+	case 0:
+	case 1:
+		saxpy1(dsts[0], src, ws[0], n)
+	case 2:
+		saxpy2(dsts[0], dsts[1], src, ws[0], ws[1], n)
+	case 3:
+		saxpy3(dsts[0], dsts[1], dsts[2], src, ws[0], ws[1], ws[2], n)
+	case 4:
+		saxpy4(dsts[0], dsts[1], dsts[2], dsts[3], src, ws[0], ws[1], ws[2], ws[3], n)
+	default:
+		for i := range dsts {
+			saxpy1(dsts[i], src, ws[i], n)
+		}
+	}
+}
+
+// gatherDot computes Σ_x dst·src for strided source access; used by the
+// direct backward-weights kernel where the input walk is strided.
+func gatherDot(a []float32, b []float32, stride, n int) float32 {
+	var s float32
+	if stride == 1 {
+		b = b[:n]
+		a = a[:n]
+		x := 0
+		var s0, s1, s2, s3 float32
+		for ; x+4 <= n; x += 4 {
+			s0 += a[x] * b[x]
+			s1 += a[x+1] * b[x+1]
+			s2 += a[x+2] * b[x+2]
+			s3 += a[x+3] * b[x+3]
+		}
+		for ; x < n; x++ {
+			s0 += a[x] * b[x]
+		}
+		return s0 + s1 + s2 + s3
+	}
+	for x := 0; x < n; x++ {
+		s += a[x] * b[x*stride]
+	}
+	return s
+}
+
+// scatterAxpy computes dst[x*stride] += w*src[x]; used by the direct
+// backward-input kernel for strided convolutions.
+func scatterAxpy(dst []float32, src []float32, w float32, stride, n int) {
+	if stride == 1 {
+		saxpy1(dst, src, w, n)
+		return
+	}
+	for x := 0; x < n; x++ {
+		dst[x*stride] += w * src[x]
+	}
+}

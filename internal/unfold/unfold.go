@@ -1,0 +1,101 @@
+// Package unfold implements the input-unfolding step (im2col) of the
+// paper's baseline execution method, Unfold+Parallel-GEMM (§2.3, Fig. 2b),
+// together with its adjoint fold (col2im) needed by back-propagation.
+//
+// Unfolding flattens the inputs of each kernel application into a row
+// vector and stacks the rows, turning the convolution into a matrix
+// multiply O = W·Uᵀ (Fig. 2c). The cost — the reason §3.1 exists — is that
+// each input element is replicated up to Fx·Fy times, inflating memory
+// traffic and destroying the convolution's intrinsic arithmetic intensity.
+package unfold
+
+import (
+	"fmt"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/gemm"
+	"spgcnn/internal/tensor"
+)
+
+// Rows returns the number of rows of the unfolded matrix U: one per output
+// pixel (OutY·OutX).
+func Rows(s conv.Spec) int { return s.OutY() * s.OutX() }
+
+// Cols returns the number of columns of U: one per (channel, ky, kx) tap,
+// i.e. Nc·Fy·Fx.
+func Cols(s conv.Spec) int { return s.Nc * s.Fy * s.Fx }
+
+// Im2col unfolds input in ([Nc][Ny][Nx]) into the matrix U
+// (Rows(s) × Cols(s)): row (y·OutX + x) holds, channel-major then ky then
+// kx, the input window that produces output pixel (y, x). This matches the
+// paper's Fig. 2b, where each channel's unfolded block is stacked
+// left-to-right.
+func Im2col(s conv.Spec, u *gemm.Matrix, in *tensor.Tensor) {
+	s.MustValidate()
+	conv.CheckInput(s, in)
+	if u.Rows != Rows(s) || u.Cols != Cols(s) {
+		panic(fmt.Sprintf("unfold: U is %dx%d, want %dx%d", u.Rows, u.Cols, Rows(s), Cols(s)))
+	}
+	oy, ox := s.OutY(), s.OutX()
+	fxy := s.Fy * s.Fx
+	for y := 0; y < oy; y++ {
+		for x := 0; x < ox; x++ {
+			dst := u.Row(y*ox + x)
+			for c := 0; c < s.Nc; c++ {
+				base := c * fxy
+				for ky := 0; ky < s.Fy; ky++ {
+					src := in.Row3(c, y*s.Sy+ky)[x*s.Sx : x*s.Sx+s.Fx]
+					copy(dst[base+ky*s.Fx:base+(ky+1)*s.Fx], src)
+				}
+			}
+		}
+	}
+}
+
+// NewU allocates the unfolded matrix for s.
+func NewU(s conv.Spec) *gemm.Matrix { return gemm.NewMatrix(Rows(s), Cols(s)) }
+
+// Col2im folds the matrix U back into input space, ACCUMULATING overlapping
+// windows: in[c, y·sy+ky, x·sx+kx] += U[(y,x), (c,ky,kx)]. It is the exact
+// adjoint of Im2col, which is what makes Unfold+GEMM back-propagation
+// (EI = fold(Wᵀ·EO)) correct.
+func Col2im(s conv.Spec, in *tensor.Tensor, u *gemm.Matrix) {
+	s.MustValidate()
+	conv.CheckInput(s, in)
+	if u.Rows != Rows(s) || u.Cols != Cols(s) {
+		panic(fmt.Sprintf("unfold: U is %dx%d, want %dx%d", u.Rows, u.Cols, Rows(s), Cols(s)))
+	}
+	in.Zero()
+	oy, ox := s.OutY(), s.OutX()
+	fxy := s.Fy * s.Fx
+	for y := 0; y < oy; y++ {
+		for x := 0; x < ox; x++ {
+			src := u.Row(y*ox + x)
+			for c := 0; c < s.Nc; c++ {
+				base := c * fxy
+				for ky := 0; ky < s.Fy; ky++ {
+					dst := in.Row3(c, y*s.Sy+ky)[x*s.Sx : x*s.Sx+s.Fx]
+					for kx := 0; kx < s.Fx; kx++ {
+						dst[kx] += src[base+ky*s.Fx+kx]
+					}
+				}
+			}
+		}
+	}
+}
+
+// WeightMatrix flattens weights [Nf][Nc][Fy][Fx] into the Nf × Cols(s)
+// matrix of Fig. 2c: row f is feature f's weights, channel-major. Because
+// the canonical weight layout is already row-major in exactly this order,
+// this is a reshape (the returned matrix aliases w's data).
+func WeightMatrix(s conv.Spec, w *tensor.Tensor) *gemm.Matrix {
+	conv.CheckWeights(s, w)
+	return gemm.FromSlice(w.Data, s.Nf, Cols(s))
+}
+
+// OutputMatrix views output tensor o ([Nf][OutY][OutX]) as the Nf × Rows(s)
+// matrix O of Fig. 2c (aliasing o's data).
+func OutputMatrix(s conv.Spec, o *tensor.Tensor) *gemm.Matrix {
+	conv.CheckOutput(s, o)
+	return gemm.FromSlice(o.Data, s.Nf, Rows(s))
+}

@@ -1,0 +1,182 @@
+package unfoldgemm
+
+import (
+	"fmt"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/gemm"
+	"spgcnn/internal/tensor"
+	"spgcnn/internal/unfold"
+)
+
+// BatchedKernel implements the Caffe-con-Troll-style variant the paper's
+// related work (§6) credits with improving Parallel-GEMM in Region 2:
+// instead of one GEMM per training input, the unfolded matrices of a group
+// of images are stacked into one tall matrix and multiplied in a single
+// GEMM, growing the MM's pixel dimension by the group size and therefore
+// its AIT — the weight matrix is read once per group rather than once per
+// image.
+//
+// BatchedKernel is a batch-level executor (not an engine.Kernel): its
+// methods take image groups directly.
+type BatchedKernel struct {
+	spec    conv.Spec
+	group   int
+	workers int
+
+	u  *gemm.Matrix // stacked unfolded inputs: (group·pix) × taps
+	ue *gemm.Matrix // stacked unfolded input-errors
+	o  *gemm.Matrix // stacked outputs: Nf × (group·pix)
+}
+
+// NewBatched builds a batched kernel that stacks up to `group` images per
+// GEMM and row-partitions each GEMM across `workers`.
+func NewBatched(s conv.Spec, group, workers int) *BatchedKernel {
+	s.MustValidate()
+	if group < 1 {
+		group = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	rows := unfold.Rows(s)
+	return &BatchedKernel{
+		spec:    s,
+		group:   group,
+		workers: workers,
+		u:       gemm.NewMatrix(group*rows, unfold.Cols(s)),
+		ue:      gemm.NewMatrix(group*rows, unfold.Cols(s)),
+		o:       gemm.NewMatrix(s.Nf, group*rows),
+	}
+}
+
+// Name describes the kernel.
+func (k *BatchedKernel) Name() string {
+	return fmt.Sprintf("batched-gemm(group=%d,p=%d)", k.group, k.workers)
+}
+
+// Spec returns the convolution geometry.
+func (k *BatchedKernel) Spec() conv.Spec { return k.spec }
+
+// Group returns the stacking factor.
+func (k *BatchedKernel) Group() int { return k.group }
+
+// stack unfolds images [lo, hi) of ins into consecutive row blocks of u.
+func (k *BatchedKernel) stack(ins []*tensor.Tensor, lo, hi int) {
+	s := k.spec
+	rows := unfold.Rows(s)
+	cols := unfold.Cols(s)
+	for i := lo; i < hi; i++ {
+		block := gemm.FromSlice(
+			k.u.Data[(i-lo)*rows*cols:(i-lo+1)*rows*cols], rows, cols)
+		unfold.Im2col(s, block, ins[i])
+	}
+}
+
+// Forward computes outs[i] = conv(ins[i], w) for the whole batch, one
+// stacked GEMM per group of images.
+func (k *BatchedKernel) Forward(outs, ins []*tensor.Tensor, w *tensor.Tensor) {
+	if len(outs) != len(ins) {
+		panic("unfoldgemm: batched Forward length mismatch")
+	}
+	s := k.spec
+	rows := unfold.Rows(s)
+	wmat := unfold.WeightMatrix(s, w)
+	for lo := 0; lo < len(ins); lo += k.group {
+		hi := lo + k.group
+		if hi > len(ins) {
+			hi = len(ins)
+		}
+		g := hi - lo
+		k.stack(ins, lo, hi)
+		u := gemm.FromSlice(k.u.Data[:g*rows*k.u.Cols], g*rows, k.u.Cols)
+		o := gemm.FromSlice(k.o.Data[:s.Nf*g*rows], s.Nf, g*rows)
+		if k.workers <= 1 {
+			gemm.MulTransB(o, wmat, u)
+		} else {
+			gemm.ParallelMulTransB(o, wmat, u, k.workers)
+		}
+		// Unstack: output column block (i-lo) belongs to image i.
+		for i := lo; i < hi; i++ {
+			conv.CheckOutput(s, outs[i])
+			dst := outs[i].Data
+			for f := 0; f < s.Nf; f++ {
+				copy(dst[f*rows:(f+1)*rows], o.Row(f)[(i-lo)*rows:(i-lo+1)*rows])
+			}
+		}
+	}
+}
+
+// BackwardInput computes eis[i] = corr(eos[i], w) for the batch, one
+// stacked Eq. 3 GEMM per group.
+func (k *BatchedKernel) BackwardInput(eis, eos []*tensor.Tensor, w *tensor.Tensor) {
+	if len(eis) != len(eos) {
+		panic("unfoldgemm: batched BackwardInput length mismatch")
+	}
+	s := k.spec
+	rows := unfold.Rows(s)
+	cols := unfold.Cols(s)
+	wmat := unfold.WeightMatrix(s, w)
+	for lo := 0; lo < len(eos); lo += k.group {
+		hi := lo + k.group
+		if hi > len(eos) {
+			hi = len(eos)
+		}
+		g := hi - lo
+		// Stack EO column blocks into one Nf × (g·pix) matrix.
+		o := gemm.FromSlice(k.o.Data[:s.Nf*g*rows], s.Nf, g*rows)
+		for i := lo; i < hi; i++ {
+			conv.CheckOutput(s, eos[i])
+			src := eos[i].Data
+			for f := 0; f < s.Nf; f++ {
+				copy(o.Row(f)[(i-lo)*rows:(i-lo+1)*rows], src[f*rows:(f+1)*rows])
+			}
+		}
+		ue := gemm.FromSlice(k.ue.Data[:g*rows*cols], g*rows, cols)
+		if k.workers <= 1 {
+			gemm.MulTransA(ue, o, wmat)
+		} else {
+			gemm.ParallelMulTransA(ue, o, wmat, k.workers)
+		}
+		for i := lo; i < hi; i++ {
+			block := gemm.FromSlice(k.ue.Data[(i-lo)*rows*cols:(i-lo+1)*rows*cols], rows, cols)
+			unfold.Col2im(s, eis[i], block)
+		}
+	}
+}
+
+// BackwardWeights computes dw = Σ_i grad(eos[i], ins[i]) with one stacked
+// Eq. 4 GEMM per group (the group's gradient sums fall out of the stacked
+// multiply directly). dw is overwritten.
+func (k *BatchedKernel) BackwardWeights(dw *tensor.Tensor, eos, ins []*tensor.Tensor) {
+	if len(eos) != len(ins) {
+		panic("unfoldgemm: batched BackwardWeights length mismatch")
+	}
+	s := k.spec
+	conv.CheckWeights(s, dw)
+	rows := unfold.Rows(s)
+	cols := unfold.Cols(s)
+	dwmat := gemm.FromSlice(dw.Data, s.Nf, cols)
+	dw.Zero()
+	for lo := 0; lo < len(eos); lo += k.group {
+		hi := lo + k.group
+		if hi > len(eos) {
+			hi = len(eos)
+		}
+		g := hi - lo
+		k.stack(ins, lo, hi)
+		o := gemm.FromSlice(k.o.Data[:s.Nf*g*rows], s.Nf, g*rows)
+		for i := lo; i < hi; i++ {
+			src := eos[i].Data
+			for f := 0; f < s.Nf; f++ {
+				copy(o.Row(f)[(i-lo)*rows:(i-lo+1)*rows], src[f*rows:(f+1)*rows])
+			}
+		}
+		u := gemm.FromSlice(k.u.Data[:g*rows*cols], g*rows, cols)
+		if k.workers <= 1 {
+			gemm.SerialAccum(dwmat, o, u)
+		} else {
+			gemm.ParallelAccum(dwmat, o, u, k.workers)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package unfoldgemm
+
+import (
+	"testing"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/rng"
+	"spgcnn/internal/tensor"
+)
+
+func batchedFixtures(r *rng.RNG, s conv.Spec, n int) (ins, outs, eos, eis []*tensor.Tensor, w *tensor.Tensor) {
+	for i := 0; i < n; i++ {
+		ins = append(ins, conv.RandInput(r, s))
+		outs = append(outs, conv.NewOutput(s))
+		eos = append(eos, conv.RandOutputError(r, s, 0.5))
+		eis = append(eis, conv.NewInput(s))
+	}
+	w = conv.RandWeights(r, s)
+	return
+}
+
+func TestBatchedForwardMatchesReference(t *testing.T) {
+	r := rng.New(1)
+	for _, group := range []int{1, 2, 3, 8} {
+		for _, n := range []int{1, 2, 5, 8} {
+			s := conv.RandSpec(r, 8)
+			ins, outs, _, _, w := batchedFixtures(r, s, n)
+			NewBatched(s, group, 2).Forward(outs, ins, w)
+			for i := range outs {
+				want := conv.NewOutput(s)
+				conv.ForwardRef(s, want, ins[i], w)
+				if !tensor.AlmostEqual(outs[i], want, 1e-3) {
+					t.Fatalf("group=%d n=%d image %d FP wrong for %v", group, n, i, s)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchedBackwardInput(t *testing.T) {
+	r := rng.New(2)
+	s := conv.Square(9, 4, 3, 3, 2)
+	ins, _, eos, eis, w := batchedFixtures(r, s, 7)
+	_ = ins
+	NewBatched(s, 3, 1).BackwardInput(eis, eos, w)
+	for i := range eis {
+		want := conv.NewInput(s)
+		conv.BackwardInputRef(s, want, eos[i], w)
+		if !tensor.AlmostEqual(eis[i], want, 1e-3) {
+			t.Fatalf("image %d EI wrong", i)
+		}
+	}
+}
+
+func TestBatchedBackwardWeightsSums(t *testing.T) {
+	r := rng.New(3)
+	s := conv.Square(8, 3, 2, 3, 1)
+	ins, _, eos, _, w := batchedFixtures(r, s, 6)
+	_ = w
+	dw := conv.NewWeights(s)
+	dw.FillUniform(r, 5, 6)
+	NewBatched(s, 4, 2).BackwardWeights(dw, eos, ins)
+	want := conv.NewWeights(s)
+	tmp := conv.NewWeights(s)
+	for i := range ins {
+		conv.BackwardWeightsRef(s, tmp, eos[i], ins[i])
+		want.AddScaled(tmp, 1)
+	}
+	if !tensor.AlmostEqual(dw, want, 1e-3) {
+		t.Fatalf("batched dW differs from per-image sum (max diff %g)", tensor.MaxAbsDiff(dw, want))
+	}
+}
+
+func TestBatchedRaisesAIT(t *testing.T) {
+	// The point of batching: the stacked MM's pixel dimension is group
+	// times larger, so weight reads amortize. Verify the accessor math.
+	s := conv.Square(10, 4, 2, 3, 1)
+	k := NewBatched(s, 4, 1)
+	if k.Group() != 4 || k.Spec() != s || k.Name() == "" {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestBatchedEmptyBatch(t *testing.T) {
+	s := conv.Square(6, 2, 1, 2, 1)
+	k := NewBatched(s, 4, 1)
+	k.Forward(nil, nil, conv.NewWeights(s))
+	dw := conv.NewWeights(s)
+	dw.Data[0] = 9
+	k.BackwardWeights(dw, nil, nil)
+	if dw.Data[0] != 0 {
+		t.Fatal("empty-batch dW not zeroed")
+	}
+}
+
+func BenchmarkBatchedVsPerImageFP(b *testing.B) {
+	// Region-2-flavoured conv: moderate features, small image.
+	s := conv.Square(16, 128, 32, 3, 1)
+	r := rng.New(1)
+	const n = 8
+	ins, outs, _, _, w := batchedFixtures(r, s, n)
+	b.Run("per-image", func(b *testing.B) {
+		k := New(s, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range ins {
+				k.Forward(outs[j], ins[j], w)
+			}
+		}
+	})
+	b.Run("batched-8", func(b *testing.B) {
+		k := NewBatched(s, n, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.Forward(outs, ins, w)
+		}
+	})
+}

@@ -1,0 +1,118 @@
+// Package unfoldgemm implements the state-of-the-art baseline the paper
+// characterizes (§2.3): convolution by unfolding (im2col) followed by
+// GEMM, in the two scheduling flavours §3–4 contrast:
+//
+//   - workers == 1: the single-threaded GEMM that GEMM-in-Parallel runs
+//     many instances of.
+//   - workers > 1: Unfold+Parallel-GEMM — each of the three training GEMMs
+//     is row-partitioned across all workers, reproducing the per-core AIT
+//     reduction of §3.2.
+//
+// The three computations lower to the GEMMs of Fig. 2c:
+//
+//	FP:   O[Nf×pix]      = Wmat[Nf×taps] · Uᵀ
+//	BP-EI: U_E[pix×taps] = EOmatᵀ · Wmat, then fold (col2im)
+//	BP-dW: dW[Nf×taps]   = EOmat[Nf×pix] · U[pix×taps]
+package unfoldgemm
+
+import (
+	"fmt"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/engine"
+	"spgcnn/internal/gemm"
+	"spgcnn/internal/tensor"
+	"spgcnn/internal/unfold"
+)
+
+// Kernel is an unfold+GEMM convolution kernel for one spec. It owns the
+// unfold scratch matrices, so it is not safe for concurrent use.
+type Kernel struct {
+	spec    conv.Spec
+	workers int
+	u       *gemm.Matrix // unfolded input, pix × taps
+	ue      *gemm.Matrix // unfolded input-error, pix × taps
+}
+
+// New builds a kernel for s. workers selects Parallel-GEMM fan-out;
+// workers <= 1 yields the single-threaded GEMM.
+func New(s conv.Spec, workers int) *Kernel {
+	s.MustValidate()
+	if workers < 1 {
+		workers = 1
+	}
+	return &Kernel{
+		spec:    s,
+		workers: workers,
+		u:       unfold.NewU(s),
+		ue:      unfold.NewU(s),
+	}
+}
+
+// Name implements engine.Kernel.
+func (k *Kernel) Name() string {
+	if k.workers <= 1 {
+		return "unfold-gemm(serial)"
+	}
+	return fmt.Sprintf("unfold-parallel-gemm(p=%d)", k.workers)
+}
+
+// Spec implements engine.Kernel.
+func (k *Kernel) Spec() conv.Spec { return k.spec }
+
+// Workers reports the GEMM fan-out.
+func (k *Kernel) Workers() int { return k.workers }
+
+// Forward computes Eq. 2 by O = Wmat · Uᵀ.
+func (k *Kernel) Forward(out, in, w *tensor.Tensor) {
+	s := k.spec
+	unfold.Im2col(s, k.u, in)
+	omat := unfold.OutputMatrix(s, out)
+	wmat := unfold.WeightMatrix(s, w)
+	if k.workers <= 1 {
+		gemm.MulTransB(omat, wmat, k.u)
+	} else {
+		gemm.ParallelMulTransB(omat, wmat, k.u, k.workers)
+	}
+}
+
+// BackwardInput computes Eq. 3 by U_E = EOmatᵀ · Wmat followed by col2im.
+func (k *Kernel) BackwardInput(ei, eo, w *tensor.Tensor) {
+	s := k.spec
+	eomat := unfold.OutputMatrix(s, eo)
+	wmat := unfold.WeightMatrix(s, w)
+	if k.workers <= 1 {
+		gemm.MulTransA(k.ue, eomat, wmat)
+	} else {
+		gemm.ParallelMulTransA(k.ue, eomat, wmat, k.workers)
+	}
+	unfold.Col2im(s, ei, k.ue)
+}
+
+// BackwardWeights computes Eq. 4 by dWmat = EOmat · U.
+func (k *Kernel) BackwardWeights(dw, eo, in *tensor.Tensor) {
+	s := k.spec
+	conv.CheckWeights(s, dw)
+	unfold.Im2col(s, k.u, in)
+	eomat := unfold.OutputMatrix(s, eo)
+	dwmat := gemm.FromSlice(dw.Data, s.Nf, unfold.Cols(s))
+	if k.workers <= 1 {
+		gemm.Serial(dwmat, eomat, k.u)
+	} else {
+		gemm.Parallel(dwmat, eomat, k.u, k.workers)
+	}
+}
+
+// Generator returns an engine.Generator for this technique at the given
+// fan-out. Name is "unfold-gemm" for workers <= 1 and
+// "unfold-parallel-gemm" otherwise (the paper's Parallel-GEMM baseline).
+func Generator(workers int) engine.Generator {
+	name := "unfold-gemm"
+	if workers > 1 {
+		name = "unfold-parallel-gemm"
+	}
+	return engine.Generator{
+		Name: name,
+		New:  func(s conv.Spec) engine.Kernel { return New(s, workers) },
+	}
+}

@@ -1,0 +1,114 @@
+package winograd
+
+import (
+	"testing"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/engine"
+	"spgcnn/internal/engine/enginetest"
+	"spgcnn/internal/rng"
+	"spgcnn/internal/tensor"
+	"spgcnn/internal/unfoldgemm"
+)
+
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, Generator(), enginetest.Options{
+		Trials: 20,
+		Seed:   41,
+		ExtraSpecs: []conv.Spec{
+			conv.Square(8, 2, 2, 3, 1),    // even output (8-3+1 = 6)
+			conv.Square(9, 2, 2, 3, 1),    // odd output (7): partial tiles
+			conv.Square(36, 64, 3, 3, 1),  // CIFAR-ish geometry, 3x3
+			conv.Square(13, 400, 4, 3, 1), // ImageNet-22K L3 shape (Nc scaled)
+			conv.Square(10, 3, 2, 5, 1),   // non-3x3 -> fallback
+			conv.Square(12, 3, 2, 3, 2),   // strided -> fallback
+		},
+	})
+}
+
+func TestFastPathDetection(t *testing.T) {
+	if !New(conv.Square(8, 2, 2, 3, 1)).Fast() {
+		t.Fatal("3x3 stride-1 should take the Winograd path")
+	}
+	if New(conv.Square(8, 2, 2, 3, 2)).Fast() {
+		t.Fatal("strided conv must not take the Winograd path")
+	}
+	if New(conv.Square(8, 2, 2, 2, 1)).Fast() {
+		t.Fatal("2x2 kernel must not take the Winograd path")
+	}
+}
+
+func TestFilterTransformKnownValues(t *testing.T) {
+	// Identity-like check: an impulse filter g with g[1][1]=1 (center)
+	// transforms to G·g·Gᵀ where only the middle column/row pattern
+	// appears: u = G_col1 ⊗ G_col1 with G column 1 = (0, ½, −½, 0).
+	g := make([]float32, 9)
+	g[4] = 1
+	u := make([]float32, 16)
+	transformFilter(u, g)
+	col := []float32{0, 0.5, -0.5, 0}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			want := col[r] * col[c]
+			if u[4*r+c] != want {
+				t.Fatalf("u[%d][%d] = %v, want %v", r, c, u[4*r+c], want)
+			}
+		}
+	}
+}
+
+func TestWinogradMatchesReferenceSingleTile(t *testing.T) {
+	// Minimal case: 4x4 input, 3x3 kernel -> 2x2 output, one tile.
+	r := rng.New(1)
+	s := conv.Square(4, 1, 1, 3, 1)
+	in := conv.RandInput(r, s)
+	w := conv.RandWeights(r, s)
+	got := conv.NewOutput(s)
+	New(s).Forward(got, in, w)
+	want := conv.NewOutput(s)
+	conv.ForwardRef(s, want, in, w)
+	if !tensor.AlmostEqual(got, want, 1e-4) {
+		t.Fatalf("single tile differs: %v vs %v", got.Data, want.Data)
+	}
+}
+
+func TestMultiplyCount(t *testing.T) {
+	// 2.25x fewer multiplies for tile-aligned outputs.
+	s := conv.Square(10, 4, 2, 3, 1) // output 8x8: 16 tiles
+	wg, direct := New(s).MultiplyCount()
+	if direct != 8*8*9*4*2 {
+		t.Fatalf("direct = %d", direct)
+	}
+	if wg != 16*16*4*2 {
+		t.Fatalf("winograd = %d", wg)
+	}
+	if ratio := float64(direct) / float64(wg); ratio != 2.25 {
+		t.Fatalf("multiply reduction = %v, want 2.25", ratio)
+	}
+}
+
+func benchWinograd(b *testing.B, s conv.Spec, wino bool) {
+	r := rng.New(1)
+	in := conv.RandInput(r, s)
+	w := conv.RandWeights(r, s)
+	out := conv.NewOutput(s)
+	var k engine.Kernel
+	if wino {
+		k = New(s)
+	} else {
+		k = unfoldgemm.New(s, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Forward(out, in, w)
+	}
+	b.ReportMetric(float64(s.FlopsFP())*float64(b.N)/b.Elapsed().Seconds()/1e9, "direct-GFlops-equiv")
+}
+
+func BenchmarkWinograd3x3(b *testing.B) {
+	benchWinograd(b, conv.Square(34, 32, 16, 3, 1), true)
+}
+
+func BenchmarkUnfold3x3(b *testing.B) {
+	benchWinograd(b, conv.Square(34, 32, 16, 3, 1), false)
+}

@@ -1,0 +1,260 @@
+// Package spgcnn is a pure-Go implementation of spg-CNN, the CNN training
+// optimization framework of "Optimizing CNNs on Multicores for
+// Scalability, Performance and Goodput" (ASPLOS 2017).
+//
+// The package is a facade over the implementation packages; it exposes
+// everything a downstream user needs:
+//
+//   - Convolution geometry and analysis: ConvSpec, Analyze, Region — the
+//     paper's §3 AIT/sparsity characterization.
+//   - Kernels: NewUnfoldGEMM (the Unfold+GEMM baseline, serial or
+//     Parallel-GEMM), NewStencil (the §4.3 FP code generator), NewSparse
+//     (the §4.2 CT-CSR BP kernel). All satisfy Kernel and compute
+//     identical results.
+//   - Scheduling: FPStrategies/BPStrategies/NewExec for explicit
+//     deployment, NewAutoConv for §4.4's measure-and-pick scheduler.
+//   - Training: networks from text descriptions (ParseNet/BuildNet or the
+//     built-in benchmark networks), the SGD Trainer, and the synthetic
+//     datasets.
+//   - Reproduction: Experiments() regenerates every table and figure of
+//     the paper's evaluation; PaperMachine() is the calibrated model of
+//     the paper's 16-core Xeon.
+//
+// Quick start (see examples/quickstart for the runnable version):
+//
+//	spec := spgcnn.Square(36, 64, 3, 5, 1)     // CIFAR-10 layer 0
+//	fmt.Println(spgcnn.Analyze(spec))          // AIT, unfold loss, region
+//	k := spgcnn.NewStencil(spec)               // generate a kernel
+//	k.Forward(out, in, weights)                // run it
+package spgcnn
+
+import (
+	"io"
+
+	"spgcnn/internal/ait"
+	"spgcnn/internal/bench"
+	"spgcnn/internal/conv"
+	"spgcnn/internal/core"
+	"spgcnn/internal/data"
+	"spgcnn/internal/dataparallel"
+	"spgcnn/internal/engine"
+	"spgcnn/internal/fftconv"
+	"spgcnn/internal/machine"
+	"spgcnn/internal/netdef"
+	"spgcnn/internal/nn"
+	"spgcnn/internal/rng"
+	"spgcnn/internal/spkernel"
+	"spgcnn/internal/stencil"
+	"spgcnn/internal/tensor"
+	"spgcnn/internal/unfoldgemm"
+	"spgcnn/internal/winograd"
+)
+
+// Geometry and tensors.
+
+// ConvSpec is the convolution 5-tuple ⟨Nf, Fy, Fx, sy, sx⟩ plus input
+// geometry (paper §2.2).
+type ConvSpec = conv.Spec
+
+// Tensor is a dense row-major float32 array.
+type Tensor = tensor.Tensor
+
+// RNG is the deterministic random generator used throughout.
+type RNG = rng.RNG
+
+// Square builds a square-geometry spec (N, Nf, Nc, F, stride) — the form
+// the paper's tables use.
+func Square(n, nf, nc, f, stride int) ConvSpec { return conv.Square(n, nf, nc, f, stride) }
+
+// NewTensor allocates a zero-filled tensor.
+func NewTensor(dims ...int) *Tensor { return tensor.New(dims...) }
+
+// NewRNG returns a seeded deterministic generator.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// NewInput, NewWeights and NewOutput allocate correctly-shaped tensors for
+// a spec ([Nc][Ny][Nx], [Nf][Nc][Fy][Fx], [Nf][OutY][OutX]).
+func NewInput(s ConvSpec) *Tensor   { return conv.NewInput(s) }
+func NewWeights(s ConvSpec) *Tensor { return conv.NewWeights(s) }
+func NewOutput(s ConvSpec) *Tensor  { return conv.NewOutput(s) }
+
+// Characterization (paper §3).
+
+// Analysis is a convolution's static characterization: intrinsic AIT,
+// post-unfolding AIT, the ratio r, and its Fig. 1 regions.
+type Analysis = ait.Analysis
+
+// Region is a cell of the Fig. 1 design space.
+type Region = ait.Region
+
+// Analyze computes the full characterization of a spec.
+func Analyze(s ConvSpec) Analysis { return ait.Analyze(s) }
+
+// Classify places a convolution with the given gradient sparsity in its
+// Fig. 1 region.
+func Classify(s ConvSpec, sparsity float64) Region { return ait.Classify(s, sparsity) }
+
+// Phase identifies one of the three GEMMs of a training step (FP, the
+// input-error gradient, the delta-weights).
+type Phase = ait.Phase
+
+// The training phases.
+const (
+	FP        Phase = ait.FP
+	BPInput   Phase = ait.BPInput
+	BPWeights Phase = ait.BPWeights
+)
+
+// Kernels (paper §4).
+
+// Kernel executes the three convolution computations of one training step
+// (Eqs. 2–4) for a single input.
+type Kernel = engine.Kernel
+
+// NewUnfoldGEMM builds an Unfold+GEMM kernel (§2.3): workers <= 1 gives
+// the single-threaded GEMM, workers > 1 the Parallel-GEMM baseline.
+func NewUnfoldGEMM(s ConvSpec, workers int) Kernel { return unfoldgemm.New(s, workers) }
+
+// NewStencil generates a Stencil-Kernel (§4.3) with the register tile and
+// cache schedule chosen by the basic-block/schedule generators.
+func NewStencil(s ConvSpec) Kernel { return stencil.New(s) }
+
+// NewSparse generates a Sparse-Kernel (§4.2). tileWidth <= 0 selects the
+// default CT-CSR column-tile width.
+func NewSparse(s ConvSpec, tileWidth int) Kernel { return spkernel.New(s, tileWidth) }
+
+// NewFFTConv generates an FFT-based forward-convolution kernel (the
+// complementary technique of the paper's related work; unit-stride FP via
+// the convolution theorem, everything else via unfold+GEMM fallback).
+func NewFFTConv(s ConvSpec) Kernel { return fftconv.New(s) }
+
+// NewWinograd generates a Winograd F(2×2, 3×3) minimal-filtering kernel
+// (2.25× fewer multiplies for 3×3 unit-stride convolutions; other
+// geometries and BP fall back to unfold+GEMM).
+func NewWinograd(s ConvSpec) Kernel { return winograd.New(s) }
+
+// SparseNonZeroFlops returns the useful flop count of one sparse BP
+// computation when the error gradient has nnz non-zeros — the numerator of
+// the paper's goodput (Eq. 9).
+func SparseNonZeroFlops(s ConvSpec, nnz int) int64 { return spkernel.NonZeroFlops(s, nnz) }
+
+// InferenceKernel executes forward propagation with compiled sparse
+// (pruned) weights — the weight-sparsity direction of the paper's related
+// work, applicable to inference.
+type InferenceKernel = spkernel.InferenceKernel
+
+// CompileWeights compiles a pruned weight tensor into an inference kernel
+// that executes only the surviving taps.
+func CompileWeights(s ConvSpec, w *Tensor) *InferenceKernel {
+	return spkernel.CompileWeights(s, w)
+}
+
+// Scheduling (paper §4.1, §4.4).
+
+// Strategy couples a kernel generator with a batch schedule.
+type Strategy = core.Strategy
+
+// Exec executes one layer phase over batches according to a strategy.
+type Exec = core.Exec
+
+// AutoConv is the self-tuning layer executor: it measures every candidate
+// strategy and deploys the fastest, re-checking BP periodically.
+type AutoConv = core.AutoConv
+
+// FPStrategies and BPStrategies return the paper's candidate sets.
+func FPStrategies(workers int) []Strategy { return core.FPStrategies(workers) }
+func BPStrategies(workers int) []Strategy { return core.BPStrategies(workers) }
+
+// NewExec instantiates a strategy for a spec.
+func NewExec(st Strategy, s ConvSpec, workers int) *Exec { return core.NewExec(st, s, workers) }
+
+// NewAutoConv builds the §4.4 auto-tuning scheduler for one layer.
+func NewAutoConv(s ConvSpec, workers int) *AutoConv {
+	return core.NewAutoConv(s, workers, core.AutoOptions{})
+}
+
+// TuningChoices is a network's serializable per-layer deployment — the
+// "best configuration" the scheduler produced (§1.3). Harvest one from a
+// trained network with Network.TuningChoices, persist it with its Save
+// method, and redeploy via BuildOptions.Choices.
+type TuningChoices = core.Choices
+
+// LoadTuningChoices reads a configuration saved by TuningChoices.Save.
+func LoadTuningChoices(r io.Reader) (TuningChoices, error) { return core.LoadChoices(r) }
+
+// Training substrate.
+
+// Network is a stack of layers with preallocated batch storage.
+type Network = nn.Network
+
+// Trainer runs minibatch SGD.
+type Trainer = nn.Trainer
+
+// Dataset is the trainer's data source.
+type Dataset = nn.Dataset
+
+// NetDef is a parsed network description.
+type NetDef = netdef.NetDef
+
+// BuildOptions controls network construction.
+type BuildOptions = netdef.BuildOptions
+
+// ParseNet parses a prototxt-style network description.
+func ParseNet(src string) (*NetDef, error) { return netdef.Parse(src) }
+
+// BuildNet constructs a runnable network from a parsed description.
+func BuildNet(def *NetDef, opts BuildOptions) (*Network, error) { return netdef.Build(def, opts) }
+
+// NewTrainer builds an SGD trainer.
+func NewTrainer(net *Network, lr float32, batch int) *Trainer {
+	return nn.NewTrainer(net, lr, batch)
+}
+
+// Data-parallel training (the cluster context of the paper's §1/§6).
+
+// DataParallelConfig tunes a synchronous data-parallel run.
+type DataParallelConfig = dataparallel.Config
+
+// DataParallelTrainer coordinates model replicas with periodic parameter
+// averaging.
+type DataParallelTrainer = dataparallel.Trainer
+
+// NewDataParallel builds a data-parallel trainer; build must return
+// identically-initialized replicas (same seed).
+func NewDataParallel(build func(replica int) *Network, cfg DataParallelConfig) (*DataParallelTrainer, error) {
+	return dataparallel.New(build, cfg)
+}
+
+// Built-in benchmark network descriptions (Table 2 geometries).
+const (
+	MNISTNet       = netdef.MNISTNet
+	CIFARNet       = netdef.CIFARNet
+	ImageNet100Net = netdef.ImageNet100Net
+)
+
+// Synthetic benchmark datasets (see DESIGN.md §2 on the substitution for
+// the real image sets).
+func MNISTData(n int) Dataset       { return data.MNIST(n) }
+func CIFARData(n int) Dataset       { return data.CIFAR(n) }
+func ImageNet100Data(n int) Dataset { return data.ImageNet100(n) }
+
+// Reproduction harness.
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment = bench.Experiment
+
+// ExperimentOptions configures an experiment run ("quick" or "full").
+type ExperimentOptions = bench.Options
+
+// ResultTable is a rendered experiment result.
+type ResultTable = bench.Table
+
+// Experiments returns every regenerable artifact, in paper order.
+func Experiments() []Experiment { return bench.Experiments() }
+
+// LookupExperiment finds an experiment by ID (e.g. "fig4e").
+func LookupExperiment(id string) (Experiment, error) { return bench.Lookup(id) }
+
+// PaperMachine returns the analytical model of the paper's 16-core Xeon
+// E5-2650 testbed (the documented hardware substitution, DESIGN.md §2).
+func PaperMachine() machine.Machine { return machine.Paper() }
