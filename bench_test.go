@@ -22,6 +22,7 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	opts := spgcnn.ExperimentOptions{Scale: "quick"}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tables := e.Run(opts)
@@ -84,6 +85,7 @@ func cifarL0() (spec spgcnn.ConvSpec, in, w, out, ei, dw, eoDense, eoSparse *spg
 func BenchmarkKernelFPUnfoldGEMM(b *testing.B) {
 	spec, in, w, out, _, _, _, _ := cifarL0()
 	k := spgcnn.NewUnfoldGEMM(spec, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k.Forward(out, in, w)
@@ -94,6 +96,7 @@ func BenchmarkKernelFPUnfoldGEMM(b *testing.B) {
 func BenchmarkKernelFPStencil(b *testing.B) {
 	spec, in, w, out, _, _, _, _ := cifarL0()
 	k := spgcnn.NewStencil(spec)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k.Forward(out, in, w)
@@ -104,6 +107,7 @@ func BenchmarkKernelFPStencil(b *testing.B) {
 func BenchmarkKernelBPDense(b *testing.B) {
 	spec, in, w, _, ei, dw, eoDense, _ := cifarL0()
 	k := spgcnn.NewUnfoldGEMM(spec, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k.BackwardInput(ei, eoDense, w)
@@ -114,6 +118,7 @@ func BenchmarkKernelBPDense(b *testing.B) {
 func BenchmarkKernelBPSparse85(b *testing.B) {
 	spec, in, w, _, ei, dw, _, eoSparse := cifarL0()
 	k := spgcnn.NewSparse(spec, 0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k.BackwardInput(ei, eoSparse, w)
@@ -139,9 +144,52 @@ func BenchmarkTrainStepCIFAR(b *testing.B) {
 	tr := spgcnn.NewTrainer(net, 0.01, 4)
 	ds := spgcnn.CIFARData(4)
 	r := spgcnn.NewRNG(2)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		stats := tr.TrainEpoch(ds, r)
 		b.ReportMetric(stats.ImagesPerSec, "images/sec")
+	}
+}
+
+// BenchmarkTrainStepAllocs measures steady-state allocations of one full
+// FP+BP step on the CIFAR-10 layer-0 geometry with the paper's composed
+// deployment (Stencil-Kernel FP + Sparse-Kernel BP). allocs/op is the
+// headline number tracked in results/alloc_baseline.txt: it should stay
+// near zero once every engine draws scratch from the execution context's
+// arena instead of the Go allocator.
+func BenchmarkTrainStepAllocs(b *testing.B) {
+	spec := spgcnn.Square(36, 64, 3, 5, 1) // CIFAR-10 layer 0 (Table 2)
+	r := spgcnn.NewRNG(9)
+	const batch = 4
+	var ins, outs, eis, eos []*spgcnn.Tensor
+	for i := 0; i < batch; i++ {
+		in := spgcnn.NewInput(spec)
+		in.FillNormal(r, 0, 1)
+		eo := spgcnn.NewOutput(spec)
+		eo.FillNormal(r, 0, 1)
+		eo.Sparsify(r, 0.85)
+		ins = append(ins, in)
+		eos = append(eos, eo)
+		outs = append(outs, spgcnn.NewOutput(spec))
+		eis = append(eis, spgcnn.NewInput(spec))
+	}
+	w := spgcnn.NewWeights(spec)
+	w.FillNormal(r, 0, 0.1)
+	dw := spgcnn.NewWeights(spec)
+
+	fe := spgcnn.NewExec(spgcnn.FPStrategies(2)[2], spec, 2) // stencil
+	be := spgcnn.NewExec(spgcnn.BPStrategies(2)[2], spec, 2) // sparse
+
+	step := func() {
+		fe.Forward(outs, ins, w)
+		be.BackwardInput(eis, eos, w)
+		be.BackwardWeights(dw, eos, ins)
+	}
+	step() // warm-up: grow scratch to steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
 	}
 }

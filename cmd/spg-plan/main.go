@@ -68,6 +68,7 @@ func main() {
 			w = 1
 		}
 		fmt.Printf("measured on this host (%d workers):\n", w)
+		ctx := spgcnn.NewCtx(w)
 		r := spgcnn.NewRNG(1)
 		var ins, eos []*spgcnn.Tensor
 		for i := 0; i < w; i++ {
@@ -76,15 +77,22 @@ func main() {
 			eos = append(eos, conv.RandOutputError(r, spec, *sparsity))
 		}
 		wts := conv.RandWeights(r, spec)
-		fpSel := core.ChooseFP(core.FPStrategies(w), spec, w, ins, wts, core.TuneOptions{})
+		fpSel := core.ChooseFP(core.FPStrategies(w), spec, ctx, ins, wts, core.TuneOptions{})
 		for _, tm := range fpSel.Timings {
 			fmt.Printf("  FP %-18s %8.3f ms\n", tm.Strategy.Name, tm.Seconds*1e3)
 		}
 		fmt.Printf("  FP chosen: %s\n", fpSel.Best().Strategy.Name)
-		bpSel := core.ChooseBP(core.BPStrategies(w), spec, w, eos, ins, wts, core.TuneOptions{})
+		bpSel := core.ChooseBP(core.BPStrategies(w), spec, ctx, eos, ins, wts, core.TuneOptions{})
 		for _, tm := range bpSel.Timings {
 			fmt.Printf("  BP %-18s %8.3f ms\n", tm.Strategy.Name, tm.Seconds*1e3)
 		}
 		fmt.Printf("  BP chosen: %s\n", bpSel.Best().Strategy.Name)
+		st := ctx.Arena().Stats()
+		gets := st.Gets
+		if gets == 0 {
+			gets = 1
+		}
+		fmt.Printf("  arena: %d scratch acquisitions, %.1f%% served from free lists\n",
+			st.Gets, 100*float64(st.Hits)/float64(gets))
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"spgcnn"
 )
@@ -54,9 +55,16 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	opts := spgcnn.BuildOptions{Workers: *workers, Seed: *seed}
+	w := *workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	// One execution context for the whole network: every layer draws
+	// scratch from the same arena and reports into the same probe.
+	ctx := spgcnn.NewCtx(w)
+	opts := spgcnn.BuildOptions{Ctx: ctx, Seed: *seed}
 	if *strategy != "auto" {
-		st, ok := findStrategy(*strategy, *workers)
+		st, ok := findStrategy(*strategy, w)
 		if !ok {
 			fatal("unknown strategy %q", *strategy)
 		}
@@ -121,6 +129,18 @@ func main() {
 	}
 	if *profile {
 		fmt.Print("\nper-layer time breakdown:\n", net.ProfileReport())
+	}
+	st := ctx.Arena().Stats()
+	if st.Gets > 0 {
+		fmt.Printf("arena: %d scratch acquisitions, %.1f%% served from free lists, %d outstanding\n",
+			st.Gets, 100*float64(st.Hits)/float64(st.Gets), st.Outstanding)
+	}
+	if choices := ctx.Probe().Choices(); len(choices) > 0 {
+		fmt.Printf("scheduler deployments:")
+		for _, c := range choices {
+			fmt.Printf(" %s=%s", c.Phase, c.Strategy)
+		}
+		fmt.Println()
 	}
 	if *saveTune != "" {
 		choices := net.TuningChoices()

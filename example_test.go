@@ -53,6 +53,45 @@ func ExampleNewStencil() {
 	// kernels agree: true
 }
 
+// One execution context serves every layer: the two convolutions below
+// have different geometries, yet their batch calls draw scratch from the
+// same size-classed arena, so the second layer (and every later training
+// step) reuses the buffers the first acquired instead of allocating.
+func ExampleCtx() {
+	ctx := spgcnn.NewCtx(2)
+	layer0 := spgcnn.Square(16, 8, 3, 5, 1)
+	layer1 := spgcnn.Square(12, 16, 8, 3, 1)
+	r := spgcnn.NewRNG(7)
+
+	run := func(spec spgcnn.ConvSpec, k spgcnn.Kernel) {
+		const batch = 2
+		var ins, outs []*spgcnn.Tensor
+		for i := 0; i < batch; i++ {
+			in := spgcnn.NewInput(spec)
+			in.FillNormal(r, 0, 1)
+			ins = append(ins, in)
+			outs = append(outs, spgcnn.NewOutput(spec))
+		}
+		w := spgcnn.NewWeights(spec)
+		w.FillNormal(r, 0, 0.5)
+		k.ForwardBatch(ctx, outs, ins, w)
+	}
+
+	run(layer0, spgcnn.NewStencil(layer0))
+	before := ctx.Arena().Stats()
+	run(layer1, spgcnn.NewUnfoldGEMM(layer1, 1))
+	run(layer0, spgcnn.NewStencil(layer0)) // steady state: all scratch reused
+	after := ctx.Arena().Stats()
+
+	fmt.Println("later layers acquired scratch:", after.Gets > before.Gets)
+	fmt.Println("served from free lists:", after.Hits > before.Hits)
+	fmt.Println("buffers leaked:", after.Outstanding)
+	// Output:
+	// later layers acquired scratch: true
+	// served from free lists: true
+	// buffers leaked: 0
+}
+
 // The Sparse-Kernel touches only the non-zero error gradients; Eq. 9's
 // goodput numerator counts exactly that work.
 func ExampleSparseNonZeroFlops() {

@@ -30,7 +30,11 @@ func main() {
 			panic(err)
 		}
 		st := spgcnn.FPStrategies(1)[1]
-		net, err := spgcnn.BuildNet(def, spgcnn.BuildOptions{Workers: 1, Seed: 11, FixedStrategy: &st})
+		// Each replica gets its own execution context (replicas step
+		// concurrently, and a private arena keeps their scratch disjoint).
+		net, err := spgcnn.BuildNet(def, spgcnn.BuildOptions{
+			Ctx: spgcnn.NewCtx(1), Seed: 11, FixedStrategy: &st,
+		})
 		if err != nil {
 			panic(err)
 		}

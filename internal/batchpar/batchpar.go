@@ -6,9 +6,11 @@
 // The executor is kernel-agnostic: the same batch schedule carries
 // unfold+GEMM kernels (the literal GEMM-in-Parallel of §4.1),
 // stencil kernels (§4.3's FP deployment) and sparse kernels (§4.2's BP
-// deployment). Each worker owns a private kernel instance — and therefore
-// private scratch — so inputs are never divided across cores and per-core
-// AIT stays at the single-kernel level.
+// deployment). Because kernels are stateless plans, one shared instance
+// serves every worker; each worker runs its contiguous chunk of the batch
+// through the context's serial view, so per-core AIT stays at the
+// single-kernel level while all scratch still comes from the one shared
+// arena.
 package batchpar
 
 import (
@@ -16,108 +18,121 @@ import (
 
 	"spgcnn/internal/conv"
 	"spgcnn/internal/engine"
+	"spgcnn/internal/exec"
 	"spgcnn/internal/par"
 	"spgcnn/internal/tensor"
 )
 
 // Executor schedules a per-input kernel across batches of training inputs.
+// It is itself an engine.Kernel, so batch-parallel deployments compose
+// with everything that consumes the seam.
 type Executor struct {
-	spec    conv.Spec
-	workers int
-	kernels []engine.Kernel  // one per worker
-	dwAcc   []*tensor.Tensor // per-worker weight-gradient accumulators
-	dwTmp   []*tensor.Tensor // per-worker single-input gradient scratch
-	name    string
+	spec   conv.Spec
+	k      engine.Kernel
+	name   string
+	single engine.SingleOps
 }
 
-// New builds an executor that fans gen's kernels for spec s across the
-// given number of workers (minimum 1).
-func New(gen engine.Generator, s conv.Spec, workers int) *Executor {
+// New builds an executor fanning gen's kernel for spec s across the
+// workers of whatever context each call supplies.
+func New(gen engine.Generator, s conv.Spec) *Executor {
 	s.MustValidate()
-	if workers < 1 {
-		workers = 1
-	}
-	e := &Executor{
-		spec:    s,
-		workers: workers,
-		kernels: make([]engine.Kernel, workers),
-		dwAcc:   make([]*tensor.Tensor, workers),
-		dwTmp:   make([]*tensor.Tensor, workers),
-	}
-	for i := range e.kernels {
-		e.kernels[i] = gen.New(s)
-		e.dwAcc[i] = conv.NewWeights(s)
-		e.dwTmp[i] = conv.NewWeights(s)
-	}
-	e.name = fmt.Sprintf("batch-parallel[%s, p=%d]", e.kernels[0].Name(), workers)
+	e := &Executor{spec: s, k: gen.New(s)}
+	e.name = fmt.Sprintf("batch-parallel[%s]", e.k.Name())
 	return e
 }
 
-// Name describes the executor.
+// Name implements engine.Kernel.
 func (e *Executor) Name() string { return e.name }
 
-// Workers reports the fan-out.
-func (e *Executor) Workers() int { return e.workers }
-
-// Spec returns the convolution geometry.
+// Spec implements engine.Kernel.
 func (e *Executor) Spec() conv.Spec { return e.spec }
 
-// Forward computes outs[i] = conv(ins[i], w) for the whole batch, one
-// worker per contiguous chunk of inputs.
-func (e *Executor) Forward(outs, ins []*tensor.Tensor, w *tensor.Tensor) {
+// Inner returns the wrapped per-input kernel.
+func (e *Executor) Inner() engine.Kernel { return e.k }
+
+// ForwardBatch computes outs[i] = conv(ins[i], w) for the whole batch, one
+// worker per contiguous chunk of inputs, each chunk running the kernel
+// single-threaded.
+func (e *Executor) ForwardBatch(c *exec.Ctx, outs, ins []*tensor.Tensor, w *tensor.Tensor) {
 	if len(outs) != len(ins) {
-		panic("batchpar: Forward batch length mismatch")
+		panic("batchpar: ForwardBatch batch length mismatch")
 	}
-	par.ForWorkers(len(ins), e.workers, func(worker, lo, hi int) {
-		k := e.kernels[worker]
-		for i := lo; i < hi; i++ {
-			k.Forward(outs[i], ins[i], w)
+	serial := c.Serial()
+	par.ForWorkers(len(ins), c.Workers(), func(worker, lo, hi int) {
+		if lo >= hi {
+			return // uneven chunking can leave trailing workers empty
 		}
+		e.k.ForwardBatch(serial, outs[lo:hi], ins[lo:hi], w)
 	})
 }
 
-// BackwardInput computes eis[i] = corr(eos[i], w) for the whole batch.
-func (e *Executor) BackwardInput(eis, eos []*tensor.Tensor, w *tensor.Tensor) {
+// BackwardInputBatch computes eis[i] = corr(eos[i], w) for the whole batch.
+func (e *Executor) BackwardInputBatch(c *exec.Ctx, eis, eos []*tensor.Tensor, w *tensor.Tensor) {
 	if len(eis) != len(eos) {
-		panic("batchpar: BackwardInput batch length mismatch")
+		panic("batchpar: BackwardInputBatch batch length mismatch")
 	}
-	par.ForWorkers(len(eos), e.workers, func(worker, lo, hi int) {
-		k := e.kernels[worker]
-		for i := lo; i < hi; i++ {
-			k.BackwardInput(eis[i], eos[i], w)
+	serial := c.Serial()
+	par.ForWorkers(len(eos), c.Workers(), func(worker, lo, hi int) {
+		if lo >= hi {
+			return
 		}
+		e.k.BackwardInputBatch(serial, eis[lo:hi], eos[lo:hi], w)
 	})
 }
 
-// BackwardWeights computes dw = Σ_i grad(eos[i], ins[i]): each worker
-// accumulates its chunk's gradients into private scratch, then the
+// BackwardWeightsBatch computes dw = Σ_i grad(eos[i], ins[i]): each worker
+// sums its chunk's gradients into an arena-backed private accumulator (the
+// inner kernel's batch-sum semantics do the per-chunk reduction), then the
 // per-worker partials are reduced into dw. dw is overwritten.
-func (e *Executor) BackwardWeights(dw *tensor.Tensor, eos, ins []*tensor.Tensor) {
+func (e *Executor) BackwardWeightsBatch(c *exec.Ctx, dw *tensor.Tensor, eos, ins []*tensor.Tensor) {
 	if len(eos) != len(ins) {
-		panic("batchpar: BackwardWeights batch length mismatch")
+		panic("batchpar: BackwardWeightsBatch batch length mismatch")
 	}
-	conv.CheckWeights(e.spec, dw)
-	used := e.workers
+	s := e.spec
+	conv.CheckWeights(s, dw)
+	if len(eos) == 0 {
+		dw.Zero()
+		return
+	}
+	used := c.Workers()
 	if used > len(eos) {
 		used = len(eos)
 	}
-	if used < 1 {
-		used = 1
+	serial := c.Serial()
+	if used <= 1 {
+		e.k.BackwardWeightsBatch(serial, dw, eos, ins)
+		return
 	}
-	for i := 0; i < used; i++ {
-		e.dwAcc[i].Zero()
+	var accArr [64]*tensor.Tensor
+	accs := accArr[:0]
+	if used > len(accArr) {
+		accs = make([]*tensor.Tensor, 0, used)
 	}
-	par.ForWorkers(len(eos), e.workers, func(worker, lo, hi int) {
-		k := e.kernels[worker]
-		acc := e.dwAcc[worker]
-		tmp := e.dwTmp[worker]
-		for i := lo; i < hi; i++ {
-			k.BackwardWeights(tmp, eos[i], ins[i])
-			acc.AddScaled(tmp, 1)
+	// Worker 0 writes dw directly; the rest get arena accumulators.
+	accs = append(accs, dw)
+	for i := 1; i < used; i++ {
+		accs = append(accs, c.GetTensor(s.Nf, s.Nc, s.Fy, s.Fx))
+	}
+	par.ForWorkers(len(eos), used, func(worker, lo, hi int) {
+		if lo > hi {
+			lo = hi // empty chunk: the inner call still zeroes the accumulator
 		}
+		e.k.BackwardWeightsBatch(serial, accs[worker], eos[lo:hi], ins[lo:hi])
 	})
-	dw.Zero()
-	for i := 0; i < used; i++ {
-		dw.AddScaled(e.dwAcc[i], 1)
+	for i := 1; i < used; i++ {
+		dw.AddScaled(accs[i], 1)
+		c.PutTensor(accs[i])
 	}
+}
+
+// Forward implements engine.SingleKernel.
+func (e *Executor) Forward(out, in, w *tensor.Tensor) { e.single.Forward(e, out, in, w) }
+
+// BackwardInput implements engine.SingleKernel.
+func (e *Executor) BackwardInput(ei, eo, w *tensor.Tensor) { e.single.BackwardInput(e, ei, eo, w) }
+
+// BackwardWeights implements engine.SingleKernel.
+func (e *Executor) BackwardWeights(dw, eo, in *tensor.Tensor) {
+	e.single.BackwardWeights(e, dw, eo, in)
 }

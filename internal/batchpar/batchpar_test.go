@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"spgcnn/internal/conv"
+	"spgcnn/internal/exec"
 	"spgcnn/internal/rng"
 	"spgcnn/internal/spkernel"
 	"spgcnn/internal/stencil"
@@ -25,11 +26,12 @@ func TestBatchForwardMatchesReference(t *testing.T) {
 	r := rng.New(1)
 	s := conv.Square(10, 4, 3, 3, 1)
 	for _, workers := range []int{1, 2, 5, 16} {
+		c := exec.New(workers)
 		for _, batch := range []int{1, 3, 8, 17} {
 			ins, outs, _, _ := makeBatch(r, s, batch, 0)
 			w := conv.RandWeights(r, s)
-			e := New(unfoldgemm.Generator(1), s, workers)
-			e.Forward(outs, ins, w)
+			e := New(unfoldgemm.Generator(1), s)
+			e.ForwardBatch(c, outs, ins, w)
 			for i := range outs {
 				want := conv.NewOutput(s)
 				conv.ForwardRef(s, want, ins[i], w)
@@ -46,8 +48,8 @@ func TestBatchBackwardInput(t *testing.T) {
 	s := conv.Square(9, 5, 2, 3, 2)
 	w := conv.RandWeights(r, s)
 	_, _, eos, eis := makeBatch(r, s, 7, 0.7)
-	e := New(spkernel.Generator(), s, 3)
-	e.BackwardInput(eis, eos, w)
+	e := New(spkernel.Generator(), s)
+	e.BackwardInputBatch(exec.New(3), eis, eos, w)
 	for i := range eis {
 		want := conv.NewInput(s)
 		conv.BackwardInputRef(s, want, eos[i], w)
@@ -62,10 +64,10 @@ func TestBatchBackwardWeightsSumsOverBatch(t *testing.T) {
 	s := conv.Square(8, 3, 2, 3, 1)
 	for _, workers := range []int{1, 2, 4, 9} {
 		ins, _, eos, _ := makeBatch(r, s, 6, 0.5)
-		e := New(stencil.Generator(), s, workers)
+		e := New(stencil.Generator(), s)
 		dw := conv.NewWeights(s)
 		dw.FillUniform(r, 5, 6) // must be overwritten
-		e.BackwardWeights(dw, eos, ins)
+		e.BackwardWeightsBatch(exec.New(workers), dw, eos, ins)
 		want := conv.NewWeights(s)
 		tmp := conv.NewWeights(s)
 		for i := range ins {
@@ -81,23 +83,24 @@ func TestBatchBackwardWeightsSumsOverBatch(t *testing.T) {
 
 func TestEmptyBatch(t *testing.T) {
 	s := conv.Square(6, 2, 1, 2, 1)
-	e := New(unfoldgemm.Generator(1), s, 4)
-	e.Forward(nil, nil, conv.NewWeights(s))
+	e := New(unfoldgemm.Generator(1), s)
+	c := exec.New(4)
+	e.ForwardBatch(c, nil, nil, conv.NewWeights(s))
 	dw := conv.NewWeights(s)
 	dw.Data[0] = 7
-	e.BackwardWeights(dw, nil, nil)
+	e.BackwardWeightsBatch(c, dw, nil, nil)
 	if dw.Data[0] != 0 {
-		t.Fatal("BackwardWeights on empty batch should produce zero gradient")
+		t.Fatal("BackwardWeightsBatch on empty batch should produce zero gradient")
 	}
 }
 
 func TestMoreWorkersThanInputs(t *testing.T) {
 	r := rng.New(4)
 	s := conv.Square(6, 2, 1, 2, 1)
-	e := New(unfoldgemm.Generator(1), s, 8)
+	e := New(unfoldgemm.Generator(1), s)
 	ins, outs, _, _ := makeBatch(r, s, 2, 0)
 	w := conv.RandWeights(r, s)
-	e.Forward(outs, ins, w)
+	e.ForwardBatch(exec.New(8), outs, ins, w)
 	want := conv.NewOutput(s)
 	conv.ForwardRef(s, want, ins[1], w)
 	if !tensor.AlmostEqual(outs[1], want, 1e-3) {
@@ -107,37 +110,54 @@ func TestMoreWorkersThanInputs(t *testing.T) {
 
 func TestMismatchedBatchPanics(t *testing.T) {
 	s := conv.Square(6, 2, 1, 2, 1)
-	e := New(unfoldgemm.Generator(1), s, 2)
+	e := New(unfoldgemm.Generator(1), s)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("mismatched batch lengths did not panic")
 		}
 	}()
-	e.Forward(make([]*tensor.Tensor, 1), make([]*tensor.Tensor, 2), conv.NewWeights(s))
+	e.ForwardBatch(exec.New(2), make([]*tensor.Tensor, 1), make([]*tensor.Tensor, 2), conv.NewWeights(s))
 }
 
 func TestNameAndAccessors(t *testing.T) {
 	s := conv.Square(6, 2, 1, 2, 1)
-	e := New(stencil.Generator(), s, 0)
-	if e.Workers() != 1 {
-		t.Fatal("workers floor")
-	}
+	e := New(stencil.Generator(), s)
 	if e.Spec() != s {
 		t.Fatal("spec accessor")
 	}
 	if e.Name() == "" {
 		t.Fatal("empty name")
 	}
+	if e.Inner() == nil || e.Inner().Spec() != s {
+		t.Fatal("inner kernel accessor")
+	}
+}
+
+func TestSingleSampleCompat(t *testing.T) {
+	r := rng.New(5)
+	s := conv.Square(8, 3, 2, 3, 1)
+	e := New(unfoldgemm.Generator(1), s)
+	in := conv.RandInput(r, s)
+	w := conv.RandWeights(r, s)
+	out := conv.NewOutput(s)
+	e.Forward(out, in, w)
+	want := conv.NewOutput(s)
+	conv.ForwardRef(s, want, in, w)
+	if !tensor.AlmostEqual(out, want, 1e-3) {
+		t.Fatal("single-sample Forward via compat adapter wrong")
+	}
 }
 
 func BenchmarkGEMMInParallelFP(b *testing.B) {
 	r := rng.New(1)
 	s := conv.Square(16, 32, 16, 3, 1)
-	e := New(unfoldgemm.Generator(1), s, 4)
+	e := New(unfoldgemm.Generator(1), s)
+	c := exec.New(4)
 	ins, outs, _, _ := makeBatch(r, s, 16, 0)
 	w := conv.RandWeights(r, s)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.Forward(outs, ins, w)
+		e.ForwardBatch(c, outs, ins, w)
 	}
 }

@@ -344,3 +344,21 @@ func TestFig9MeasuredSmoke(t *testing.T) {
 		}
 	}
 }
+
+// BenchmarkAnalyticalExperiments runs the full analytical experiment set
+// (the paper's modeled tables/figures) per iteration, with allocations
+// reported so regressions in the harness's memory behavior are visible.
+func BenchmarkAnalyticalExperiments(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, id := range []string{"table1", "fig1", "fig3a", "fig4a", "fig4f", "table2"} {
+			e, err := Lookup(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tabs := e.Run(quickOpts()); len(tabs) == 0 {
+				b.Fatalf("%s produced no tables", e.ID)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"spgcnn/internal/conv"
+	"spgcnn/internal/exec"
 	"spgcnn/internal/tensor"
 )
 
@@ -13,10 +14,14 @@ import (
 // ranking of BP techniques changes as error-gradient sparsity grows during
 // training, the BP choice is re-measured every RecheckEpochs epochs using
 // the most recent real gradients.
+//
+// Every measurement and deployment runs under one execution context, so the
+// tuning passes warm the same arena the deployed kernels draw from and all
+// decisions land in the shared probe.
 type AutoConv struct {
-	spec    conv.Spec
-	workers int
-	opts    AutoOptions
+	spec conv.Spec
+	ctx  *exec.Ctx
+	opts AutoOptions
 
 	mu       sync.Mutex
 	fp       *Exec
@@ -33,6 +38,10 @@ type AutoConv struct {
 
 // AutoOptions configures an AutoConv.
 type AutoOptions struct {
+	// Ctx is the execution context measurements and deployments run under.
+	// Nil builds a private context with the worker count passed to
+	// NewAutoConv.
+	Ctx *exec.Ctx
 	// RecheckEpochs is the BP re-measurement period in epochs
 	// (default 2; §4.4's "pre-specified number of epochs").
 	RecheckEpochs int
@@ -50,33 +59,37 @@ func (o AutoOptions) recheck() int {
 	return o.RecheckEpochs
 }
 
-// NewAutoConv builds an auto-tuned layer executor.
+// NewAutoConv builds an auto-tuned layer executor. workers is used only
+// when opts.Ctx is nil; otherwise the context's worker count governs.
 func NewAutoConv(s conv.Spec, workers int, opts AutoOptions) *AutoConv {
 	s.MustValidate()
-	if workers < 1 {
-		workers = 1
+	if opts.Ctx == nil {
+		opts.Ctx = exec.New(workers)
 	}
 	if opts.FP == nil {
-		opts.FP = FPStrategies(workers)
+		opts.FP = FPStrategies(opts.Ctx.Workers())
 	}
 	if opts.BP == nil {
-		opts.BP = BPStrategies(workers)
+		opts.BP = BPStrategies(opts.Ctx.Workers())
 	}
-	return &AutoConv{spec: s, workers: workers, opts: opts}
+	return &AutoConv{spec: s, ctx: opts.Ctx, opts: opts}
 }
 
 // Spec returns the layer geometry.
 func (a *AutoConv) Spec() conv.Spec { return a.spec }
+
+// Ctx returns the execution context the layer runs under.
+func (a *AutoConv) Ctx() *exec.Ctx { return a.ctx }
 
 // Forward executes the batch, tuning on first use.
 func (a *AutoConv) Forward(outs, ins []*tensor.Tensor, w *tensor.Tensor) {
 	a.mu.Lock()
 	if !a.tunedFP {
 		sample := ins
-		if len(sample) > a.workers {
-			sample = sample[:a.workers]
+		if len(sample) > a.ctx.Workers() {
+			sample = sample[:a.ctx.Workers()]
 		}
-		a.fpSel = ChooseFP(a.opts.FP, a.spec, a.workers, sample, w, a.opts.Tune)
+		a.fpSel = ChooseFP(a.opts.FP, a.spec, a.ctx, sample, w, a.opts.Tune)
 		a.fp = a.fpSel.Chosen
 		a.tunedFP = true
 	}
@@ -93,18 +106,18 @@ func (a *AutoConv) Backward(eis []*tensor.Tensor, dw *tensor.Tensor,
 	a.mu.Lock()
 	if !a.tunedBP {
 		n := len(eos)
-		if n > a.workers {
-			n = a.workers
+		if n > a.ctx.Workers() {
+			n = a.ctx.Workers()
 		}
-		a.bpSel = ChooseBP(a.opts.BP, a.spec, a.workers, eos[:n], ins[:n], w, a.opts.Tune)
+		a.bpSel = ChooseBP(a.opts.BP, a.spec, a.ctx, eos[:n], ins[:n], w, a.opts.Tune)
 		a.bp = a.bpSel.Chosen
 		a.tunedBP = true
 	}
 	// Retain references to the freshest gradients for epoch-boundary
 	// re-tuning.
 	n := len(eos)
-	if n > a.workers {
-		n = a.workers
+	if n > a.ctx.Workers() {
+		n = a.ctx.Workers()
 	}
 	a.lastEOs = eos[:n]
 	a.lastIns = ins[:n]
@@ -126,7 +139,7 @@ func (a *AutoConv) EpochEnd() {
 		return
 	}
 	a.epochs = 0
-	a.bpSel = ChooseBP(a.opts.BP, a.spec, a.workers, a.lastEOs, a.lastIns, a.lastWRef, a.opts.Tune)
+	a.bpSel = ChooseBP(a.opts.BP, a.spec, a.ctx, a.lastEOs, a.lastIns, a.lastWRef, a.opts.Tune)
 	a.bp = a.bpSel.Chosen
 }
 

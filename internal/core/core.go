@@ -17,6 +17,7 @@ import (
 	"spgcnn/internal/batchpar"
 	"spgcnn/internal/conv"
 	"spgcnn/internal/engine"
+	"spgcnn/internal/exec"
 	"spgcnn/internal/spkernel"
 	"spgcnn/internal/stencil"
 	"spgcnn/internal/tensor"
@@ -54,84 +55,78 @@ func BPStrategies(workers int) []Strategy {
 	}
 }
 
-// Exec executes one layer phase over batches according to a strategy.
+// Exec executes one layer phase over batches according to a strategy. All
+// scratch comes from the execution context's arena and every pass is timed
+// into the context's probe, so deployed execs feed the same instrumentation
+// the measurement pass uses.
 type Exec struct {
 	strategy Strategy
 	spec     conv.Spec
-	workers  int
+	ctx      *exec.Ctx
+	k        engine.Kernel
 
-	batch  *batchpar.Executor // BatchParallel strategies
-	single engine.Kernel      // sequential strategies
-	dwTmp  *tensor.Tensor     // sequential BackwardWeights scratch
+	// Precomputed span names keep the per-call probe path allocation-free.
+	spanFP, spanBPI, spanBPW string
 }
 
-// NewExec instantiates a strategy for a spec.
-func NewExec(st Strategy, s conv.Spec, workers int) *Exec {
+// NewExecCtx instantiates a strategy for a spec under an execution context.
+func NewExecCtx(st Strategy, s conv.Spec, c *exec.Ctx) *Exec {
 	s.MustValidate()
-	if workers < 1 {
-		workers = 1
+	if c == nil {
+		c = exec.New(1)
 	}
-	e := &Exec{strategy: st, spec: s, workers: workers}
+	e := &Exec{strategy: st, spec: s, ctx: c}
 	if st.BatchParallel {
-		e.batch = batchpar.New(st.Gen, s, workers)
+		e.k = batchpar.New(st.Gen, s)
 	} else {
-		e.single = st.Gen.New(s)
-		e.dwTmp = conv.NewWeights(s)
+		e.k = st.Gen.New(s)
 	}
+	e.spanFP = "core/fp/" + st.Name
+	e.spanBPI = "core/bpi/" + st.Name
+	e.spanBPW = "core/bpw/" + st.Name
 	return e
+}
+
+// NewExec instantiates a strategy for a spec with a private context of the
+// given worker count.
+func NewExec(st Strategy, s conv.Spec, workers int) *Exec {
+	return NewExecCtx(st, s, exec.New(workers))
 }
 
 // Strategy returns the strategy this exec runs.
 func (e *Exec) Strategy() Strategy { return e.strategy }
 
+// Ctx returns the execution context this exec runs under.
+func (e *Exec) Ctx() *exec.Ctx { return e.ctx }
+
+// Kernel returns the underlying batch kernel.
+func (e *Exec) Kernel() engine.Kernel { return e.k }
+
 // Name describes the exec.
 func (e *Exec) Name() string {
-	return fmt.Sprintf("%s(p=%d)", e.strategy.Name, e.workers)
+	return fmt.Sprintf("%s(p=%d)", e.strategy.Name, e.ctx.Workers())
 }
 
 // Forward computes outs[i] = conv(ins[i], w).
 func (e *Exec) Forward(outs, ins []*tensor.Tensor, w *tensor.Tensor) {
-	if e.batch != nil {
-		e.batch.Forward(outs, ins, w)
-		return
-	}
-	if len(outs) != len(ins) {
-		panic("core: Forward batch length mismatch")
-	}
-	for i := range ins {
-		e.single.Forward(outs[i], ins[i], w)
-	}
+	start := time.Now()
+	e.k.ForwardBatch(e.ctx, outs, ins, w)
+	e.ctx.Probe().Observe(e.spanFP, time.Since(start).Seconds())
 }
 
 // BackwardInput computes eis[i] = corr(eos[i], w).
 func (e *Exec) BackwardInput(eis, eos []*tensor.Tensor, w *tensor.Tensor) {
-	if e.batch != nil {
-		e.batch.BackwardInput(eis, eos, w)
-		return
-	}
-	if len(eis) != len(eos) {
-		panic("core: BackwardInput batch length mismatch")
-	}
-	for i := range eos {
-		e.single.BackwardInput(eis[i], eos[i], w)
-	}
+	start := time.Now()
+	e.k.BackwardInputBatch(e.ctx, eis, eos, w)
+	e.ctx.Probe().Observe(e.spanBPI, time.Since(start).Seconds())
 }
 
 // BackwardWeights computes dw = Σ_i grad(eos[i], ins[i]). dw is
 // overwritten.
 func (e *Exec) BackwardWeights(dw *tensor.Tensor, eos, ins []*tensor.Tensor) {
-	if e.batch != nil {
-		e.batch.BackwardWeights(dw, eos, ins)
-		return
-	}
-	if len(eos) != len(ins) {
-		panic("core: BackwardWeights batch length mismatch")
-	}
-	dw.Zero()
-	for i := range eos {
-		e.single.BackwardWeights(e.dwTmp, eos[i], ins[i])
-		dw.AddScaled(e.dwTmp, 1)
-	}
+	start := time.Now()
+	e.k.BackwardWeightsBatch(e.ctx, dw, eos, ins)
+	e.ctx.Probe().Observe(e.spanBPW, time.Since(start).Seconds())
 }
 
 // Timing records one candidate's measured cost.
@@ -158,22 +153,6 @@ func (s Selection) Best() Timing {
 	return best
 }
 
-// measure times fn over `reps` runs after one warm-up and returns the
-// minimum — the standard low-noise estimator for short kernels.
-func measure(reps int, fn func()) float64 {
-	fn() // warm-up: page in scratch, generate code paths
-	best := 0.0
-	for i := 0; i < reps; i++ {
-		start := time.Now()
-		fn()
-		el := time.Since(start).Seconds()
-		if i == 0 || el < best {
-			best = el
-		}
-	}
-	return best
-}
-
 // TuneOptions configures the measurement pass.
 type TuneOptions struct {
 	// Reps is the number of timed repetitions per candidate (default 3).
@@ -187,12 +166,17 @@ func (o TuneOptions) reps() int {
 	return o.Reps
 }
 
-// ChooseFP measures every FP strategy on the sample batch and returns the
-// fastest, instantiated and ready to deploy.
-func ChooseFP(strategies []Strategy, s conv.Spec, workers int,
+// ChooseFP measures every FP strategy on the sample batch under ctx and
+// returns the fastest, instantiated and ready to deploy. Every candidate is
+// timed through ctx.Measure (spans "tune/fp/<name>") and the verdict is
+// recorded as a probe choice.
+func ChooseFP(strategies []Strategy, s conv.Spec, c *exec.Ctx,
 	ins []*tensor.Tensor, w *tensor.Tensor, opts TuneOptions) Selection {
 	if len(strategies) == 0 {
 		panic("core: ChooseFP with no candidates")
+	}
+	if c == nil {
+		c = exec.New(1)
 	}
 	outs := make([]*tensor.Tensor, len(ins))
 	for i := range outs {
@@ -202,24 +186,30 @@ func ChooseFP(strategies []Strategy, s conv.Spec, workers int,
 	var bestExec *Exec
 	bestT := 0.0
 	for _, st := range strategies {
-		e := NewExec(st, s, workers)
-		t := measure(opts.reps(), func() { e.Forward(outs, ins, w) })
+		e := NewExecCtx(st, s, c)
+		t := c.Measure("tune/fp/"+st.Name, opts.reps(), func() {
+			e.k.ForwardBatch(c, outs, ins, w)
+		})
 		sel.Timings = append(sel.Timings, Timing{Strategy: st, Seconds: t})
 		if bestExec == nil || t < bestT {
 			bestExec, bestT = e, t
 		}
 	}
 	sel.Chosen = bestExec
+	c.Probe().RecordChoice("fp", bestExec.strategy.Name, bestT)
 	return sel
 }
 
 // ChooseBP measures every BP strategy (input-error plus delta-weights, the
 // two Eq. 3/Eq. 4 computations of one layer's backward pass) on sample
 // error gradients whose sparsity reflects the current training phase.
-func ChooseBP(strategies []Strategy, s conv.Spec, workers int,
+func ChooseBP(strategies []Strategy, s conv.Spec, c *exec.Ctx,
 	eos, ins []*tensor.Tensor, w *tensor.Tensor, opts TuneOptions) Selection {
 	if len(strategies) == 0 {
 		panic("core: ChooseBP with no candidates")
+	}
+	if c == nil {
+		c = exec.New(1)
 	}
 	eis := make([]*tensor.Tensor, len(eos))
 	for i := range eis {
@@ -230,10 +220,10 @@ func ChooseBP(strategies []Strategy, s conv.Spec, workers int,
 	var bestExec *Exec
 	bestT := 0.0
 	for _, st := range strategies {
-		e := NewExec(st, s, workers)
-		t := measure(opts.reps(), func() {
-			e.BackwardInput(eis, eos, w)
-			e.BackwardWeights(dw, eos, ins)
+		e := NewExecCtx(st, s, c)
+		t := c.Measure("tune/bp/"+st.Name, opts.reps(), func() {
+			e.k.BackwardInputBatch(c, eis, eos, w)
+			e.k.BackwardWeightsBatch(c, dw, eos, ins)
 		})
 		sel.Timings = append(sel.Timings, Timing{Strategy: st, Seconds: t})
 		if bestExec == nil || t < bestT {
@@ -241,5 +231,6 @@ func ChooseBP(strategies []Strategy, s conv.Spec, workers int,
 		}
 	}
 	sel.Chosen = bestExec
+	c.Probe().RecordChoice("bp", bestExec.strategy.Name, bestT)
 	return sel
 }

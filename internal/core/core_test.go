@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"spgcnn/internal/conv"
+	"spgcnn/internal/exec"
 	"spgcnn/internal/rng"
 	"spgcnn/internal/tensor"
 )
@@ -88,9 +89,19 @@ func TestChooseFPPicksMeasuredMinimum(t *testing.T) {
 	s := conv.Square(12, 8, 3, 3, 1)
 	w := conv.RandWeights(r, s)
 	ins, _ := sampleBatch(r, s, 2, 0)
-	sel := ChooseFP(FPStrategies(2), s, 2, ins, w, TuneOptions{Reps: 2})
+	ctx := exec.New(2)
+	sel := ChooseFP(FPStrategies(2), s, ctx, ins, w, TuneOptions{Reps: 2})
 	if sel.Chosen == nil {
 		t.Fatal("no choice made")
+	}
+	// The verdict lands in the shared probe.
+	choices := ctx.Probe().Choices()
+	if len(choices) != 1 || choices[0].Phase != "fp" ||
+		choices[0].Strategy != sel.Best().Strategy.Name {
+		t.Fatalf("probe choices = %+v", choices)
+	}
+	if _, ok := ctx.Probe().SpanStats("tune/fp/stencil"); !ok {
+		t.Fatal("tuning spans not recorded in probe")
 	}
 	if len(sel.Timings) != 3 {
 		t.Fatalf("timings = %d entries, want 3", len(sel.Timings))
@@ -112,7 +123,7 @@ func TestChooseBPPicksMeasuredMinimum(t *testing.T) {
 	s := conv.Square(12, 8, 3, 3, 1)
 	w := conv.RandWeights(r, s)
 	ins, eos := sampleBatch(r, s, 2, 0.9)
-	sel := ChooseBP(BPStrategies(2), s, 2, eos, ins, w, TuneOptions{Reps: 2})
+	sel := ChooseBP(BPStrategies(2), s, exec.New(2), eos, ins, w, TuneOptions{Reps: 2})
 	if sel.Chosen == nil || len(sel.Timings) != 3 {
 		t.Fatal("ChooseBP incomplete")
 	}

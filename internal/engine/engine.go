@@ -1,31 +1,63 @@
 // Package engine defines the seam between spg-CNN's scheduler and its
 // convolution kernels.
 //
-// A Kernel is an executable convolution for one fixed Spec — the product of
-// one of the framework's "code generators" (§4): the unfold+GEMM lowering,
-// the stencil basic-block/schedule generator, or the sparse CT-CSR kernel
-// generator. Kernels own their scratch memory (unfold buffers, layout-
-// transformed copies, sparse index arrays), so one instance is cheap to
-// invoke repeatedly but must not be shared across goroutines; batch
-// schedulers instantiate one kernel per worker via the Generator.
+// A Kernel is an executable convolution plan for one fixed Spec — the
+// product of one of the framework's "code generators" (§4): the
+// unfold+GEMM lowering, the stencil basic-block/schedule generator, or the
+// sparse CT-CSR kernel generator. Kernels are batch-first and stateless:
+// every entry point takes an exec.Ctx and a batch of samples, and all
+// scratch memory (unfold buffers, layout-transformed copies, sparse index
+// arrays) is acquired from the context's arena for the duration of the
+// call. One kernel instance is therefore cheap to build, cheap to hold,
+// and safe to invoke concurrently from many goroutines as long as each
+// call gets its own output tensors.
+//
+// Legacy per-sample callers use SingleKernel, which every engine also
+// implements via a small SingleOps adapter that wraps each sample in a
+// one-element batch against a private serial context.
 package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"spgcnn/internal/conv"
+	"spgcnn/internal/exec"
 	"spgcnn/internal/tensor"
 )
 
 // Kernel executes the three convolution computations of one training step
-// (paper Eqs. 2–4) for a single training input, for the Spec it was
-// generated for. Implementations are not safe for concurrent use.
+// (paper Eqs. 2–4) over a batch of training inputs, for the Spec it was
+// generated for. Batch slices are parallel: outs[i] pairs with ins[i].
+// Implementations are safe for concurrent use — a kernel is a plan, and
+// all per-call state lives on the stack or in c's arena.
 type Kernel interface {
 	// Name identifies the kernel family and configuration, e.g.
 	// "unfold-gemm(serial)" or "stencil(rx=2,ry=4)".
 	Name() string
 
 	// Spec returns the convolution geometry the kernel was generated for.
+	Spec() conv.Spec
+
+	// ForwardBatch computes outs[i] = conv(ins[i], w) (Eq. 2) for every
+	// sample in the batch.
+	ForwardBatch(c *exec.Ctx, outs, ins []*tensor.Tensor, w *tensor.Tensor)
+
+	// BackwardInputBatch computes eis[i] = corr(eos[i], w) (Eq. 3).
+	// Each eis[i] is overwritten.
+	BackwardInputBatch(c *exec.Ctx, eis, eos []*tensor.Tensor, w *tensor.Tensor)
+
+	// BackwardWeightsBatch computes dw = Σ_i grad(eos[i], ins[i]) (Eq. 4),
+	// the batch-summed weight gradient. dw is overwritten.
+	BackwardWeightsBatch(c *exec.Ctx, dw *tensor.Tensor, eos, ins []*tensor.Tensor)
+}
+
+// SingleKernel is the legacy per-sample seam. Every engine still provides
+// it (through SingleOps) for callers that step one sample at a time.
+// Unlike the batch entry points, these methods are NOT safe for concurrent
+// use on one kernel instance.
+type SingleKernel interface {
+	Name() string
 	Spec() conv.Spec
 
 	// Forward computes out = conv(in, w) (Eq. 2).
@@ -39,14 +71,62 @@ type Kernel interface {
 	BackwardWeights(dw, eo, in *tensor.Tensor)
 }
 
+// SingleOps adapts the batch seam to the per-sample one. Engines embed a
+// SingleOps value and forward their SingleKernel methods through it:
+//
+//	func (k *Kernel) Forward(out, in, w *tensor.Tensor) { k.single.Forward(k, out, in, w) }
+//
+// The adapter lazily builds one private serial context (fresh arena, no
+// probe sharing) and reuses two one-element batch slices across calls, so
+// per-sample stepping stays allocation-free after the first call. Like the
+// legacy contract it replaces, a SingleOps value is not safe for
+// concurrent use.
+type SingleOps struct {
+	once sync.Once
+	ctx  *exec.Ctx
+	a, b [1]*tensor.Tensor
+}
+
+// Ctx returns the adapter's private serial context, building it on first
+// use.
+func (s *SingleOps) Ctx() *exec.Ctx {
+	s.once.Do(func() { s.ctx = exec.New(1) })
+	return s.ctx
+}
+
+// Forward runs k's ForwardBatch on the single sample (out, in).
+func (s *SingleOps) Forward(k Kernel, out, in, w *tensor.Tensor) {
+	c := s.Ctx()
+	s.a[0], s.b[0] = out, in
+	k.ForwardBatch(c, s.a[:], s.b[:], w)
+	s.a[0], s.b[0] = nil, nil
+}
+
+// BackwardInput runs k's BackwardInputBatch on the single sample (ei, eo).
+func (s *SingleOps) BackwardInput(k Kernel, ei, eo, w *tensor.Tensor) {
+	c := s.Ctx()
+	s.a[0], s.b[0] = ei, eo
+	k.BackwardInputBatch(c, s.a[:], s.b[:], w)
+	s.a[0], s.b[0] = nil, nil
+}
+
+// BackwardWeights runs k's BackwardWeightsBatch on the single sample
+// (eo, in).
+func (s *SingleOps) BackwardWeights(k Kernel, dw, eo, in *tensor.Tensor) {
+	c := s.Ctx()
+	s.a[0], s.b[0] = eo, in
+	k.BackwardWeightsBatch(c, dw, s.a[:], s.b[:])
+	s.a[0], s.b[0] = nil, nil
+}
+
 // Generator builds a kernel specialized to a spec. It plays the role of
 // the paper's code generators: invoked once per (layer, technique), the
-// result is then run for every training input.
+// result is then run for every training batch.
 type Generator struct {
 	// Name identifies the technique, e.g. "stencil".
 	Name string
 	// New generates a kernel for s. Generators must be safe for concurrent
-	// use (the batch scheduler calls New once per worker).
+	// use.
 	New func(s conv.Spec) Kernel
 }
 

@@ -4,21 +4,94 @@ import (
 	"testing"
 
 	"spgcnn/internal/conv"
+	"spgcnn/internal/exec"
 	"spgcnn/internal/tensor"
 )
 
-type fakeKernel struct{ s conv.Spec }
+type fakeKernel struct {
+	s      conv.Spec
+	single SingleOps
+	calls  []string
+}
 
-func (f fakeKernel) Name() string                           { return "fake" }
-func (f fakeKernel) Spec() conv.Spec                        { return f.s }
-func (f fakeKernel) Forward(_, _, _ *tensor.Tensor)         {}
-func (f fakeKernel) BackwardInput(_, _, _ *tensor.Tensor)   {}
-func (f fakeKernel) BackwardWeights(_, _, _ *tensor.Tensor) {}
+func (f *fakeKernel) Name() string    { return "fake" }
+func (f *fakeKernel) Spec() conv.Spec { return f.s }
+
+func (f *fakeKernel) ForwardBatch(c *exec.Ctx, outs, ins []*tensor.Tensor, w *tensor.Tensor) {
+	f.calls = append(f.calls, "fwd")
+	for i := range outs {
+		outs[i].Data[0] = ins[i].Data[0] + w.Data[0]
+	}
+}
+
+func (f *fakeKernel) BackwardInputBatch(c *exec.Ctx, eis, eos []*tensor.Tensor, w *tensor.Tensor) {
+	f.calls = append(f.calls, "bpi")
+	for i := range eis {
+		eis[i].Data[0] = eos[i].Data[0] * w.Data[0]
+	}
+}
+
+func (f *fakeKernel) BackwardWeightsBatch(c *exec.Ctx, dw *tensor.Tensor, eos, ins []*tensor.Tensor) {
+	f.calls = append(f.calls, "bpw")
+	dw.Data[0] = 0
+	for i := range eos {
+		dw.Data[0] += eos[i].Data[0] * ins[i].Data[0]
+	}
+}
+
+func (f *fakeKernel) Forward(out, in, w *tensor.Tensor) { f.single.Forward(f, out, in, w) }
+func (f *fakeKernel) BackwardInput(ei, eo, w *tensor.Tensor) {
+	f.single.BackwardInput(f, ei, eo, w)
+}
+func (f *fakeKernel) BackwardWeights(dw, eo, in *tensor.Tensor) {
+	f.single.BackwardWeights(f, dw, eo, in)
+}
+
+func newFake(s conv.Spec) Kernel { return &fakeKernel{s: s} }
+
+func scalar(v float32) *tensor.Tensor {
+	t := tensor.New(1)
+	t.Data[0] = v
+	return t
+}
+
+func TestSingleOpsAdaptsBatchSeam(t *testing.T) {
+	f := &fakeKernel{}
+	out, in, w := scalar(0), scalar(3), scalar(5)
+	f.Forward(out, in, w)
+	if out.Data[0] != 8 {
+		t.Fatalf("Forward via SingleOps: got %v, want 8", out.Data[0])
+	}
+	ei, eo := scalar(0), scalar(2)
+	f.BackwardInput(ei, eo, w)
+	if ei.Data[0] != 10 {
+		t.Fatalf("BackwardInput via SingleOps: got %v, want 10", ei.Data[0])
+	}
+	dw := scalar(99)
+	f.BackwardWeights(dw, eo, in)
+	if dw.Data[0] != 6 {
+		t.Fatalf("BackwardWeights via SingleOps: got %v, want 6 (overwrite semantics)", dw.Data[0])
+	}
+	want := []string{"fwd", "bpi", "bpw"}
+	for i, c := range want {
+		if f.calls[i] != c {
+			t.Fatalf("calls = %v, want %v", f.calls, want)
+		}
+	}
+	// The adapter's context is serial and stable across calls.
+	if f.single.Ctx().Workers() != 1 || f.single.Ctx() != f.single.Ctx() {
+		t.Fatal("SingleOps context must be a stable serial ctx")
+	}
+	// Batch slots are cleared after each call so tensors are not retained.
+	if f.single.a[0] != nil || f.single.b[0] != nil {
+		t.Fatal("SingleOps retained sample tensors after the call")
+	}
+}
 
 func TestRegistryRegisterLookup(t *testing.T) {
 	var r Registry
-	r.Register(Generator{Name: "a", New: func(s conv.Spec) Kernel { return fakeKernel{s} }})
-	r.Register(Generator{Name: "b", New: func(s conv.Spec) Kernel { return fakeKernel{s} }})
+	r.Register(Generator{Name: "a", New: newFake})
+	r.Register(Generator{Name: "b", New: newFake})
 	if len(r.Generators()) != 2 {
 		t.Fatalf("Generators = %d entries, want 2", len(r.Generators()))
 	}
@@ -37,7 +110,7 @@ func TestRegistryRegisterLookup(t *testing.T) {
 
 func TestRegistryDuplicatePanics(t *testing.T) {
 	var r Registry
-	g := Generator{Name: "a", New: func(s conv.Spec) Kernel { return fakeKernel{s} }}
+	g := Generator{Name: "a", New: newFake}
 	r.Register(g)
 	defer func() {
 		if recover() == nil {
@@ -59,7 +132,7 @@ func TestRegistryNilConstructorPanics(t *testing.T) {
 
 func TestGeneratorsReturnsCopy(t *testing.T) {
 	var r Registry
-	r.Register(Generator{Name: "a", New: func(s conv.Spec) Kernel { return fakeKernel{s} }})
+	r.Register(Generator{Name: "a", New: newFake})
 	gens := r.Generators()
 	gens[0].Name = "mutated"
 	if g, _ := r.Lookup("a"); g.Name != "a" {

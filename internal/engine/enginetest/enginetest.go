@@ -3,15 +3,24 @@
 // implementations of Eqs. 2–4 over randomized geometries, including strided
 // and non-square cases, and over sparse error gradients.
 //
+// The whole suite drives the batch-first seam through ONE shared exec.Ctx
+// whose arena free lists are deliberately poisoned with NaNs between
+// checks, so a kernel that reads scratch it did not write, or that leaks
+// state between calls through recycled buffers, fails loudly. A final
+// interleaving pass runs two differently-shaped kernels alternately
+// through the same arena and demands bit-identical outputs.
+//
 // Engine packages call Run from their tests, so a new kernel automatically
 // inherits the full battery.
 package enginetest
 
 import (
+	"math"
 	"testing"
 
 	"spgcnn/internal/conv"
 	"spgcnn/internal/engine"
+	"spgcnn/internal/exec"
 	"spgcnn/internal/rng"
 	"spgcnn/internal/tensor"
 )
@@ -35,6 +44,9 @@ type Options struct {
 	Sparsities []float64
 	// ExtraSpecs are always tested in addition to random ones.
 	ExtraSpecs []conv.Spec
+	// Batch is the batch size driven through the batch entry points
+	// (default 3).
+	Batch int
 }
 
 func (o *Options) fill() {
@@ -53,6 +65,29 @@ func (o *Options) fill() {
 	if o.Sparsities == nil {
 		o.Sparsities = []float64{0, 0.5, 0.9, 1.0}
 	}
+	if o.Batch == 0 {
+		o.Batch = 3
+	}
+}
+
+// poisonArena fills the context's free lists with NaN-stuffed buffers
+// across a spread of size classes, so any kernel consuming arena scratch
+// it did not fully write produces NaNs instead of silently reading zeros.
+func poisonArena(c *exec.Ctx) {
+	const perClass = 4
+	var bufs [][]float32
+	for n := 16; n <= 1<<18; n <<= 2 {
+		for i := 0; i < perClass; i++ {
+			b := c.Get(n)
+			for j := range b {
+				b[j] = float32(math.NaN())
+			}
+			bufs = append(bufs, b)
+		}
+	}
+	for _, b := range bufs {
+		c.Put(b)
+	}
 }
 
 // Run executes the conformance suite for the generator.
@@ -60,6 +95,10 @@ func Run(t *testing.T, gen engine.Generator, opts Options) {
 	t.Helper()
 	opts.fill()
 	r := rng.New(opts.Seed)
+
+	// One context for the whole suite: every spec reuses the same arena.
+	c := exec.New(2)
+	poisonArena(c)
 
 	specs := append([]conv.Spec(nil), opts.ExtraSpecs...)
 	// Hand-picked edge geometries: 1x1 kernel, kernel == input, single
@@ -80,60 +119,156 @@ func Run(t *testing.T, gen engine.Generator, opts Options) {
 		if k.Spec() != s {
 			t.Fatalf("%s: Spec() = %v, want %v", gen.Name, k.Spec(), s)
 		}
-		checkForward(t, k, r, opts)
+		checkForward(t, c, k, r, opts)
 		if !opts.SkipBackward {
 			for _, sp := range opts.Sparsities {
-				checkBackward(t, k, r, sp, opts)
+				checkBackward(t, c, k, r, sp, opts)
 			}
+		}
+	}
+
+	checkInterleaved(t, gen, r, opts)
+}
+
+func batchFixtures(r *rng.RNG, s conv.Spec, n int, sparsity float64) (ins, outs, eos, eis []*tensor.Tensor) {
+	for i := 0; i < n; i++ {
+		ins = append(ins, conv.RandInput(r, s))
+		outs = append(outs, conv.NewOutput(s))
+		eos = append(eos, conv.RandOutputError(r, s, sparsity))
+		eis = append(eis, conv.NewInput(s))
+	}
+	return
+}
+
+func checkForward(t *testing.T, c *exec.Ctx, k engine.Kernel, r *rng.RNG, opts Options) {
+	t.Helper()
+	s := k.Spec()
+	ins, outs, _, _ := batchFixtures(r, s, opts.Batch, 0)
+	w := conv.RandWeights(r, s)
+	k.ForwardBatch(c, outs, ins, w)
+	want := conv.NewOutput(s)
+	for i := range ins {
+		conv.ForwardRef(s, want, ins[i], w)
+		if !tensor.AlmostEqual(outs[i], want, opts.Tol) {
+			t.Fatalf("%s: ForwardBatch[%d] differs from reference for %v (max diff %g)",
+				k.Name(), i, s, tensor.MaxAbsDiff(outs[i], want))
+		}
+	}
+	// Repeat invocation must be idempotent (arena scratch reuse must not
+	// leak state between calls), and bit-identical to the first run.
+	first := outs[opts.Batch-1].Clone()
+	k.ForwardBatch(c, outs, ins, w)
+	if !tensor.Identical(outs[opts.Batch-1], first) {
+		t.Fatalf("%s: second ForwardBatch not bit-identical (stale scratch?) for %v", k.Name(), s)
+	}
+
+	// Per-sample compat path must agree with the batch path bit-for-bit.
+	if sk, ok := k.(engine.SingleKernel); ok {
+		got := conv.NewOutput(s)
+		sk.Forward(got, ins[0], w)
+		if !tensor.Identical(got, outs[0]) {
+			t.Fatalf("%s: single-sample Forward differs from ForwardBatch for %v", k.Name(), s)
 		}
 	}
 }
 
-func checkForward(t *testing.T, k engine.Kernel, r *rng.RNG, opts Options) {
+func checkBackward(t *testing.T, c *exec.Ctx, k engine.Kernel, r *rng.RNG, sparsity float64, opts Options) {
 	t.Helper()
 	s := k.Spec()
-	in := conv.RandInput(r, s)
+	ins, _, eos, eis := batchFixtures(r, s, opts.Batch, sparsity)
 	w := conv.RandWeights(r, s)
-	got := conv.NewOutput(s)
-	want := conv.NewOutput(s)
-	k.Forward(got, in, w)
-	conv.ForwardRef(s, want, in, w)
-	if !tensor.AlmostEqual(got, want, opts.Tol) {
-		t.Fatalf("%s: Forward differs from reference for %v (max diff %g)",
-			k.Name(), s, tensor.MaxAbsDiff(got, want))
-	}
-	// Repeat invocation must be idempotent (scratch reuse must not leak
-	// state between calls).
-	k.Forward(got, in, w)
-	if !tensor.AlmostEqual(got, want, opts.Tol) {
-		t.Fatalf("%s: second Forward call differs (stale scratch?) for %v", k.Name(), s)
-	}
-}
 
-func checkBackward(t *testing.T, k engine.Kernel, r *rng.RNG, sparsity float64, opts Options) {
-	t.Helper()
-	s := k.Spec()
-	in := conv.RandInput(r, s)
-	w := conv.RandWeights(r, s)
-	eo := conv.RandOutputError(r, s, sparsity)
-
-	gotEI := conv.NewInput(s)
-	gotEI.FillUniform(r, -9, 9) // pre-poison: kernels must overwrite
+	for i := range eis {
+		eis[i].FillUniform(r, -9, 9) // pre-poison: kernels must overwrite
+	}
+	k.BackwardInputBatch(c, eis, eos, w)
 	wantEI := conv.NewInput(s)
-	k.BackwardInput(gotEI, eo, w)
-	conv.BackwardInputRef(s, wantEI, eo, w)
-	if !tensor.AlmostEqual(gotEI, wantEI, opts.Tol) {
-		t.Fatalf("%s: BackwardInput differs for %v at sparsity %.2f (max diff %g)",
-			k.Name(), s, sparsity, tensor.MaxAbsDiff(gotEI, wantEI))
+	for i := range eis {
+		conv.BackwardInputRef(s, wantEI, eos[i], w)
+		if !tensor.AlmostEqual(eis[i], wantEI, opts.Tol) {
+			t.Fatalf("%s: BackwardInputBatch[%d] differs for %v at sparsity %.2f (max diff %g)",
+				k.Name(), i, s, sparsity, tensor.MaxAbsDiff(eis[i], wantEI))
+		}
 	}
 
 	gotDW := conv.NewWeights(s)
-	gotDW.FillUniform(r, -9, 9)
+	gotDW.FillUniform(r, -9, 9) // pre-poison: dw is overwritten, not accumulated
+	k.BackwardWeightsBatch(c, gotDW, eos, ins)
 	wantDW := conv.NewWeights(s)
-	k.BackwardWeights(gotDW, eo, in)
-	conv.BackwardWeightsRef(s, wantDW, eo, in)
+	tmp := conv.NewWeights(s)
+	for i := range ins {
+		conv.BackwardWeightsRef(s, tmp, eos[i], ins[i])
+		wantDW.AddScaled(tmp, 1)
+	}
 	if !tensor.AlmostEqual(gotDW, wantDW, opts.Tol) {
-		t.Fatalf("%s: BackwardWeights differs for %v at sparsity %.2f (max diff %g)",
+		t.Fatalf("%s: BackwardWeightsBatch differs from per-sample sum for %v at sparsity %.2f (max diff %g)",
 			k.Name(), s, sparsity, tensor.MaxAbsDiff(gotDW, wantDW))
+	}
+}
+
+// checkInterleaved builds two differently-shaped kernels and alternates
+// them through one shared context twice, demanding every pass reproduce
+// the first pass bit-for-bit. Because the second round is served entirely
+// from arena buffers the other spec just dirtied, any kernel that depends
+// on scratch contents (instead of fully writing what it reads) diverges.
+func checkInterleaved(t *testing.T, gen engine.Generator, r *rng.RNG, opts Options) {
+	t.Helper()
+	sA := conv.Square(12, 6, 3, 3, 1)
+	sB := conv.Spec{Nx: 10, Ny: 7, Nc: 2, Nf: 4, Fx: 3, Fy: 2, Sx: 2, Sy: 1}
+	kA, kB := gen.New(sA), gen.New(sB)
+
+	c := exec.New(2)
+	poisonArena(c)
+
+	type fixture struct {
+		k              engine.Kernel
+		ins, outs, eis []*tensor.Tensor
+		eos            []*tensor.Tensor
+		w, dw          *tensor.Tensor
+		golden         []*tensor.Tensor // outputs of the first pass
+	}
+	mk := func(k engine.Kernel) *fixture {
+		s := k.Spec()
+		f := &fixture{k: k, w: conv.RandWeights(r, s), dw: conv.NewWeights(s)}
+		f.ins, f.outs, f.eos, f.eis = batchFixtures(r, s, opts.Batch, 0.5)
+		return f
+	}
+	fixtures := []*fixture{mk(kA), mk(kB)}
+
+	pass := func(f *fixture) {
+		f.k.ForwardBatch(c, f.outs, f.ins, f.w)
+		if !opts.SkipBackward {
+			f.k.BackwardInputBatch(c, f.eis, f.eos, f.w)
+			f.k.BackwardWeightsBatch(c, f.dw, f.eos, f.ins)
+		}
+	}
+	snapshot := func(f *fixture) []*tensor.Tensor {
+		var g []*tensor.Tensor
+		for _, o := range f.outs {
+			g = append(g, o.Clone())
+		}
+		for _, e := range f.eis {
+			g = append(g, e.Clone())
+		}
+		return append(g, f.dw.Clone())
+	}
+
+	// Round 1 establishes the golden outputs; rounds 2 and 3 interleave the
+	// kernels through the now-dirty shared arena.
+	for _, f := range fixtures {
+		pass(f)
+		f.golden = snapshot(f)
+	}
+	for round := 2; round <= 3; round++ {
+		for _, f := range fixtures {
+			pass(f)
+			got := snapshot(f)
+			for i := range got {
+				if !tensor.Identical(got[i], f.golden[i]) {
+					t.Fatalf("%s: interleaved round %d not bit-identical to round 1 for %v (shared arena reuse)",
+						f.k.Name(), round, f.k.Spec())
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,107 @@
+// Package exec defines the batch-first execution context every spg-CNN
+// convolution engine runs under. A Ctx bundles the three things that used
+// to be implicit per-kernel state:
+//
+//   - the worker pool (degree of parallelism batch schedulers fan out to),
+//   - a size-classed tensor.Arena all scratch memory is acquired from, so
+//     hot buffers are reused across kernels, layers and training steps,
+//   - a Probe collecting per-phase timings and kernel-choice events, which
+//     the §4.4 scheduler consumes instead of ad-hoc timing.
+//
+// Kernels therefore carry no scratch of their own: they are cheap,
+// stateless plans, and one instance can execute concurrently on many
+// goroutines as long as each call draws its scratch from the (mutex-
+// guarded) arena.
+package exec
+
+import (
+	"time"
+
+	"spgcnn/internal/tensor"
+)
+
+// Ctx is one execution context. Construct with New; the zero value is not
+// usable. Contexts are safe for concurrent use.
+type Ctx struct {
+	workers int
+	arena   *tensor.Arena
+	probe   *Probe
+	serial  *Ctx // workers=1 view sharing arena and probe
+}
+
+// New builds a context with the given worker count (minimum 1), a fresh
+// arena and a fresh probe.
+func New(workers int) *Ctx {
+	return NewWithArena(workers, tensor.NewArena(), NewProbe())
+}
+
+// NewWithArena builds a context over an existing arena and probe — how
+// sub-systems share one scratch pool. A nil arena or probe is replaced
+// with a fresh one.
+func NewWithArena(workers int, a *tensor.Arena, p *Probe) *Ctx {
+	if workers < 1 {
+		workers = 1
+	}
+	if a == nil {
+		a = tensor.NewArena()
+	}
+	if p == nil {
+		p = NewProbe()
+	}
+	c := &Ctx{workers: workers, arena: a, probe: p}
+	if workers == 1 {
+		c.serial = c
+	} else {
+		c.serial = &Ctx{workers: 1, arena: a, probe: p}
+		c.serial.serial = c.serial
+	}
+	return c
+}
+
+// Workers reports the context's degree of parallelism.
+func (c *Ctx) Workers() int { return c.workers }
+
+// Arena returns the scratch pool.
+func (c *Ctx) Arena() *tensor.Arena { return c.arena }
+
+// Probe returns the instrumentation sink.
+func (c *Ctx) Probe() *Probe { return c.probe }
+
+// Serial returns a workers=1 view of this context sharing the same arena
+// and probe — what a batch-parallel scheduler hands each worker so the
+// per-worker kernels run single-threaded (GEMM-in-Parallel) while still
+// drawing from the shared pool.
+func (c *Ctx) Serial() *Ctx { return c.serial }
+
+// Get acquires an uninitialized float32 scratch buffer of length n from
+// the arena.
+func (c *Ctx) Get(n int) []float32 { return c.arena.Get(n) }
+
+// Put releases a buffer obtained from Get.
+func (c *Ctx) Put(buf []float32) { c.arena.Put(buf) }
+
+// GetTensor acquires an uninitialized tensor of the given shape from the
+// arena.
+func (c *Ctx) GetTensor(dims ...int) *tensor.Tensor { return c.arena.GetTensor(dims...) }
+
+// PutTensor releases a tensor obtained from GetTensor.
+func (c *Ctx) PutTensor(t *tensor.Tensor) { c.arena.PutTensor(t) }
+
+// Measure times fn over reps runs after one warm-up and returns the
+// minimum elapsed seconds — the low-noise estimator the scheduler's
+// measure-and-deploy pass (§4.4) uses. Every timed run is also recorded
+// as a span named name in the probe.
+func (c *Ctx) Measure(name string, reps int, fn func()) float64 {
+	fn() // warm-up: page in scratch, populate arena free lists
+	best := 0.0
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		el := time.Since(start).Seconds()
+		c.probe.Observe(name, el)
+		if i == 0 || el < best {
+			best = el
+		}
+	}
+	return best
+}

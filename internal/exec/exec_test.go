@@ -1,0 +1,94 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNewClampsWorkers(t *testing.T) {
+	c := New(0)
+	if c.Workers() != 1 {
+		t.Fatalf("Workers = %d, want 1", c.Workers())
+	}
+	if c.Serial() != c {
+		t.Fatal("serial view of a serial ctx should be itself")
+	}
+}
+
+func TestSerialSharesArenaAndProbe(t *testing.T) {
+	c := New(4)
+	s := c.Serial()
+	if s.Workers() != 1 {
+		t.Fatalf("Serial().Workers = %d", s.Workers())
+	}
+	if s.Arena() != c.Arena() || s.Probe() != c.Probe() {
+		t.Fatal("Serial view must share arena and probe")
+	}
+	if s.Serial() != s {
+		t.Fatal("Serial must be idempotent")
+	}
+	// Scratch released through the serial view is visible to the parent.
+	buf := s.Get(64)
+	s.Put(buf)
+	buf2 := c.Get(64)
+	if &buf[0] != &buf2[0] {
+		t.Fatal("serial view did not share the arena free lists")
+	}
+}
+
+func TestMeasureReturnsMinAndRecordsSpans(t *testing.T) {
+	c := New(1)
+	calls := 0
+	got := c.Measure("tune/x", 3, func() { calls++ })
+	if calls != 4 { // 1 warm-up + 3 timed
+		t.Fatalf("fn called %d times, want 4", calls)
+	}
+	if got < 0 {
+		t.Fatalf("Measure returned %v", got)
+	}
+	sp, ok := c.Probe().SpanStats("tune/x")
+	if !ok || sp.Calls != 3 {
+		t.Fatalf("span = %+v ok=%v, want 3 recorded calls", sp, ok)
+	}
+	if sp.Min > sp.Seconds {
+		t.Fatal("span min exceeds total")
+	}
+}
+
+func TestProbeNilSafe(t *testing.T) {
+	var p *Probe
+	p.Observe("x", 1) // must not panic
+	p.RecordChoice("fp", "stencil", 1)
+	if _, ok := p.SpanStats("x"); ok {
+		t.Fatal("nil probe returned a span")
+	}
+	if p.Spans() != nil || p.Choices() != nil {
+		t.Fatal("nil probe returned data")
+	}
+}
+
+func TestProbeChoicesAndSpansConcurrent(t *testing.T) {
+	p := NewProbe()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p.Observe("fp/stencil", 0.001)
+				p.RecordChoice("bp", "sparse", 0.002)
+			}
+		}()
+	}
+	wg.Wait()
+	sp, ok := p.SpanStats("fp/stencil")
+	if !ok || sp.Calls != 400 {
+		t.Fatalf("span calls = %d, want 400", sp.Calls)
+	}
+	if len(p.Choices()) != 400 {
+		t.Fatalf("choices = %d, want 400", len(p.Choices()))
+	}
+	if len(p.Spans()) != 1 {
+		t.Fatalf("spans = %d, want 1", len(p.Spans()))
+	}
+}

@@ -1,0 +1,105 @@
+package exec
+
+import "sync"
+
+// Probe is the lightweight instrumentation sink carried by a Ctx: named
+// timing spans (per execution phase per strategy) and the scheduler's
+// kernel-choice events. All methods are safe for concurrent use and
+// nil-safe, so instrumentation points never need guarding.
+type Probe struct {
+	mu      sync.Mutex
+	spans   map[string]*Span
+	choices []Choice
+}
+
+// Span aggregates the observations of one named instrumentation point.
+type Span struct {
+	// Calls is the number of observations.
+	Calls int64
+	// Seconds is the total observed time.
+	Seconds float64
+	// Min is the fastest single observation.
+	Min float64
+}
+
+// Choice records one scheduler deployment decision: which strategy won a
+// measurement pass and its measured time.
+type Choice struct {
+	// Phase is "fp" or "bp".
+	Phase string
+	// Strategy is the winning strategy's name.
+	Strategy string
+	// Seconds is the winner's measured (minimum) time.
+	Seconds float64
+}
+
+// NewProbe returns an empty probe.
+func NewProbe() *Probe { return &Probe{spans: make(map[string]*Span)} }
+
+// Observe records one timed run of the named span.
+func (p *Probe) Observe(name string, seconds float64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	sp := p.spans[name]
+	if sp == nil {
+		sp = &Span{Min: seconds}
+		p.spans[name] = sp
+	}
+	sp.Calls++
+	sp.Seconds += seconds
+	if seconds < sp.Min {
+		sp.Min = seconds
+	}
+	p.mu.Unlock()
+}
+
+// SpanStats returns a copy of the named span's aggregate.
+func (p *Probe) SpanStats(name string) (Span, bool) {
+	if p == nil {
+		return Span{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sp, ok := p.spans[name]
+	if !ok {
+		return Span{}, false
+	}
+	return *sp, true
+}
+
+// Spans returns a snapshot of every span by name.
+func (p *Probe) Spans() map[string]Span {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]Span, len(p.spans))
+	for name, sp := range p.spans {
+		out[name] = *sp
+	}
+	return out
+}
+
+// RecordChoice appends one scheduler deployment decision.
+func (p *Probe) RecordChoice(phase, strategy string, seconds float64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.choices = append(p.choices, Choice{Phase: phase, Strategy: strategy, Seconds: seconds})
+	p.mu.Unlock()
+}
+
+// Choices returns a copy of the recorded deployment decisions, oldest
+// first.
+func (p *Probe) Choices() []Choice {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Choice(nil), p.choices...)
+}

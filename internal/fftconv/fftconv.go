@@ -22,42 +22,33 @@ package fftconv
 import (
 	"spgcnn/internal/conv"
 	"spgcnn/internal/engine"
+	"spgcnn/internal/exec"
 	"spgcnn/internal/fft"
 	"spgcnn/internal/tensor"
 	"spgcnn/internal/unfoldgemm"
 )
 
-// Kernel is an FFT forward-convolution kernel for one spec.
+// Kernel is an FFT forward-convolution plan for one spec. Spectra scratch
+// comes from the execution context's complex128 arena pool per batch call,
+// so one instance is safe for concurrent use through the batch entry
+// points.
 type Kernel struct {
 	spec   conv.Spec
 	ph, pw int // padded plane dims (powers of two)
 
-	ifreq [][]complex128 // per-channel input spectra
-	wbuf  []complex128   // kernel spectrum scratch
-	acc   []complex128   // per-feature accumulator
-
 	fallback *unfoldgemm.Kernel
+	single   engine.SingleOps
 }
 
 // New builds an FFT convolution kernel for s.
 func New(s conv.Spec) *Kernel {
 	s.MustValidate()
-	k := &Kernel{
+	return &Kernel{
 		spec:     s,
 		ph:       fft.NextPow2(s.Ny + s.Fy - 1),
 		pw:       fft.NextPow2(s.Nx + s.Fx - 1),
 		fallback: unfoldgemm.New(s, 1),
 	}
-	if s.Sx == 1 && s.Sy == 1 {
-		n := k.ph * k.pw
-		k.ifreq = make([][]complex128, s.Nc)
-		for c := range k.ifreq {
-			k.ifreq[c] = make([]complex128, n)
-		}
-		k.wbuf = make([]complex128, n)
-		k.acc = make([]complex128, n)
-	}
-	return k
 }
 
 // Name implements engine.Kernel.
@@ -69,78 +60,114 @@ func (k *Kernel) Spec() conv.Spec { return k.spec }
 // PaddedDims returns the transform plane size.
 func (k *Kernel) PaddedDims() (h, w int) { return k.ph, k.pw }
 
-// Forward computes Eq. 2 via the convolution theorem for unit-stride
-// specs, falling back to unfold+GEMM otherwise.
-func (k *Kernel) Forward(out, in, w *tensor.Tensor) {
+// ForwardBatch computes Eq. 2 via the convolution theorem for unit-stride
+// specs, falling back to unfold+GEMM otherwise. The per-channel input
+// spectra, kernel spectrum and accumulator planes are arena scratch shared
+// across the batch.
+func (k *Kernel) ForwardBatch(c *exec.Ctx, outs, ins []*tensor.Tensor, w *tensor.Tensor) {
+	if len(outs) != len(ins) {
+		panic("fftconv: ForwardBatch length mismatch")
+	}
 	s := k.spec
 	if s.Sx != 1 || s.Sy != 1 {
-		k.fallback.Forward(out, in, w)
+		k.fallback.ForwardBatch(c, outs, ins, w)
 		return
 	}
-	conv.CheckInput(s, in)
-	conv.CheckWeights(s, w)
-	conv.CheckOutput(s, out)
-
-	// Input spectra, once per channel.
-	for c := 0; c < s.Nc; c++ {
-		plane := k.ifreq[c]
-		for i := range plane {
-			plane[i] = 0
-		}
-		for y := 0; y < s.Ny; y++ {
-			row := in.Row3(c, y)
-			base := y * k.pw
-			for x, v := range row {
-				plane[base+x] = complex(float64(v), 0)
-			}
-		}
-		fft.FFT2D(plane, k.ph, k.pw)
+	if len(ins) == 0 {
+		return
 	}
+	conv.CheckWeights(s, w)
+
+	n := k.ph * k.pw
+	a := c.Arena()
+	// One contiguous block for the Nc per-channel input spectra.
+	ifreq := a.GetComplex(s.Nc * n)
+	wbuf := a.GetComplex(n)
+	acc := a.GetComplex(n)
 
 	oy, ox := s.OutY(), s.OutX()
-	for f := 0; f < s.Nf; f++ {
-		for i := range k.acc {
-			k.acc[i] = 0
-		}
-		for c := 0; c < s.Nc; c++ {
-			// Flipped, padded kernel spectrum.
-			for i := range k.wbuf {
-				k.wbuf[i] = 0
+	for bi := range ins {
+		in, out := ins[bi], outs[bi]
+		conv.CheckInput(s, in)
+		conv.CheckOutput(s, out)
+
+		// Input spectra, once per channel.
+		for ch := 0; ch < s.Nc; ch++ {
+			plane := ifreq[ch*n : (ch+1)*n]
+			for i := range plane {
+				plane[i] = 0
 			}
-			wBase := (f*s.Nc + c) * s.Fy * s.Fx
-			for ky := 0; ky < s.Fy; ky++ {
-				for kx := 0; kx < s.Fx; kx++ {
-					v := w.Data[wBase+ky*s.Fx+kx]
-					k.wbuf[(s.Fy-1-ky)*k.pw+(s.Fx-1-kx)] = complex(float64(v), 0)
+			for y := 0; y < s.Ny; y++ {
+				row := in.Row3(ch, y)
+				base := y * k.pw
+				for x, v := range row {
+					plane[base+x] = complex(float64(v), 0)
 				}
 			}
-			fft.FFT2D(k.wbuf, k.ph, k.pw)
-			src := k.ifreq[c]
-			for i := range k.acc {
-				k.acc[i] += src[i] * k.wbuf[i]
-			}
+			fft.FFT2D(plane, k.ph, k.pw)
 		}
-		fft.IFFT2D(k.acc, k.ph, k.pw)
-		// The correlation's valid region sits at offset (Fy-1, Fx-1) of
-		// the linear convolution with the flipped kernel.
-		for y := 0; y < oy; y++ {
-			dst := out.Row3(f, y)
-			base := (y + s.Fy - 1) * k.pw
-			for x := 0; x < ox; x++ {
-				dst[x] = float32(real(k.acc[base+x+s.Fx-1]))
+
+		for f := 0; f < s.Nf; f++ {
+			for i := range acc {
+				acc[i] = 0
+			}
+			for ch := 0; ch < s.Nc; ch++ {
+				// Flipped, padded kernel spectrum.
+				for i := range wbuf {
+					wbuf[i] = 0
+				}
+				wBase := (f*s.Nc + ch) * s.Fy * s.Fx
+				for ky := 0; ky < s.Fy; ky++ {
+					for kx := 0; kx < s.Fx; kx++ {
+						v := w.Data[wBase+ky*s.Fx+kx]
+						wbuf[(s.Fy-1-ky)*k.pw+(s.Fx-1-kx)] = complex(float64(v), 0)
+					}
+				}
+				fft.FFT2D(wbuf, k.ph, k.pw)
+				src := ifreq[ch*n : (ch+1)*n]
+				for i := range acc {
+					acc[i] += src[i] * wbuf[i]
+				}
+			}
+			fft.IFFT2D(acc, k.ph, k.pw)
+			// The correlation's valid region sits at offset (Fy-1, Fx-1) of
+			// the linear convolution with the flipped kernel.
+			for y := 0; y < oy; y++ {
+				dst := out.Row3(f, y)
+				base := (y + s.Fy - 1) * k.pw
+				for x := 0; x < ox; x++ {
+					dst[x] = float32(real(acc[base+x+s.Fx-1]))
+				}
 			}
 		}
 	}
+
+	a.PutComplex(acc)
+	a.PutComplex(wbuf)
+	a.PutComplex(ifreq)
 }
 
-// BackwardInput implements engine.Kernel via the unfold+GEMM fallback.
-func (k *Kernel) BackwardInput(ei, eo, w *tensor.Tensor) {
-	k.fallback.BackwardInput(ei, eo, w)
+// BackwardInputBatch implements engine.Kernel via the unfold+GEMM
+// fallback.
+func (k *Kernel) BackwardInputBatch(c *exec.Ctx, eis, eos []*tensor.Tensor, w *tensor.Tensor) {
+	k.fallback.BackwardInputBatch(c, eis, eos, w)
 }
 
-// BackwardWeights implements engine.Kernel via the unfold+GEMM fallback.
+// BackwardWeightsBatch implements engine.Kernel via the unfold+GEMM
+// fallback.
+func (k *Kernel) BackwardWeightsBatch(c *exec.Ctx, dw *tensor.Tensor, eos, ins []*tensor.Tensor) {
+	k.fallback.BackwardWeightsBatch(c, dw, eos, ins)
+}
+
+// Forward implements engine.SingleKernel.
+func (k *Kernel) Forward(out, in, w *tensor.Tensor) { k.single.Forward(k, out, in, w) }
+
+// BackwardInput implements engine.SingleKernel.
+func (k *Kernel) BackwardInput(ei, eo, w *tensor.Tensor) { k.single.BackwardInput(k, ei, eo, w) }
+
+// BackwardWeights implements engine.SingleKernel.
 func (k *Kernel) BackwardWeights(dw, eo, in *tensor.Tensor) {
-	k.fallback.BackwardWeights(dw, eo, in)
+	k.single.BackwardWeights(k, dw, eo, in)
 }
 
 // Generator returns the engine.Generator for the FFT technique.

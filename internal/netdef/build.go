@@ -5,6 +5,7 @@ import (
 
 	"spgcnn/internal/conv"
 	"spgcnn/internal/core"
+	"spgcnn/internal/exec"
 	"spgcnn/internal/nn"
 	"spgcnn/internal/rng"
 )
@@ -13,7 +14,12 @@ import (
 // network.
 type BuildOptions struct {
 	// Workers is the core count every layer schedules over (default 1).
+	// Ignored when Ctx is set.
 	Workers int
+	// Ctx is the execution context shared by every layer — one arena for
+	// all scratch, one probe for all instrumentation. Nil builds a fresh
+	// context with Workers workers.
+	Ctx *exec.Ctx
 	// FixedStrategy pins every convolution to one strategy (how the
 	// baseline configurations of Fig. 9 are constructed). Nil selects
 	// spg-CNN's auto-tuning scheduler.
@@ -29,10 +35,11 @@ type BuildOptions struct {
 // Build constructs the network, inferring each layer's input shape from
 // the previous layer's output.
 func Build(def *NetDef, opts BuildOptions) (*nn.Network, error) {
-	workers := opts.Workers
-	if workers < 1 {
-		workers = 1
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = exec.New(opts.Workers)
 	}
+	workers := ctx.Workers()
 	r := rng.New(opts.Seed ^ 0xB111D)
 	dims := []int{def.Input.Channels, def.Input.Height, def.Input.Width}
 	var layers []nn.Layer
@@ -67,11 +74,11 @@ func Build(def *NetDef, opts BuildOptions) (*nn.Network, error) {
 					return nil, fmt.Errorf("netdef: layer %q: tuning config names unknown strategy (%q/%q)",
 						name, ch.FP, ch.BP)
 				}
-				cl = nn.NewConvSplit(name, s, fp, bp, workers, r)
+				cl = nn.NewConvSplitCtx(name, s, fp, bp, ctx, r)
 			} else if opts.FixedStrategy != nil {
-				cl = nn.NewConvFixed(name, s, *opts.FixedStrategy, workers, r)
+				cl = nn.NewConvFixedCtx(name, s, *opts.FixedStrategy, ctx, r)
 			} else {
-				cl = nn.NewConv(name, s, workers, r)
+				cl = nn.NewConvCtx(name, s, ctx, r)
 			}
 			layers = append(layers, cl)
 			dims = cl.OutDims()
@@ -126,7 +133,7 @@ func Build(def *NetDef, opts BuildOptions) (*nn.Network, error) {
 			if err != nil {
 				return nil, err
 			}
-			fl := nn.NewFC(nameOr(l, i), dims, out, workers, r)
+			fl := nn.NewFCCtx(nameOr(l, i), dims, out, ctx, r)
 			layers = append(layers, fl)
 			dims = fl.OutDims()
 		default:

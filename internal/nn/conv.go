@@ -6,6 +6,7 @@ import (
 
 	"spgcnn/internal/conv"
 	"spgcnn/internal/core"
+	"spgcnn/internal/exec"
 	"spgcnn/internal/rng"
 	"spgcnn/internal/tensor"
 )
@@ -68,11 +69,11 @@ type convBackend interface {
 type Conv struct {
 	name string
 	spec conv.Spec
+	ctx  *exec.Ctx
 
 	W, B   *tensor.Tensor // weights [Nf][Nc][Fy][Fx], bias [Nf]
 	dW, dB *tensor.Tensor
-	dwTmp  *tensor.Tensor // per-batch gradient scratch
-	opt    sgdState       // optimizer config (momentum.go)
+	opt    sgdState // optimizer config (momentum.go)
 
 	exec convBackend
 
@@ -83,38 +84,61 @@ type Conv struct {
 	eoBatches     int
 }
 
-// NewConv builds an auto-tuned convolution layer (spg-CNN scheduling).
+// NewConvCtx builds an auto-tuned convolution layer (spg-CNN scheduling)
+// running under the given execution context.
+func NewConvCtx(name string, s conv.Spec, c *exec.Ctx, r *rng.RNG) *Conv {
+	l := newConvCommon(name, s, c, r)
+	l.exec = autoExec{core.NewAutoConv(s, 0, core.AutoOptions{Ctx: l.ctx})}
+	return l
+}
+
+// NewConv builds an auto-tuned convolution layer with a private context of
+// the given worker count.
 func NewConv(name string, s conv.Spec, workers int, r *rng.RNG) *Conv {
-	c := newConvCommon(name, s, r)
-	c.exec = autoExec{core.NewAutoConv(s, workers, core.AutoOptions{})}
-	return c
+	return NewConvCtx(name, s, exec.New(workers), r)
 }
 
-// NewConvFixed builds a convolution layer pinned to one strategy.
+// NewConvFixedCtx builds a convolution layer pinned to one strategy under
+// the given execution context.
+func NewConvFixedCtx(name string, s conv.Spec, st core.Strategy, c *exec.Ctx, r *rng.RNG) *Conv {
+	l := newConvCommon(name, s, c, r)
+	l.exec = fixedExec{core.NewExecCtx(st, s, l.ctx)}
+	return l
+}
+
+// NewConvFixed builds a convolution layer pinned to one strategy with a
+// private context of the given worker count.
 func NewConvFixed(name string, s conv.Spec, st core.Strategy, workers int, r *rng.RNG) *Conv {
-	c := newConvCommon(name, s, r)
-	c.exec = fixedExec{core.NewExec(st, s, workers)}
-	return c
+	return NewConvFixedCtx(name, s, st, exec.New(workers), r)
 }
 
-// NewConvSplit builds a convolution layer with separate fixed strategies
-// for forward and backward propagation.
+// NewConvSplitCtx builds a convolution layer with separate fixed strategies
+// for forward and backward propagation, both under the given context.
+func NewConvSplitCtx(name string, s conv.Spec, fp, bp core.Strategy, c *exec.Ctx, r *rng.RNG) *Conv {
+	l := newConvCommon(name, s, c, r)
+	l.exec = splitExec{fp: core.NewExecCtx(fp, s, l.ctx), bp: core.NewExecCtx(bp, s, l.ctx)}
+	return l
+}
+
+// NewConvSplit builds a split-strategy convolution layer with a private
+// context of the given worker count.
 func NewConvSplit(name string, s conv.Spec, fp, bp core.Strategy, workers int, r *rng.RNG) *Conv {
-	c := newConvCommon(name, s, r)
-	c.exec = splitExec{fp: core.NewExec(fp, s, workers), bp: core.NewExec(bp, s, workers)}
-	return c
+	return NewConvSplitCtx(name, s, fp, bp, exec.New(workers), r)
 }
 
-func newConvCommon(name string, s conv.Spec, r *rng.RNG) *Conv {
+func newConvCommon(name string, s conv.Spec, ctx *exec.Ctx, r *rng.RNG) *Conv {
 	s.MustValidate()
+	if ctx == nil {
+		ctx = exec.New(1)
+	}
 	c := &Conv{
-		name:  name,
-		spec:  s,
-		W:     conv.NewWeights(s),
-		B:     tensor.New(s.Nf),
-		dW:    conv.NewWeights(s),
-		dB:    tensor.New(s.Nf),
-		dwTmp: conv.NewWeights(s),
+		name: name,
+		spec: s,
+		ctx:  ctx,
+		W:    conv.NewWeights(s),
+		B:    tensor.New(s.Nf),
+		dW:   conv.NewWeights(s),
+		dB:   tensor.New(s.Nf),
 	}
 	// He initialization: stddev = sqrt(2 / fan-in).
 	fanIn := float64(s.Nc * s.Fy * s.Fx)
@@ -127,6 +151,9 @@ func (c *Conv) Name() string { return c.name }
 
 // Spec returns the convolution geometry.
 func (c *Conv) Spec() conv.Spec { return c.spec }
+
+// Ctx returns the execution context the layer runs under.
+func (c *Conv) Ctx() *exec.Ctx { return c.ctx }
 
 // InDims implements Layer.
 func (c *Conv) InDims() []int { return []int{c.spec.Nc, c.spec.Ny, c.spec.Nx} }
@@ -159,8 +186,10 @@ func (c *Conv) Backward(eis, eos, ins []*tensor.Tensor) {
 		c.eoSparsitySum += eo.Sparsity()
 		c.eoBatches++
 	}
-	c.exec.backward(eis, c.dwTmp, eos, ins, c.W)
-	c.dW.AddScaled(c.dwTmp, 1)
+	dwTmp := c.ctx.GetTensor(c.spec.Nf, c.spec.Nc, c.spec.Fy, c.spec.Fx)
+	c.exec.backward(eis, dwTmp, eos, ins, c.W)
+	c.dW.AddScaled(dwTmp, 1)
+	c.ctx.PutTensor(dwTmp)
 	oy, ox := c.spec.OutY(), c.spec.OutX()
 	for _, eo := range eos {
 		for f := 0; f < c.spec.Nf; f++ {

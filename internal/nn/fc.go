@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"spgcnn/internal/exec"
 	"spgcnn/internal/par"
 	"spgcnn/internal/rng"
 	"spgcnn/internal/tensor"
@@ -12,13 +13,14 @@ import (
 
 // FC is a fully-connected layer y = W·x + b over flattened inputs (the
 // classifier head of every benchmark network). The batch is processed with
-// GEMM-in-Parallel scheduling: one image per worker.
+// GEMM-in-Parallel scheduling: one image per worker; per-worker gradient
+// accumulators come from the execution context's arena.
 type FC struct {
-	name    string
-	inDims  []int
-	inLen   int
-	outLen  int
-	workers int
+	name   string
+	inDims []int
+	inLen  int
+	outLen int
+	ctx    *exec.Ctx
 
 	W, B   *tensor.Tensor // W: [out][in], B: [out]
 	dW, dB *tensor.Tensor
@@ -26,28 +28,35 @@ type FC struct {
 	opt    sgdState   // optimizer config (momentum.go)
 }
 
-// NewFC builds a fully-connected layer mapping prod(inDims) -> out.
-func NewFC(name string, inDims []int, out, workers int, r *rng.RNG) *FC {
+// NewFCCtx builds a fully-connected layer mapping prod(inDims) -> out,
+// scheduling over the given execution context.
+func NewFCCtx(name string, inDims []int, out int, c *exec.Ctx, r *rng.RNG) *FC {
 	if out < 1 {
 		panic("nn: FC output size must be positive")
 	}
-	if workers < 1 {
-		workers = 1
+	if c == nil {
+		c = exec.New(1)
 	}
 	inLen := prod(inDims)
 	l := &FC{
-		name:    name,
-		inDims:  append([]int(nil), inDims...),
-		inLen:   inLen,
-		outLen:  out,
-		workers: workers,
-		W:       tensor.New(out, inLen),
-		B:       tensor.New(out),
-		dW:      tensor.New(out, inLen),
-		dB:      tensor.New(out),
+		name:   name,
+		inDims: append([]int(nil), inDims...),
+		inLen:  inLen,
+		outLen: out,
+		ctx:    c,
+		W:      tensor.New(out, inLen),
+		B:      tensor.New(out),
+		dW:     tensor.New(out, inLen),
+		dB:     tensor.New(out),
 	}
 	l.W.FillNormal(r, 0, float32(math.Sqrt(2/float64(inLen))))
 	return l
+}
+
+// NewFC builds a fully-connected layer with a private context of the given
+// worker count.
+func NewFC(name string, inDims []int, out, workers int, r *rng.RNG) *FC {
+	return NewFCCtx(name, inDims, out, exec.New(workers), r)
 }
 
 // Name implements Layer.
@@ -64,7 +73,7 @@ func (l *FC) Forward(outs, ins []*tensor.Tensor) {
 	if len(outs) != len(ins) {
 		panic(fmt.Sprintf("nn: %s Forward batch mismatch", l.name))
 	}
-	par.For(len(ins), l.workers, func(i int) {
+	par.For(len(ins), l.ctx.Workers(), func(i int) {
 		x := ins[i].Data
 		y := outs[i].Data
 		for o := 0; o < l.outLen; o++ {
@@ -83,9 +92,14 @@ func (l *FC) Backward(eis, eos, ins []*tensor.Tensor) {
 	if len(eis) != len(eos) || len(eos) != len(ins) {
 		panic(fmt.Sprintf("nn: %s Backward batch mismatch", l.name))
 	}
-	par.ForWorkers(len(eos), l.workers, func(_, lo, hi int) {
-		dW := tensor.New(l.outLen, l.inLen)
-		dB := tensor.New(l.outLen)
+	par.ForWorkers(len(eos), l.ctx.Workers(), func(_, lo, hi int) {
+		if lo >= hi {
+			return
+		}
+		dW := l.ctx.GetTensor(l.outLen, l.inLen)
+		dB := l.ctx.GetTensor(l.outLen)
+		dW.Zero()
+		dB.Zero()
 		for i := lo; i < hi; i++ {
 			eo := eos[i].Data
 			x := ins[i].Data
@@ -111,6 +125,8 @@ func (l *FC) Backward(eis, eos, ins []*tensor.Tensor) {
 		l.dW.AddScaled(dW, 1)
 		l.dB.AddScaled(dB, 1)
 		l.mu.Unlock()
+		l.ctx.PutTensor(dB)
+		l.ctx.PutTensor(dW)
 	})
 }
 

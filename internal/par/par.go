@@ -41,9 +41,9 @@ func For(n, workers int, fn func(i int)) {
 		return
 	}
 	var wg sync.WaitGroup
-	wg.Add(workers)
+	wg.Add(workers - 1)
 	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	for w := 1; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
 		if hi > n {
@@ -55,6 +55,14 @@ func For(n, workers int, fn func(i int)) {
 				fn(i)
 			}
 		}(lo, hi)
+	}
+	// Worker 0's chunk runs on the calling goroutine.
+	first := chunk
+	if first > n {
+		first = n
+	}
+	for i := 0; i < first; i++ {
+		fn(i)
 	}
 	wg.Wait()
 }
@@ -75,9 +83,9 @@ func ForChunked(n, workers int, fn func(lo, hi int)) {
 		return
 	}
 	var wg sync.WaitGroup
-	wg.Add(workers)
+	wg.Add(workers - 1)
 	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	for w := 1; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
 		if hi > n {
@@ -88,6 +96,12 @@ func ForChunked(n, workers int, fn func(lo, hi int)) {
 			fn(lo, hi)
 		}(lo, hi)
 	}
+	// Worker 0's range runs on the calling goroutine.
+	first := chunk
+	if first > n {
+		first = n
+	}
+	fn(0, first)
 	wg.Wait()
 }
 
@@ -107,9 +121,9 @@ func ForWorkers(n, workers int, fn func(worker, lo, hi int)) {
 		return
 	}
 	var wg sync.WaitGroup
-	wg.Add(workers)
+	wg.Add(workers - 1)
 	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	for w := 1; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
 		if hi > n {
@@ -120,6 +134,13 @@ func ForWorkers(n, workers int, fn func(worker, lo, hi int)) {
 			fn(w, lo, hi)
 		}(w, lo, hi)
 	}
+	// Worker 0 runs on the calling goroutine: one fewer goroutine spawn per
+	// call, and the caller does useful work instead of blocking.
+	first := chunk
+	if first > n {
+		first = n
+	}
+	fn(0, 0, first)
 	wg.Wait()
 }
 

@@ -23,6 +23,18 @@ const DefaultTileWidth = 64
 // FromDenseCT builds a CT-CSR matrix from a row-major dense matrix.
 // tileWidth <= 0 selects DefaultTileWidth.
 func FromDenseCT(data []float32, rows, cols, tileWidth int) *CTCSR {
+	m := &CTCSR{}
+	FromDenseCTInto(m, data, rows, cols, tileWidth)
+	return m
+}
+
+// FromDenseCTInto rebuilds m from a row-major dense matrix, reusing the
+// tile skeletons and their Values/ColIdx/RowPtr storage from m's previous
+// contents. After the arrays have grown to steady-state capacity,
+// recompressing a same-shaped matrix allocates nothing — the property the
+// per-step sparse BP kernel depends on. tileWidth <= 0 selects
+// DefaultTileWidth.
+func FromDenseCTInto(m *CTCSR, data []float32, rows, cols, tileWidth int) {
 	if len(data) != rows*cols {
 		panic(fmt.Sprintf("sparse: data length %d != %d x %d", len(data), rows, cols))
 	}
@@ -33,7 +45,14 @@ func FromDenseCT(data []float32, rows, cols, tileWidth int) *CTCSR {
 	if cols == 0 {
 		nTiles = 0
 	}
-	m := &CTCSR{Rows: rows, Cols: cols, TileWidth: tileWidth, Tiles: make([]*CSR, nTiles)}
+	m.Rows, m.Cols, m.TileWidth = rows, cols, tileWidth
+	if cap(m.Tiles) < nTiles {
+		tiles := make([]*CSR, nTiles)
+		copy(tiles, m.Tiles)
+		m.Tiles = tiles
+	} else {
+		m.Tiles = m.Tiles[:nTiles]
+	}
 	for t := 0; t < nTiles; t++ {
 		lo := t * tileWidth
 		hi := lo + tileWidth
@@ -41,7 +60,20 @@ func FromDenseCT(data []float32, rows, cols, tileWidth int) *CTCSR {
 			hi = cols
 		}
 		w := hi - lo
-		tile := &CSR{Rows: rows, Cols: w, RowPtr: make([]int32, rows+1)}
+		tile := m.Tiles[t]
+		if tile == nil {
+			tile = &CSR{}
+			m.Tiles[t] = tile
+		}
+		tile.Rows, tile.Cols = rows, w
+		if cap(tile.RowPtr) < rows+1 {
+			tile.RowPtr = make([]int32, rows+1)
+		} else {
+			tile.RowPtr = tile.RowPtr[:rows+1]
+		}
+		tile.RowPtr[0] = 0
+		tile.Values = tile.Values[:0]
+		tile.ColIdx = tile.ColIdx[:0]
 		for i := 0; i < rows; i++ {
 			row := data[i*cols+lo : i*cols+hi]
 			for j, v := range row {
@@ -52,9 +84,7 @@ func FromDenseCT(data []float32, rows, cols, tileWidth int) *CTCSR {
 			}
 			tile.RowPtr[i+1] = int32(len(tile.Values))
 		}
-		m.Tiles[t] = tile
 	}
-	return m
 }
 
 // ToDense expands the matrix back to a row-major dense slice.

@@ -16,17 +16,21 @@ import (
 // directly from (pre-mask gradient, ReLU mask), skipping the dense
 // intermediate entirely. An extension beyond the paper (its future-work
 // direction of pushing sparsity exploitation earlier in the pipeline).
+//
+// The fused entry points are per-sample conveniences; they draw scratch
+// from the kernel's private serial context and are therefore, like the
+// rest of the SingleKernel surface, not safe for concurrent use.
 
-// buildEOMasked transforms grad to feature-fastest layout, applying the
-// mask inline, and compresses the result to CT-CSR. mask is in the same
-// [Nf][OutY][OutX] layout as grad; element i passes iff mask[i].
-func (k *Kernel) buildEOMasked(grad *tensor.Tensor, mask []bool) *sparse.CTCSR {
+// buildEOMasked transforms grad to feature-fastest layout into eoHWC,
+// applying the mask inline, and compresses the result into ceo. mask is in
+// the same [Nf][OutY][OutX] layout as grad; element i passes iff mask[i].
+func (k *Kernel) buildEOMasked(ceo *sparse.CTCSR, eoHWC, grad *tensor.Tensor, mask []bool) {
 	s := k.spec
 	if len(mask) != grad.Len() {
 		panic(fmt.Sprintf("spkernel: mask length %d != gradient length %d", len(mask), grad.Len()))
 	}
 	oy, ox := s.OutY(), s.OutX()
-	dst := k.eoHWC.Data
+	dst := eoHWC.Data
 	for f := 0; f < s.Nf; f++ {
 		for y := 0; y < oy; y++ {
 			base := (f*oy + y) * ox
@@ -41,25 +45,45 @@ func (k *Kernel) buildEOMasked(grad *tensor.Tensor, mask []bool) *sparse.CTCSR {
 			}
 		}
 	}
-	return sparse.FromDenseCT(dst, oy*ox, s.Nf, k.tileWidth)
+	sparse.FromDenseCTInto(ceo, dst, oy*ox, s.Nf, k.tileWidth)
 }
 
 // BackwardInputFused computes Eq. 3 for eo = grad⊙mask without
 // materializing the masked gradient.
 func (k *Kernel) BackwardInputFused(ei, grad *tensor.Tensor, mask []bool, w *tensor.Tensor) {
-	ceo := k.buildEOMasked(grad, mask)
-	tensor.FCKKToKKFCInto(k.wKKFC, w)
-	k.eiHWC.Zero()
-	k.scatterEI(ceo)
-	tensor.HWCToCHWInto(ei, k.eiHWC)
+	s := k.spec
+	c := k.single.Ctx()
+	sc := k.scratch.Get().(*ceoScratch)
+	eoHWC := c.GetTensor(s.OutY(), s.OutX(), s.Nf)
+	wKKFC := c.GetTensor(s.Fy, s.Fx, s.Nf, s.Nc)
+	eiHWC := c.GetTensor(s.Ny, s.Nx, s.Nc)
+	k.buildEOMasked(&sc.ceo, eoHWC, grad, mask)
+	tensor.FCKKToKKFCInto(wKKFC, w)
+	eiHWC.Zero()
+	k.scatterEI(&sc.ceo, wKKFC, eiHWC)
+	tensor.HWCToCHWInto(ei, eiHWC)
+	c.PutTensor(eiHWC)
+	c.PutTensor(wKKFC)
+	c.PutTensor(eoHWC)
+	k.scratch.Put(sc)
 }
 
 // BackwardWeightsFused computes Eq. 4 for eo = grad⊙mask without
 // materializing the masked gradient.
 func (k *Kernel) BackwardWeightsFused(dw, grad *tensor.Tensor, mask []bool, in *tensor.Tensor) {
-	ceo := k.buildEOMasked(grad, mask)
-	tensor.CHWToHWCInto(k.inHWC, in)
-	k.dwKK.Zero()
-	k.scatterDW(ceo)
-	tensor.KKFCToFCKKInto(dw, k.dwKK)
+	s := k.spec
+	c := k.single.Ctx()
+	sc := k.scratch.Get().(*ceoScratch)
+	eoHWC := c.GetTensor(s.OutY(), s.OutX(), s.Nf)
+	inHWC := c.GetTensor(s.Ny, s.Nx, s.Nc)
+	dwKK := c.GetTensor(s.Fy, s.Fx, s.Nf, s.Nc)
+	k.buildEOMasked(&sc.ceo, eoHWC, grad, mask)
+	tensor.CHWToHWCInto(inHWC, in)
+	dwKK.Zero()
+	k.scatterDW(&sc.ceo, inHWC, dwKK)
+	tensor.KKFCToFCKKInto(dw, dwKK)
+	c.PutTensor(dwKK)
+	c.PutTensor(inHWC)
+	c.PutTensor(eoHWC)
+	k.scratch.Put(sc)
 }

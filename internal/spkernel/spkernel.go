@@ -22,29 +22,39 @@ package spkernel
 
 import (
 	"fmt"
+	"sync"
 
 	"spgcnn/internal/conv"
 	"spgcnn/internal/engine"
+	"spgcnn/internal/exec"
 	"spgcnn/internal/sparse"
 	"spgcnn/internal/tensor"
 	"spgcnn/internal/unfoldgemm"
 )
 
-// Kernel is a generated sparse BP kernel for one spec. Forward propagation
+// Kernel is a generated sparse BP plan for one spec. Forward propagation
 // is not this technique's job (the paper pairs Sparse-Kernel BP with
 // GEMM-in-Parallel or Stencil-Kernel FP), so Forward delegates to a serial
 // unfold+GEMM kernel for interface completeness.
+//
+// Layout-transform scratch comes from the execution context's arena per
+// batch call; the CT-CSR skeleton (whose index arrays cannot live in the
+// float arena) is recycled through a kernel-owned sync.Pool. One instance
+// is safe for concurrent use through the batch entry points.
 type Kernel struct {
 	spec      conv.Spec
 	tileWidth int
 
-	eoHWC *tensor.Tensor // [OutY][OutX][Nf]
-	wKKFC *tensor.Tensor // [Fy][Fx][Nf][Nc]
-	eiHWC *tensor.Tensor // [Ny][Nx][Nc]
-	inHWC *tensor.Tensor // [Ny][Nx][Nc]
-	dwKK  *tensor.Tensor // [Fy][Fx][Nf][Nc]
+	// scratch pools CT-CSR skeletons whose Values/ColIdx/RowPtr arrays are
+	// reused across steps via sparse.FromDenseCTInto.
+	scratch sync.Pool
 
-	fwd *unfoldgemm.Kernel
+	fwd    *unfoldgemm.Kernel
+	single engine.SingleOps
+}
+
+type ceoScratch struct {
+	ceo sparse.CTCSR
 }
 
 // New generates a sparse kernel for s. tileWidth <= 0 selects the CT-CSR
@@ -54,16 +64,13 @@ func New(s conv.Spec, tileWidth int) *Kernel {
 	if tileWidth <= 0 {
 		tileWidth = sparse.DefaultTileWidth
 	}
-	return &Kernel{
+	k := &Kernel{
 		spec:      s,
 		tileWidth: tileWidth,
-		eoHWC:     tensor.New(s.OutY(), s.OutX(), s.Nf),
-		wKKFC:     tensor.New(s.Fy, s.Fx, s.Nf, s.Nc),
-		eiHWC:     tensor.New(s.Ny, s.Nx, s.Nc),
-		inHWC:     tensor.New(s.Ny, s.Nx, s.Nc),
-		dwKK:      tensor.New(s.Fy, s.Fx, s.Nf, s.Nc),
 		fwd:       unfoldgemm.New(s, 1),
 	}
+	k.scratch.New = func() any { return &ceoScratch{} }
+	return k
 }
 
 // Name implements engine.Kernel.
@@ -72,43 +79,61 @@ func (k *Kernel) Name() string { return fmt.Sprintf("sparse(tile=%d)", k.tileWid
 // Spec implements engine.Kernel.
 func (k *Kernel) Spec() conv.Spec { return k.spec }
 
-// Forward delegates to serial unfold+GEMM (see type comment).
-func (k *Kernel) Forward(out, in, w *tensor.Tensor) { k.fwd.Forward(out, in, w) }
-
-// buildEO transforms eo to feature-fastest layout and compresses it to
-// CT-CSR: rows are the OutY·OutX spatial positions, columns the Nf
-// features, tiled by tileWidth.
-func (k *Kernel) buildEO(eo *tensor.Tensor) *sparse.CTCSR {
-	tensor.CHWToHWCInto(k.eoHWC, eo)
-	s := k.spec
-	return sparse.FromDenseCT(k.eoHWC.Data, s.OutY()*s.OutX(), s.Nf, k.tileWidth)
+// ForwardBatch delegates to serial unfold+GEMM (see type comment).
+func (k *Kernel) ForwardBatch(c *exec.Ctx, outs, ins []*tensor.Tensor, w *tensor.Tensor) {
+	k.fwd.ForwardBatch(c, outs, ins, w)
 }
 
-// BackwardInput computes Eq. 3 by pointer shifting: for every stored
-// non-zero of EO and every kernel coordinate, one dense axpy of length Nc
-// lands directly at its shifted output position (Eq. 15).
-func (k *Kernel) BackwardInput(ei, eo, w *tensor.Tensor) {
+// buildEO transforms eo to feature-fastest layout in eoHWC and compresses
+// it into the reusable CT-CSR: rows are the OutY·OutX spatial positions,
+// columns the Nf features, tiled by tileWidth.
+func (k *Kernel) buildEO(ceo *sparse.CTCSR, eoHWC, eo *tensor.Tensor) {
+	tensor.CHWToHWCInto(eoHWC, eo)
 	s := k.spec
-	conv.CheckInput(s, ei)
-	conv.CheckOutput(s, eo)
-	conv.CheckWeights(s, w)
+	sparse.FromDenseCTInto(ceo, eoHWC.Data, s.OutY()*s.OutX(), s.Nf, k.tileWidth)
+}
 
-	ceo := k.buildEO(eo)
-	tensor.FCKKToKKFCInto(k.wKKFC, w)
-	k.eiHWC.Zero()
-	k.scatterEI(ceo)
-	tensor.HWCToCHWInto(ei, k.eiHWC)
+// BackwardInputBatch computes Eq. 3 by pointer shifting: for every stored
+// non-zero of EO and every kernel coordinate, one dense axpy of length Nc
+// lands directly at its shifted output position (Eq. 15). The weight
+// transform is hoisted out of the per-sample loop.
+func (k *Kernel) BackwardInputBatch(c *exec.Ctx, eis, eos []*tensor.Tensor, w *tensor.Tensor) {
+	if len(eis) != len(eos) {
+		panic("spkernel: BackwardInputBatch length mismatch")
+	}
+	s := k.spec
+	conv.CheckWeights(s, w)
+	if len(eos) == 0 {
+		return
+	}
+	sc := k.scratch.Get().(*ceoScratch)
+	eoHWC := c.GetTensor(s.OutY(), s.OutX(), s.Nf)
+	wKKFC := c.GetTensor(s.Fy, s.Fx, s.Nf, s.Nc)
+	eiHWC := c.GetTensor(s.Ny, s.Nx, s.Nc)
+	tensor.FCKKToKKFCInto(wKKFC, w)
+	for i := range eos {
+		conv.CheckInput(s, eis[i])
+		conv.CheckOutput(s, eos[i])
+		k.buildEO(&sc.ceo, eoHWC, eos[i])
+		eiHWC.Zero()
+		k.scatterEI(&sc.ceo, wKKFC, eiHWC)
+		tensor.HWCToCHWInto(eis[i], eiHWC)
+	}
+	c.PutTensor(eiHWC)
+	c.PutTensor(wKKFC)
+	c.PutTensor(eoHWC)
+	k.scratch.Put(sc)
 }
 
 // scatterEI performs the Eq. 15 pointer-shifting scatter of every stored
 // non-zero into the channel-contiguous EI scratch. Weights must already be
 // in KKFC layout and eiHWC zeroed.
-func (k *Kernel) scatterEI(ceo *sparse.CTCSR) {
+func (k *Kernel) scatterEI(ceo *sparse.CTCSR, wKKFC, eiHWC *tensor.Tensor) {
 	s := k.spec
 	nc := s.Nc
 	ox := s.OutX()
-	wdat := k.wKKFC.Data
-	edat := k.eiHWC.Data
+	wdat := wKKFC.Data
+	edat := eiHWC.Data
 	for t := range ceo.Tiles {
 		ceo.VisitTile(t, func(row, f int, v float32) {
 			yq, xq := row/ox, row%ox
@@ -127,31 +152,46 @@ func (k *Kernel) scatterEI(ceo *sparse.CTCSR) {
 	}
 }
 
-// BackwardWeights computes Eq. 4 with the same non-zero-driven structure:
-// each stored EO non-zero contributes one Nc-length axpy of the input
-// vector at its shifted position into the (ky, kx, f) weight-gradient row.
-func (k *Kernel) BackwardWeights(dw, eo, in *tensor.Tensor) {
+// BackwardWeightsBatch computes dw = Σ_i grad(eos[i], ins[i]) (Eq. 4) with
+// the same non-zero-driven structure: each stored EO non-zero contributes
+// one Nc-length axpy of the input vector at its shifted position into the
+// (ky, kx, f) weight-gradient row. The KKFC accumulator is zeroed once and
+// summed over the whole batch, so the batch reduction is free. dw is
+// overwritten.
+func (k *Kernel) BackwardWeightsBatch(c *exec.Ctx, dw *tensor.Tensor, eos, ins []*tensor.Tensor) {
+	if len(eos) != len(ins) {
+		panic("spkernel: BackwardWeightsBatch length mismatch")
+	}
 	s := k.spec
 	conv.CheckWeights(s, dw)
-	conv.CheckOutput(s, eo)
-	conv.CheckInput(s, in)
-
-	ceo := k.buildEO(eo)
-	tensor.CHWToHWCInto(k.inHWC, in)
-	k.dwKK.Zero()
-	k.scatterDW(ceo)
-	tensor.KKFCToFCKKInto(dw, k.dwKK)
+	sc := k.scratch.Get().(*ceoScratch)
+	eoHWC := c.GetTensor(s.OutY(), s.OutX(), s.Nf)
+	inHWC := c.GetTensor(s.Ny, s.Nx, s.Nc)
+	dwKK := c.GetTensor(s.Fy, s.Fx, s.Nf, s.Nc)
+	dwKK.Zero()
+	for i := range eos {
+		conv.CheckOutput(s, eos[i])
+		conv.CheckInput(s, ins[i])
+		k.buildEO(&sc.ceo, eoHWC, eos[i])
+		tensor.CHWToHWCInto(inHWC, ins[i])
+		k.scatterDW(&sc.ceo, inHWC, dwKK)
+	}
+	tensor.KKFCToFCKKInto(dw, dwKK)
+	c.PutTensor(dwKK)
+	c.PutTensor(inHWC)
+	c.PutTensor(eoHWC)
+	k.scratch.Put(sc)
 }
 
 // scatterDW accumulates every stored non-zero's input-vector contribution
 // into the KKFC-layout weight-gradient scratch (Eq. 4, non-zero-driven).
-// Inputs must already be in HWC layout and dwKK zeroed.
-func (k *Kernel) scatterDW(ceo *sparse.CTCSR) {
+// Inputs must already be in HWC layout; dwKK accumulates across calls.
+func (k *Kernel) scatterDW(ceo *sparse.CTCSR, inHWC, dwKK *tensor.Tensor) {
 	s := k.spec
 	nc := s.Nc
 	ox := s.OutX()
-	idat := k.inHWC.Data
-	ddat := k.dwKK.Data
+	idat := inHWC.Data
+	ddat := dwKK.Data
 	for t := range ceo.Tiles {
 		ceo.VisitTile(t, func(row, f int, v float32) {
 			yq, xq := row/ox, row%ox
@@ -168,6 +208,18 @@ func (k *Kernel) scatterDW(ceo *sparse.CTCSR) {
 			}
 		})
 	}
+}
+
+// Forward implements engine.SingleKernel by delegating to the serial
+// unfold+GEMM kernel directly.
+func (k *Kernel) Forward(out, in, w *tensor.Tensor) { k.fwd.Forward(out, in, w) }
+
+// BackwardInput implements engine.SingleKernel.
+func (k *Kernel) BackwardInput(ei, eo, w *tensor.Tensor) { k.single.BackwardInput(k, ei, eo, w) }
+
+// BackwardWeights implements engine.SingleKernel.
+func (k *Kernel) BackwardWeights(dw, eo, in *tensor.Tensor) {
+	k.single.BackwardWeights(k, dw, eo, in)
 }
 
 // axpy computes dst += a*src for equal-length slices, 4-way unrolled.

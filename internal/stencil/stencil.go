@@ -2,13 +2,15 @@ package stencil
 
 import (
 	"fmt"
+	"sync"
 
 	"spgcnn/internal/conv"
 	"spgcnn/internal/engine"
+	"spgcnn/internal/exec"
 	"spgcnn/internal/tensor"
 )
 
-// Kernel is a generated stencil convolution kernel for one spec. Forward
+// Kernel is a generated stencil convolution plan for one spec. Forward
 // propagation is the paper's Stencil-Kernel: a direct register-tiled
 // stencil over the input, with the Eq. 21 layout transform for strided
 // convolutions and cache tiling along output rows.
@@ -16,15 +18,25 @@ import (
 // The paper deploys the stencil for FP only (BP uses GEMM or the sparse
 // kernel); for interface completeness this kernel also provides direct
 // (unfold-free) BP implementations built on the same row primitives.
+//
+// The plan holds no numeric scratch: accumulator tiles and the
+// stride-split tensor come from the execution context's arena per batch
+// call, and the column-kernel op lists come from a kernel-owned sync.Pool,
+// so one instance is safe for concurrent use through the batch entry
+// points.
 type Kernel struct {
 	spec conv.Spec
 	plan Plan
 
-	acc   [][]float32    // register-tile accumulator block: RY rows × OutX
-	split *tensor.Tensor // Eq. 21 stride-split input scratch (sx > 1)
+	// scratch pools op-list skeletons for the column-resident kernels
+	// (unit stride, rows <= 2): ops2 feed both tile rows, ops0/ops1 feed
+	// only one.
+	scratch sync.Pool
 
-	// Op-list scratch for the column-resident kernels (unit stride,
-	// rows <= 2): ops2 feed both tile rows, ops0/ops1 feed only one.
+	single engine.SingleOps
+}
+
+type fwdScratch struct {
 	ops2, ops0, ops1 []tapOp
 }
 
@@ -45,16 +57,7 @@ func NewWithPlan(p Plan) *Kernel {
 		p.TileX = p.Spec.OutX()
 	}
 	k := &Kernel{spec: p.Spec, plan: p}
-	ox := p.Spec.OutX()
-	backing := make([]float32, p.RY*ox)
-	k.acc = make([][]float32, p.RY)
-	for i := range k.acc {
-		k.acc[i] = backing[i*ox : (i+1)*ox]
-	}
-	if p.Spec.Sx > 1 {
-		wq := (p.Spec.Nx + p.Spec.Sx - 1) / p.Spec.Sx
-		k.split = tensor.New(p.Spec.Nc, p.Spec.Ny, p.Spec.Sx, wq)
-	}
+	k.scratch.New = func() any { return &fwdScratch{} }
 	return k
 }
 
@@ -69,8 +72,8 @@ func (k *Kernel) Spec() conv.Spec { return k.spec }
 // Plan returns the generated plan.
 func (k *Kernel) Plan() Plan { return k.plan }
 
-// strideSplitInto performs the Eq. 21 transform into the preallocated
-// scratch tensor: dst[c][y][x mod sx][x/sx] = in[c][y][x].
+// strideSplitInto performs the Eq. 21 transform into the scratch tensor:
+// dst[c][y][x mod sx][x/sx] = in[c][y][x].
 func strideSplitInto(dst, in *tensor.Tensor, sx int) {
 	c, h, w := in.Dim(0), in.Dim(1), in.Dim(2)
 	wq := dst.Dim(3)
@@ -87,17 +90,53 @@ func strideSplitInto(dst, in *tensor.Tensor, sx int) {
 
 // srcRow returns the contiguous input row slice whose element x is
 // in[c, iy, x·sx + kx], using the stride-split layout when sx > 1.
-func (k *Kernel) srcRow(in *tensor.Tensor, c, iy, kx int) []float32 {
+func (k *Kernel) srcRow(split *tensor.Tensor, in *tensor.Tensor, c, iy, kx int) []float32 {
 	s := k.spec
 	if s.Sx == 1 {
 		return in.Row3(c, iy)[kx:]
 	}
-	wq := k.split.Dim(3)
+	wq := split.Dim(3)
 	base := ((c*s.Ny+iy)*s.Sx + kx%s.Sx) * wq
-	return k.split.Data[base+kx/s.Sx:]
+	return split.Data[base+kx/s.Sx:]
 }
 
-// Forward computes Eq. 2 as a register-tiled stencil (§4.3). The loop
+// ForwardBatch computes Eq. 2 (§4.3) for every sample, sharing one set of
+// arena-backed accumulator rows and stride-split scratch across the batch.
+func (k *Kernel) ForwardBatch(c *exec.Ctx, outs, ins []*tensor.Tensor, w *tensor.Tensor) {
+	if len(outs) != len(ins) {
+		panic("stencil: ForwardBatch length mismatch")
+	}
+	if len(ins) == 0 {
+		return
+	}
+	s := k.spec
+	conv.CheckWeights(s, w)
+	ox := s.OutX()
+	accBacking := c.Get(k.plan.RY * ox)
+	var acc [maxRY][]float32
+	for i := 0; i < k.plan.RY; i++ {
+		acc[i] = accBacking[i*ox : (i+1)*ox]
+	}
+	var split *tensor.Tensor
+	if s.Sx > 1 {
+		wq := (s.Nx + s.Sx - 1) / s.Sx
+		split = c.GetTensor(s.Nc, s.Ny, s.Sx, wq)
+		// The Eq. 21 transform leaves ragged sub-row tails unwritten; zero
+		// once so arena reuse can never surface stale values.
+		split.Zero()
+	}
+	sc := k.scratch.Get().(*fwdScratch)
+	for i := range ins {
+		k.forwardOne(sc, acc[:k.plan.RY], split, outs[i], ins[i], w)
+	}
+	k.scratch.Put(sc)
+	if split != nil {
+		c.PutTensor(split)
+	}
+	c.Put(accBacking)
+}
+
+// forwardOne runs the register-tiled stencil for one sample. The loop
 // structure is:
 //
 //	for each feature f, block of RY output rows:
@@ -107,15 +146,14 @@ func (k *Kernel) srcRow(in *tensor.Tensor, c, iy, kx int) []float32 {
 //
 // so each group of input loads is reused by up to RY accumulator rows per
 // tap — the spatial reuse of Eq. 16's stencil formulation.
-func (k *Kernel) Forward(out, in, w *tensor.Tensor) {
+func (k *Kernel) forwardOne(sc *fwdScratch, accT [][]float32, split *tensor.Tensor, out, in, w *tensor.Tensor) {
 	s := k.spec
 	conv.CheckInput(s, in)
-	conv.CheckWeights(s, w)
 	conv.CheckOutput(s, out)
 	src := in
 	if s.Sx > 1 {
-		strideSplitInto(k.split, in, s.Sx)
-		src = k.split
+		strideSplitInto(split, in, s.Sx)
+		src = split
 	}
 	oy, ox := s.OutY(), s.OutX()
 	ry := k.plan.RY
@@ -133,7 +171,7 @@ func (k *Kernel) Forward(out, in, w *tensor.Tensor) {
 				rows = oy - yb
 			}
 			for r := 0; r < rows; r++ {
-				acc := k.acc[r][:ox]
+				acc := accT[r][:ox]
 				for i := range acc {
 					acc[i] = 0
 				}
@@ -144,7 +182,7 @@ func (k *Kernel) Forward(out, in, w *tensor.Tensor) {
 				// The column-resident fast path: accumulate the whole
 				// Nc·(rows+Fy−1)·Fx reduction for a strip of output
 				// columns in registers before storing (tapColumn kernels).
-				k.forwardColumns(out, in, w, f, yb, rows, iyLo, iyHi)
+				k.forwardColumns(sc, accT, out, in, w, f, yb, rows, iyLo, iyHi)
 				continue
 			}
 			for xt := 0; xt < ox; xt += tileX {
@@ -161,7 +199,7 @@ func (k *Kernel) Forward(out, in, w *tensor.Tensor) {
 						for r := 0; r < rows; r++ {
 							ky := iy - (yb+r)*s.Sy
 							if ky >= 0 && ky < s.Fy {
-								accRows[nd] = k.acc[r]
+								accRows[nd] = accT[r]
 								kys[nd] = ky
 								nd++
 							}
@@ -184,7 +222,7 @@ func (k *Kernel) Forward(out, in, w *tensor.Tensor) {
 						// per-tap streamed accumulation (contiguity holds
 						// within one tap but not across taps).
 						for kx := 0; kx < s.Fx; kx++ {
-							srow := k.srcRow(src, c, iy, kx)
+							srow := k.srcRow(src, in, c, iy, kx)
 							for d := 0; d < nd; d++ {
 								ws[d] = w.Data[wBase+kys[d]*s.Fx+kx]
 								dsts[d] = accRows[d][xt:]
@@ -195,7 +233,7 @@ func (k *Kernel) Forward(out, in, w *tensor.Tensor) {
 				}
 			}
 			for r := 0; r < rows; r++ {
-				copy(out.Row3(f, yb+r), k.acc[r][:ox])
+				copy(out.Row3(f, yb+r), accT[r][:ox])
 			}
 		}
 	}
@@ -206,12 +244,12 @@ func (k *Kernel) Forward(out, in, w *tensor.Tensor) {
 // every (channel, input row) pair, split by which tile rows the input row
 // feeds — then reduces each cache tile of output columns entirely in
 // registers.
-func (k *Kernel) forwardColumns(out, in, w *tensor.Tensor, f, yb, rows, iyLo, iyHi int) {
+func (k *Kernel) forwardColumns(sc *fwdScratch, accT [][]float32, out, in, w *tensor.Tensor, f, yb, rows, iyLo, iyHi int) {
 	s := k.spec
 	ox := s.OutX()
-	k.ops2 = k.ops2[:0]
-	k.ops0 = k.ops0[:0]
-	k.ops1 = k.ops1[:0]
+	sc.ops2 = sc.ops2[:0]
+	sc.ops0 = sc.ops0[:0]
+	sc.ops1 = sc.ops1[:0]
 	for iy := iyLo; iy <= iyHi; iy++ {
 		ky0 := iy - yb*s.Sy
 		row0 := ky0 >= 0 && ky0 < s.Fy
@@ -229,25 +267,25 @@ func (k *Kernel) forwardColumns(out, in, w *tensor.Tensor, f, yb, rows, iyLo, iy
 			src := in.Row3(c, iy)
 			switch {
 			case row0 && row1:
-				k.ops2 = append(k.ops2, tapOp{src: src,
+				sc.ops2 = append(sc.ops2, tapOp{src: src,
 					w0: w.Data[wBase+ky0*s.Fx:][:s.Fx],
 					w1: w.Data[wBase+ky1*s.Fx:][:s.Fx]})
 			case row0:
-				k.ops0 = append(k.ops0, tapOp{src: src,
+				sc.ops0 = append(sc.ops0, tapOp{src: src,
 					w0: w.Data[wBase+ky0*s.Fx:][:s.Fx]})
 			default:
-				k.ops1 = append(k.ops1, tapOp{src: src,
+				sc.ops1 = append(sc.ops1, tapOp{src: src,
 					w0: w.Data[wBase+ky1*s.Fx:][:s.Fx]})
 			}
 		}
 	}
-	acc0 := k.acc[0][:ox]
+	acc0 := accT[0][:ox]
 	for i := range acc0 {
 		acc0[i] = 0
 	}
 	var acc1 []float32
 	if rows == 2 {
-		acc1 = k.acc[1][:ox]
+		acc1 = accT[1][:ox]
 		for i := range acc1 {
 			acc1[i] = 0
 		}
@@ -258,14 +296,14 @@ func (k *Kernel) forwardColumns(out, in, w *tensor.Tensor, f, yb, rows, iyLo, iy
 		if xt+n > ox {
 			n = ox - xt
 		}
-		if rows == 2 && len(k.ops2) > 0 {
-			tapColumn2(acc0[xt:], acc1[xt:], k.ops2, s.Fx, xt, n)
+		if rows == 2 && len(sc.ops2) > 0 {
+			tapColumn2(acc0[xt:], acc1[xt:], sc.ops2, s.Fx, xt, n)
 		}
-		if len(k.ops0) > 0 {
-			tapColumn1(acc0[xt:], k.ops0, s.Fx, xt, n)
+		if len(sc.ops0) > 0 {
+			tapColumn1(acc0[xt:], sc.ops0, s.Fx, xt, n)
 		}
-		if rows == 2 && len(k.ops1) > 0 {
-			tapColumn1(acc1[xt:], k.ops1, s.Fx, xt, n)
+		if rows == 2 && len(sc.ops1) > 0 {
+			tapColumn1(acc1[xt:], sc.ops1, s.Fx, xt, n)
 		}
 		// rows == 1 with ops2 cannot happen (ops2 requires two rows).
 	}
@@ -275,32 +313,38 @@ func (k *Kernel) forwardColumns(out, in, w *tensor.Tensor, f, yb, rows, iyLo, iy
 	}
 }
 
-// BackwardInput computes Eq. 3 directly (no unfolding): every output-error
-// row is streamed once per (c, ky, kx) tap into the input-error row it
-// feeds, with strided scatter for sx > 1.
-func (k *Kernel) BackwardInput(ei, eo, w *tensor.Tensor) {
+// BackwardInputBatch computes Eq. 3 directly (no unfolding): every
+// output-error row is streamed once per (c, ky, kx) tap into the
+// input-error row it feeds, with strided scatter for sx > 1.
+func (k *Kernel) BackwardInputBatch(c *exec.Ctx, eis, eos []*tensor.Tensor, w *tensor.Tensor) {
+	if len(eis) != len(eos) {
+		panic("stencil: BackwardInputBatch length mismatch")
+	}
 	s := k.spec
-	conv.CheckInput(s, ei)
-	conv.CheckOutput(s, eo)
 	conv.CheckWeights(s, w)
-	ei.Zero()
 	oy, ox := s.OutY(), s.OutX()
-	for f := 0; f < s.Nf; f++ {
-		for y := 0; y < oy; y++ {
-			erow := eo.Row3(f, y)
-			if allZero(erow) {
-				continue
-			}
-			for c := 0; c < s.Nc; c++ {
-				wBase := (f*s.Nc + c) * s.Fy * s.Fx
-				for ky := 0; ky < s.Fy; ky++ {
-					dst := ei.Row3(c, y*s.Sy+ky)
-					for kx := 0; kx < s.Fx; kx++ {
-						wv := w.Data[wBase+ky*s.Fx+kx]
-						if wv == 0 {
-							continue
+	for i := range eos {
+		ei, eo := eis[i], eos[i]
+		conv.CheckInput(s, ei)
+		conv.CheckOutput(s, eo)
+		ei.Zero()
+		for f := 0; f < s.Nf; f++ {
+			for y := 0; y < oy; y++ {
+				erow := eo.Row3(f, y)
+				if allZero(erow) {
+					continue
+				}
+				for ch := 0; ch < s.Nc; ch++ {
+					wBase := (f*s.Nc + ch) * s.Fy * s.Fx
+					for ky := 0; ky < s.Fy; ky++ {
+						dst := ei.Row3(ch, y*s.Sy+ky)
+						for kx := 0; kx < s.Fx; kx++ {
+							wv := w.Data[wBase+ky*s.Fx+kx]
+							if wv == 0 {
+								continue
+							}
+							scatterAxpy(dst[kx:], erow, wv, s.Sx, ox)
 						}
-						scatterAxpy(dst[kx:], erow, wv, s.Sx, ox)
 					}
 				}
 			}
@@ -308,30 +352,38 @@ func (k *Kernel) BackwardInput(ei, eo, w *tensor.Tensor) {
 	}
 }
 
-// BackwardWeights computes Eq. 4 directly: each tap's gradient is the dot
-// product of the output-error plane with the correspondingly shifted
-// (and strided) input plane.
-func (k *Kernel) BackwardWeights(dw, eo, in *tensor.Tensor) {
+// BackwardWeightsBatch computes dw = Σ_i grad(eos[i], ins[i]) (Eq. 4)
+// directly: each tap's gradient is the dot product of the output-error
+// plane with the correspondingly shifted (and strided) input plane,
+// accumulated over the batch. dw is overwritten.
+func (k *Kernel) BackwardWeightsBatch(c *exec.Ctx, dw *tensor.Tensor, eos, ins []*tensor.Tensor) {
+	if len(eos) != len(ins) {
+		panic("stencil: BackwardWeightsBatch length mismatch")
+	}
 	s := k.spec
 	conv.CheckWeights(s, dw)
-	conv.CheckOutput(s, eo)
-	conv.CheckInput(s, in)
+	dw.Zero()
 	oy, ox := s.OutY(), s.OutX()
-	for f := 0; f < s.Nf; f++ {
-		for c := 0; c < s.Nc; c++ {
-			wBase := (f*s.Nc + c) * s.Fy * s.Fx
-			for ky := 0; ky < s.Fy; ky++ {
-				for kx := 0; kx < s.Fx; kx++ {
-					var sum float32
-					for y := 0; y < oy; y++ {
-						erow := eo.Row3(f, y)
-						if allZero(erow) {
-							continue
+	for i := range eos {
+		eo, in := eos[i], ins[i]
+		conv.CheckOutput(s, eo)
+		conv.CheckInput(s, in)
+		for f := 0; f < s.Nf; f++ {
+			for ch := 0; ch < s.Nc; ch++ {
+				wBase := (f*s.Nc + ch) * s.Fy * s.Fx
+				for ky := 0; ky < s.Fy; ky++ {
+					for kx := 0; kx < s.Fx; kx++ {
+						var sum float32
+						for y := 0; y < oy; y++ {
+							erow := eo.Row3(f, y)
+							if allZero(erow) {
+								continue
+							}
+							irow := in.Row3(ch, y*s.Sy+ky)
+							sum += gatherDot(erow, irow[kx:], s.Sx, ox)
 						}
-						irow := in.Row3(c, y*s.Sy+ky)
-						sum += gatherDot(erow, irow[kx:], s.Sx, ox)
+						dw.Data[wBase+ky*s.Fx+kx] += sum
 					}
-					dw.Data[wBase+ky*s.Fx+kx] = sum
 				}
 			}
 		}
@@ -345,6 +397,17 @@ func allZero(row []float32) bool {
 		}
 	}
 	return true
+}
+
+// Forward implements engine.SingleKernel.
+func (k *Kernel) Forward(out, in, w *tensor.Tensor) { k.single.Forward(k, out, in, w) }
+
+// BackwardInput implements engine.SingleKernel.
+func (k *Kernel) BackwardInput(ei, eo, w *tensor.Tensor) { k.single.BackwardInput(k, ei, eo, w) }
+
+// BackwardWeights implements engine.SingleKernel.
+func (k *Kernel) BackwardWeights(dw, eo, in *tensor.Tensor) {
+	k.single.BackwardWeights(k, dw, eo, in)
 }
 
 // Generator returns the engine.Generator for the stencil technique.

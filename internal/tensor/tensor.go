@@ -232,6 +232,21 @@ func MaxAbsDiff(a, b *Tensor) float64 {
 	return maxd
 }
 
+// Identical reports whether the two tensors have the same shape and
+// bit-identical elements (NaN != NaN, so any NaN makes tensors differ —
+// exactly what reuse-determinism checks want).
+func Identical(a, b *Tensor) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // AlmostEqual reports whether the two tensors agree elementwise within tol,
 // using a mixed absolute/relative criterion suitable for float32 kernels
 // that accumulate in different orders.

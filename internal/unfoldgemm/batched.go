@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"spgcnn/internal/conv"
+	"spgcnn/internal/engine"
+	"spgcnn/internal/exec"
 	"spgcnn/internal/gemm"
 	"spgcnn/internal/tensor"
 	"spgcnn/internal/unfold"
@@ -17,16 +19,15 @@ import (
 // its AIT — the weight matrix is read once per group rather than once per
 // image.
 //
-// BatchedKernel is a batch-level executor (not an engine.Kernel): its
-// methods take image groups directly.
+// Like every engine kernel it is a stateless plan: the stacked matrices
+// live in the execution context's arena for the duration of each batch
+// call, so one instance is safe for concurrent use through the batch
+// entry points.
 type BatchedKernel struct {
 	spec    conv.Spec
 	group   int
 	workers int
-
-	u  *gemm.Matrix // stacked unfolded inputs: (group·pix) × taps
-	ue *gemm.Matrix // stacked unfolded input-errors
-	o  *gemm.Matrix // stacked outputs: Nf × (group·pix)
+	single  engine.SingleOps
 }
 
 // NewBatched builds a batched kernel that stacks up to `group` images per
@@ -39,62 +40,56 @@ func NewBatched(s conv.Spec, group, workers int) *BatchedKernel {
 	if workers < 1 {
 		workers = 1
 	}
-	rows := unfold.Rows(s)
-	return &BatchedKernel{
-		spec:    s,
-		group:   group,
-		workers: workers,
-		u:       gemm.NewMatrix(group*rows, unfold.Cols(s)),
-		ue:      gemm.NewMatrix(group*rows, unfold.Cols(s)),
-		o:       gemm.NewMatrix(s.Nf, group*rows),
-	}
+	return &BatchedKernel{spec: s, group: group, workers: workers}
 }
 
-// Name describes the kernel.
+// Name implements engine.Kernel.
 func (k *BatchedKernel) Name() string {
 	return fmt.Sprintf("batched-gemm(group=%d,p=%d)", k.group, k.workers)
 }
 
-// Spec returns the convolution geometry.
+// Spec implements engine.Kernel.
 func (k *BatchedKernel) Spec() conv.Spec { return k.spec }
 
 // Group returns the stacking factor.
 func (k *BatchedKernel) Group() int { return k.group }
 
 // stack unfolds images [lo, hi) of ins into consecutive row blocks of u.
-func (k *BatchedKernel) stack(ins []*tensor.Tensor, lo, hi int) {
+func (k *BatchedKernel) stack(u []float32, ins []*tensor.Tensor, lo, hi int) {
 	s := k.spec
 	rows := unfold.Rows(s)
 	cols := unfold.Cols(s)
 	for i := lo; i < hi; i++ {
-		block := gemm.FromSlice(
-			k.u.Data[(i-lo)*rows*cols:(i-lo+1)*rows*cols], rows, cols)
-		unfold.Im2col(s, block, ins[i])
+		block := gemm.Matrix{Rows: rows, Cols: cols, Data: u[(i-lo)*rows*cols : (i-lo+1)*rows*cols]}
+		unfold.Im2col(s, &block, ins[i])
 	}
 }
 
-// Forward computes outs[i] = conv(ins[i], w) for the whole batch, one
+// ForwardBatch computes outs[i] = conv(ins[i], w) for the whole batch, one
 // stacked GEMM per group of images.
-func (k *BatchedKernel) Forward(outs, ins []*tensor.Tensor, w *tensor.Tensor) {
+func (k *BatchedKernel) ForwardBatch(c *exec.Ctx, outs, ins []*tensor.Tensor, w *tensor.Tensor) {
 	if len(outs) != len(ins) {
-		panic("unfoldgemm: batched Forward length mismatch")
+		panic("unfoldgemm: batched ForwardBatch length mismatch")
 	}
 	s := k.spec
-	rows := unfold.Rows(s)
-	wmat := unfold.WeightMatrix(s, w)
+	rows, cols := unfold.Rows(s), unfold.Cols(s)
+	conv.CheckWeights(s, w)
+	wmat := gemm.Matrix{Rows: s.Nf, Cols: cols, Data: w.Data}
+	ubuf := c.Get(k.group * rows * cols)
+	obuf := c.Get(s.Nf * k.group * rows)
 	for lo := 0; lo < len(ins); lo += k.group {
 		hi := lo + k.group
 		if hi > len(ins) {
 			hi = len(ins)
 		}
 		g := hi - lo
-		k.stack(ins, lo, hi)
-		u := gemm.FromSlice(k.u.Data[:g*rows*k.u.Cols], g*rows, k.u.Cols)
-		o := gemm.FromSlice(k.o.Data[:s.Nf*g*rows], s.Nf, g*rows)
+		k.stack(ubuf, ins, lo, hi)
+		u := gemm.Matrix{Rows: g * rows, Cols: cols, Data: ubuf[:g*rows*cols]}
+		o := gemm.Matrix{Rows: s.Nf, Cols: g * rows, Data: obuf[:s.Nf*g*rows]}
 		if k.workers <= 1 {
-			gemm.MulTransB(o, wmat, u)
+			gemm.MulTransB(&o, &wmat, &u)
 		} else {
-			gemm.ParallelMulTransB(o, wmat, u, k.workers)
+			gemm.ParallelMulTransB(&o, &wmat, &u, k.workers)
 		}
 		// Unstack: output column block (i-lo) belongs to image i.
 		for i := lo; i < hi; i++ {
@@ -105,18 +100,22 @@ func (k *BatchedKernel) Forward(outs, ins []*tensor.Tensor, w *tensor.Tensor) {
 			}
 		}
 	}
+	c.Put(obuf)
+	c.Put(ubuf)
 }
 
-// BackwardInput computes eis[i] = corr(eos[i], w) for the batch, one
+// BackwardInputBatch computes eis[i] = corr(eos[i], w) for the batch, one
 // stacked Eq. 3 GEMM per group.
-func (k *BatchedKernel) BackwardInput(eis, eos []*tensor.Tensor, w *tensor.Tensor) {
+func (k *BatchedKernel) BackwardInputBatch(c *exec.Ctx, eis, eos []*tensor.Tensor, w *tensor.Tensor) {
 	if len(eis) != len(eos) {
-		panic("unfoldgemm: batched BackwardInput length mismatch")
+		panic("unfoldgemm: batched BackwardInputBatch length mismatch")
 	}
 	s := k.spec
-	rows := unfold.Rows(s)
-	cols := unfold.Cols(s)
-	wmat := unfold.WeightMatrix(s, w)
+	rows, cols := unfold.Rows(s), unfold.Cols(s)
+	conv.CheckWeights(s, w)
+	wmat := gemm.Matrix{Rows: s.Nf, Cols: cols, Data: w.Data}
+	uebuf := c.Get(k.group * rows * cols)
+	obuf := c.Get(s.Nf * k.group * rows)
 	for lo := 0; lo < len(eos); lo += k.group {
 		hi := lo + k.group
 		if hi > len(eos) {
@@ -124,7 +123,7 @@ func (k *BatchedKernel) BackwardInput(eis, eos []*tensor.Tensor, w *tensor.Tenso
 		}
 		g := hi - lo
 		// Stack EO column blocks into one Nf × (g·pix) matrix.
-		o := gemm.FromSlice(k.o.Data[:s.Nf*g*rows], s.Nf, g*rows)
+		o := gemm.Matrix{Rows: s.Nf, Cols: g * rows, Data: obuf[:s.Nf*g*rows]}
 		for i := lo; i < hi; i++ {
 			conv.CheckOutput(s, eos[i])
 			src := eos[i].Data
@@ -132,51 +131,79 @@ func (k *BatchedKernel) BackwardInput(eis, eos []*tensor.Tensor, w *tensor.Tenso
 				copy(o.Row(f)[(i-lo)*rows:(i-lo+1)*rows], src[f*rows:(f+1)*rows])
 			}
 		}
-		ue := gemm.FromSlice(k.ue.Data[:g*rows*cols], g*rows, cols)
+		ue := gemm.Matrix{Rows: g * rows, Cols: cols, Data: uebuf[:g*rows*cols]}
 		if k.workers <= 1 {
-			gemm.MulTransA(ue, o, wmat)
+			gemm.MulTransA(&ue, &o, &wmat)
 		} else {
-			gemm.ParallelMulTransA(ue, o, wmat, k.workers)
+			gemm.ParallelMulTransA(&ue, &o, &wmat, k.workers)
 		}
 		for i := lo; i < hi; i++ {
-			block := gemm.FromSlice(k.ue.Data[(i-lo)*rows*cols:(i-lo+1)*rows*cols], rows, cols)
-			unfold.Col2im(s, eis[i], block)
+			block := gemm.Matrix{Rows: rows, Cols: cols, Data: uebuf[(i-lo)*rows*cols : (i-lo+1)*rows*cols]}
+			unfold.Col2im(s, eis[i], &block)
 		}
 	}
+	c.Put(obuf)
+	c.Put(uebuf)
 }
 
-// BackwardWeights computes dw = Σ_i grad(eos[i], ins[i]) with one stacked
-// Eq. 4 GEMM per group (the group's gradient sums fall out of the stacked
-// multiply directly). dw is overwritten.
-func (k *BatchedKernel) BackwardWeights(dw *tensor.Tensor, eos, ins []*tensor.Tensor) {
+// BackwardWeightsBatch computes dw = Σ_i grad(eos[i], ins[i]) with one
+// stacked Eq. 4 GEMM per group (the group's gradient sums fall out of the
+// stacked multiply directly). dw is overwritten.
+func (k *BatchedKernel) BackwardWeightsBatch(c *exec.Ctx, dw *tensor.Tensor, eos, ins []*tensor.Tensor) {
 	if len(eos) != len(ins) {
-		panic("unfoldgemm: batched BackwardWeights length mismatch")
+		panic("unfoldgemm: batched BackwardWeightsBatch length mismatch")
 	}
 	s := k.spec
 	conv.CheckWeights(s, dw)
-	rows := unfold.Rows(s)
-	cols := unfold.Cols(s)
-	dwmat := gemm.FromSlice(dw.Data, s.Nf, cols)
+	rows, cols := unfold.Rows(s), unfold.Cols(s)
+	dwmat := gemm.Matrix{Rows: s.Nf, Cols: cols, Data: dw.Data}
 	dw.Zero()
+	ubuf := c.Get(k.group * rows * cols)
+	obuf := c.Get(s.Nf * k.group * rows)
 	for lo := 0; lo < len(eos); lo += k.group {
 		hi := lo + k.group
 		if hi > len(eos) {
 			hi = len(eos)
 		}
 		g := hi - lo
-		k.stack(ins, lo, hi)
-		o := gemm.FromSlice(k.o.Data[:s.Nf*g*rows], s.Nf, g*rows)
+		k.stack(ubuf, ins, lo, hi)
+		o := gemm.Matrix{Rows: s.Nf, Cols: g * rows, Data: obuf[:s.Nf*g*rows]}
 		for i := lo; i < hi; i++ {
+			conv.CheckOutput(s, eos[i])
 			src := eos[i].Data
 			for f := 0; f < s.Nf; f++ {
 				copy(o.Row(f)[(i-lo)*rows:(i-lo+1)*rows], src[f*rows:(f+1)*rows])
 			}
 		}
-		u := gemm.FromSlice(k.u.Data[:g*rows*cols], g*rows, cols)
+		u := gemm.Matrix{Rows: g * rows, Cols: cols, Data: ubuf[:g*rows*cols]}
 		if k.workers <= 1 {
-			gemm.SerialAccum(dwmat, o, u)
+			gemm.SerialAccum(&dwmat, &o, &u)
 		} else {
-			gemm.ParallelAccum(dwmat, o, u, k.workers)
+			gemm.ParallelAccum(&dwmat, &o, &u, k.workers)
 		}
+	}
+	c.Put(obuf)
+	c.Put(ubuf)
+}
+
+// Forward implements engine.SingleKernel.
+func (k *BatchedKernel) Forward(out, in, w *tensor.Tensor) { k.single.Forward(k, out, in, w) }
+
+// BackwardInput implements engine.SingleKernel.
+func (k *BatchedKernel) BackwardInput(ei, eo, w *tensor.Tensor) {
+	k.single.BackwardInput(k, ei, eo, w)
+}
+
+// BackwardWeights implements engine.SingleKernel.
+func (k *BatchedKernel) BackwardWeights(dw, eo, in *tensor.Tensor) {
+	k.single.BackwardWeights(k, dw, eo, in)
+}
+
+// BatchedGenerator returns an engine.Generator producing batched kernels
+// with the given group size and GEMM fan-out.
+func BatchedGenerator(group, workers int) engine.Generator {
+	return engine.Generator{
+		Name: fmt.Sprintf("batched-gemm(group=%d)", group),
+		New:  func(s conv.Spec) engine.Kernel { return NewBatched(s, group, workers) },
 	}
 }

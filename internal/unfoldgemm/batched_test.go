@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"spgcnn/internal/conv"
+	"spgcnn/internal/exec"
 	"spgcnn/internal/rng"
 	"spgcnn/internal/tensor"
 )
@@ -25,7 +26,7 @@ func TestBatchedForwardMatchesReference(t *testing.T) {
 		for _, n := range []int{1, 2, 5, 8} {
 			s := conv.RandSpec(r, 8)
 			ins, outs, _, _, w := batchedFixtures(r, s, n)
-			NewBatched(s, group, 2).Forward(outs, ins, w)
+			NewBatched(s, group, 2).ForwardBatch(exec.New(1), outs, ins, w)
 			for i := range outs {
 				want := conv.NewOutput(s)
 				conv.ForwardRef(s, want, ins[i], w)
@@ -42,7 +43,7 @@ func TestBatchedBackwardInput(t *testing.T) {
 	s := conv.Square(9, 4, 3, 3, 2)
 	ins, _, eos, eis, w := batchedFixtures(r, s, 7)
 	_ = ins
-	NewBatched(s, 3, 1).BackwardInput(eis, eos, w)
+	NewBatched(s, 3, 1).BackwardInputBatch(exec.New(1), eis, eos, w)
 	for i := range eis {
 		want := conv.NewInput(s)
 		conv.BackwardInputRef(s, want, eos[i], w)
@@ -59,7 +60,7 @@ func TestBatchedBackwardWeightsSums(t *testing.T) {
 	_ = w
 	dw := conv.NewWeights(s)
 	dw.FillUniform(r, 5, 6)
-	NewBatched(s, 4, 2).BackwardWeights(dw, eos, ins)
+	NewBatched(s, 4, 2).BackwardWeightsBatch(exec.New(1), dw, eos, ins)
 	want := conv.NewWeights(s)
 	tmp := conv.NewWeights(s)
 	for i := range ins {
@@ -84,10 +85,11 @@ func TestBatchedRaisesAIT(t *testing.T) {
 func TestBatchedEmptyBatch(t *testing.T) {
 	s := conv.Square(6, 2, 1, 2, 1)
 	k := NewBatched(s, 4, 1)
-	k.Forward(nil, nil, conv.NewWeights(s))
+	c := exec.New(1)
+	k.ForwardBatch(c, nil, nil, conv.NewWeights(s))
 	dw := conv.NewWeights(s)
 	dw.Data[0] = 9
-	k.BackwardWeights(dw, nil, nil)
+	k.BackwardWeightsBatch(c, dw, nil, nil)
 	if dw.Data[0] != 0 {
 		t.Fatal("empty-batch dW not zeroed")
 	}
@@ -101,6 +103,7 @@ func BenchmarkBatchedVsPerImageFP(b *testing.B) {
 	ins, outs, _, _, w := batchedFixtures(r, s, n)
 	b.Run("per-image", func(b *testing.B) {
 		k := New(s, 1)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for j := range ins {
@@ -110,9 +113,11 @@ func BenchmarkBatchedVsPerImageFP(b *testing.B) {
 	})
 	b.Run("batched-8", func(b *testing.B) {
 		k := NewBatched(s, n, 1)
+		c := exec.New(1)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			k.Forward(outs, ins, w)
+			k.ForwardBatch(c, outs, ins, w)
 		}
 	})
 }

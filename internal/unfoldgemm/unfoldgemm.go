@@ -20,18 +20,20 @@ import (
 
 	"spgcnn/internal/conv"
 	"spgcnn/internal/engine"
+	"spgcnn/internal/exec"
 	"spgcnn/internal/gemm"
 	"spgcnn/internal/tensor"
 	"spgcnn/internal/unfold"
 )
 
-// Kernel is an unfold+GEMM convolution kernel for one spec. It owns the
-// unfold scratch matrices, so it is not safe for concurrent use.
+// Kernel is an unfold+GEMM convolution plan for one spec. It holds no
+// scratch — the unfold matrices are drawn from the execution context's
+// arena per batch call — so one instance is safe for concurrent use
+// through the batch entry points.
 type Kernel struct {
 	spec    conv.Spec
 	workers int
-	u       *gemm.Matrix // unfolded input, pix × taps
-	ue      *gemm.Matrix // unfolded input-error, pix × taps
+	single  engine.SingleOps
 }
 
 // New builds a kernel for s. workers selects Parallel-GEMM fan-out;
@@ -41,12 +43,7 @@ func New(s conv.Spec, workers int) *Kernel {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Kernel{
-		spec:    s,
-		workers: workers,
-		u:       unfold.NewU(s),
-		ue:      unfold.NewU(s),
-	}
+	return &Kernel{spec: s, workers: workers}
 }
 
 // Name implements engine.Kernel.
@@ -63,45 +60,90 @@ func (k *Kernel) Spec() conv.Spec { return k.spec }
 // Workers reports the GEMM fan-out.
 func (k *Kernel) Workers() int { return k.workers }
 
-// Forward computes Eq. 2 by O = Wmat · Uᵀ.
-func (k *Kernel) Forward(out, in, w *tensor.Tensor) {
-	s := k.spec
-	unfold.Im2col(s, k.u, in)
-	omat := unfold.OutputMatrix(s, out)
-	wmat := unfold.WeightMatrix(s, w)
-	if k.workers <= 1 {
-		gemm.MulTransB(omat, wmat, k.u)
-	} else {
-		gemm.ParallelMulTransB(omat, wmat, k.u, k.workers)
+// ForwardBatch computes Eq. 2 by O = Wmat · Uᵀ, one GEMM per sample, all
+// samples sharing one arena-backed unfold matrix.
+func (k *Kernel) ForwardBatch(c *exec.Ctx, outs, ins []*tensor.Tensor, w *tensor.Tensor) {
+	if len(outs) != len(ins) {
+		panic("unfoldgemm: ForwardBatch length mismatch")
 	}
+	s := k.spec
+	rows, cols := unfold.Rows(s), unfold.Cols(s)
+	conv.CheckWeights(s, w)
+	wmat := gemm.Matrix{Rows: s.Nf, Cols: cols, Data: w.Data}
+	ubuf := c.Get(rows * cols)
+	u := gemm.Matrix{Rows: rows, Cols: cols, Data: ubuf}
+	for i := range ins {
+		unfold.Im2col(s, &u, ins[i])
+		conv.CheckOutput(s, outs[i])
+		omat := gemm.Matrix{Rows: s.Nf, Cols: rows, Data: outs[i].Data}
+		if k.workers <= 1 {
+			gemm.MulTransB(&omat, &wmat, &u)
+		} else {
+			gemm.ParallelMulTransB(&omat, &wmat, &u, k.workers)
+		}
+	}
+	c.Put(ubuf)
 }
 
-// BackwardInput computes Eq. 3 by U_E = EOmatᵀ · Wmat followed by col2im.
-func (k *Kernel) BackwardInput(ei, eo, w *tensor.Tensor) {
-	s := k.spec
-	eomat := unfold.OutputMatrix(s, eo)
-	wmat := unfold.WeightMatrix(s, w)
-	if k.workers <= 1 {
-		gemm.MulTransA(k.ue, eomat, wmat)
-	} else {
-		gemm.ParallelMulTransA(k.ue, eomat, wmat, k.workers)
+// BackwardInputBatch computes Eq. 3 by U_E = EOmatᵀ · Wmat followed by
+// col2im, per sample.
+func (k *Kernel) BackwardInputBatch(c *exec.Ctx, eis, eos []*tensor.Tensor, w *tensor.Tensor) {
+	if len(eis) != len(eos) {
+		panic("unfoldgemm: BackwardInputBatch length mismatch")
 	}
-	unfold.Col2im(s, ei, k.ue)
+	s := k.spec
+	rows, cols := unfold.Rows(s), unfold.Cols(s)
+	conv.CheckWeights(s, w)
+	wmat := gemm.Matrix{Rows: s.Nf, Cols: cols, Data: w.Data}
+	uebuf := c.Get(rows * cols)
+	ue := gemm.Matrix{Rows: rows, Cols: cols, Data: uebuf}
+	for i := range eos {
+		conv.CheckOutput(s, eos[i])
+		eomat := gemm.Matrix{Rows: s.Nf, Cols: rows, Data: eos[i].Data}
+		if k.workers <= 1 {
+			gemm.MulTransA(&ue, &eomat, &wmat)
+		} else {
+			gemm.ParallelMulTransA(&ue, &eomat, &wmat, k.workers)
+		}
+		unfold.Col2im(s, eis[i], &ue)
+	}
+	c.Put(uebuf)
 }
 
-// BackwardWeights computes Eq. 4 by dWmat = EOmat · U.
-func (k *Kernel) BackwardWeights(dw, eo, in *tensor.Tensor) {
+// BackwardWeightsBatch computes dw = Σ_i EOmat_i · U_i (Eq. 4 summed over
+// the batch). dw is overwritten.
+func (k *Kernel) BackwardWeightsBatch(c *exec.Ctx, dw *tensor.Tensor, eos, ins []*tensor.Tensor) {
+	if len(eos) != len(ins) {
+		panic("unfoldgemm: BackwardWeightsBatch length mismatch")
+	}
 	s := k.spec
 	conv.CheckWeights(s, dw)
-	unfold.Im2col(s, k.u, in)
-	eomat := unfold.OutputMatrix(s, eo)
-	dwmat := gemm.FromSlice(dw.Data, s.Nf, unfold.Cols(s))
-	if k.workers <= 1 {
-		gemm.Serial(dwmat, eomat, k.u)
-	} else {
-		gemm.Parallel(dwmat, eomat, k.u, k.workers)
+	rows, cols := unfold.Rows(s), unfold.Cols(s)
+	dwmat := gemm.Matrix{Rows: s.Nf, Cols: cols, Data: dw.Data}
+	dw.Zero()
+	ubuf := c.Get(rows * cols)
+	u := gemm.Matrix{Rows: rows, Cols: cols, Data: ubuf}
+	for i := range ins {
+		unfold.Im2col(s, &u, ins[i])
+		conv.CheckOutput(s, eos[i])
+		eomat := gemm.Matrix{Rows: s.Nf, Cols: rows, Data: eos[i].Data}
+		if k.workers <= 1 {
+			gemm.SerialAccum(&dwmat, &eomat, &u)
+		} else {
+			gemm.ParallelAccum(&dwmat, &eomat, &u, k.workers)
+		}
 	}
+	c.Put(ubuf)
 }
+
+// Forward implements engine.SingleKernel.
+func (k *Kernel) Forward(out, in, w *tensor.Tensor) { k.single.Forward(k, out, in, w) }
+
+// BackwardInput implements engine.SingleKernel.
+func (k *Kernel) BackwardInput(ei, eo, w *tensor.Tensor) { k.single.BackwardInput(k, ei, eo, w) }
+
+// BackwardWeights implements engine.SingleKernel.
+func (k *Kernel) BackwardWeights(dw, eo, in *tensor.Tensor) { k.single.BackwardWeights(k, dw, eo, in) }
 
 // Generator returns an engine.Generator for this technique at the given
 // fan-out. Name is "unfold-gemm" for workers <= 1 and

@@ -21,32 +21,30 @@ package winograd
 import (
 	"spgcnn/internal/conv"
 	"spgcnn/internal/engine"
+	"spgcnn/internal/exec"
 	"spgcnn/internal/tensor"
 	"spgcnn/internal/unfoldgemm"
 )
 
-// Kernel is a Winograd F(2×2, 3×3) convolution kernel for one spec.
+// Kernel is a Winograd F(2×2, 3×3) convolution plan for one spec. The
+// transformed-filter and input-tile scratch come from the execution
+// context's arena per batch call, so one instance is safe for concurrent
+// use through the batch entry points.
 type Kernel struct {
 	spec     conv.Spec
 	fast     bool // 3×3, stride 1
 	fallback *unfoldgemm.Kernel
-	// uw[f][c] is the 4×4 transformed filter G·g·Gᵀ, recomputed per
-	// Forward call (weights change during training); stored flat.
-	uw []float32 // Nf × Nc × 16
+	single   engine.SingleOps
 }
 
 // New builds a Winograd kernel for s.
 func New(s conv.Spec) *Kernel {
 	s.MustValidate()
-	k := &Kernel{
+	return &Kernel{
 		spec:     s,
 		fast:     s.Fx == 3 && s.Fy == 3 && s.Sx == 1 && s.Sy == 1,
 		fallback: unfoldgemm.New(s, 1),
 	}
-	if k.fast {
-		k.uw = make([]float32, s.Nf*s.Nc*16)
-	}
-	return k
 }
 
 // Name implements engine.Kernel.
@@ -117,33 +115,51 @@ func transformOutput(m *[16]float32) (y00, y01, y10, y11 float32) {
 	return
 }
 
-// Forward computes Eq. 2, via Winograd tiles on the fast path.
-func (k *Kernel) Forward(out, in, w *tensor.Tensor) {
+// ForwardBatch computes Eq. 2, via Winograd tiles on the fast path. The
+// filter transform is hoisted out of the per-sample loop: weights are
+// transformed once per batch call (uw is the flat Nf × Nc × 16 tensor of
+// G·g·Gᵀ filters).
+func (k *Kernel) ForwardBatch(c *exec.Ctx, outs, ins []*tensor.Tensor, w *tensor.Tensor) {
+	if len(outs) != len(ins) {
+		panic("winograd: ForwardBatch length mismatch")
+	}
 	s := k.spec
 	if !k.fast {
-		k.fallback.Forward(out, in, w)
+		k.fallback.ForwardBatch(c, outs, ins, w)
 		return
 	}
-	conv.CheckInput(s, in)
+	if len(ins) == 0 {
+		return
+	}
 	conv.CheckWeights(s, w)
-	conv.CheckOutput(s, out)
 
-	// Transform every filter once per call.
+	uw := c.Get(s.Nf * s.Nc * 16)
+	// Transform every filter once per batch.
 	for f := 0; f < s.Nf; f++ {
-		for c := 0; c < s.Nc; c++ {
-			transformFilter(k.uw[(f*s.Nc+c)*16:][:16], w.Data[(f*s.Nc+c)*9:][:9])
+		for ch := 0; ch < s.Nc; ch++ {
+			transformFilter(uw[(f*s.Nc+ch)*16:][:16], w.Data[(f*s.Nc+ch)*9:][:9])
 		}
 	}
+	// v-tiles per channel are cached across features (c innermost would
+	// recompute V per (tile, f); caching V per (tile, c) avoids that).
+	vtile := c.Get(s.Nc * 16)
+	for i := range ins {
+		k.forwardOne(uw, vtile, outs[i], ins[i])
+	}
+	c.Put(vtile)
+	c.Put(uw)
+}
 
+// forwardOne runs the Winograd tile loop for one sample.
+func (k *Kernel) forwardOne(uw, vtile []float32, out, in *tensor.Tensor) {
+	s := k.spec
+	conv.CheckInput(s, in)
+	conv.CheckOutput(s, out)
 	oy, ox := s.OutY(), s.OutX()
 	tilesY := (oy + 1) / 2
 	tilesX := (ox + 1) / 2
 	var d [16]float32
 	var m [16]float32
-	// v-tiles per channel for one tile row could be cached; the simple
-	// per-(tile, f) recompute of V is avoided by looping c innermost and
-	// caching V per (tile, c) across features instead:
-	vtile := make([]float32, s.Nc*16)
 	for ty := 0; ty < tilesY; ty++ {
 		for tx := 0; tx < tilesX; tx++ {
 			// Gather and transform the 4×4 input tile of every channel.
@@ -167,7 +183,7 @@ func (k *Kernel) Forward(out, in, w *tensor.Tensor) {
 					m[i] = 0
 				}
 				for c := 0; c < s.Nc; c++ {
-					u := k.uw[(f*s.Nc+c)*16:][:16]
+					u := uw[(f*s.Nc+c)*16:][:16]
 					v := vtile[c*16:][:16]
 					for i := 0; i < 16; i++ {
 						m[i] += u[i] * v[i]
@@ -191,14 +207,27 @@ func (k *Kernel) Forward(out, in, w *tensor.Tensor) {
 	}
 }
 
-// BackwardInput implements engine.Kernel via the unfold+GEMM fallback.
-func (k *Kernel) BackwardInput(ei, eo, w *tensor.Tensor) {
-	k.fallback.BackwardInput(ei, eo, w)
+// BackwardInputBatch implements engine.Kernel via the unfold+GEMM
+// fallback.
+func (k *Kernel) BackwardInputBatch(c *exec.Ctx, eis, eos []*tensor.Tensor, w *tensor.Tensor) {
+	k.fallback.BackwardInputBatch(c, eis, eos, w)
 }
 
-// BackwardWeights implements engine.Kernel via the unfold+GEMM fallback.
+// BackwardWeightsBatch implements engine.Kernel via the unfold+GEMM
+// fallback.
+func (k *Kernel) BackwardWeightsBatch(c *exec.Ctx, dw *tensor.Tensor, eos, ins []*tensor.Tensor) {
+	k.fallback.BackwardWeightsBatch(c, dw, eos, ins)
+}
+
+// Forward implements engine.SingleKernel.
+func (k *Kernel) Forward(out, in, w *tensor.Tensor) { k.single.Forward(k, out, in, w) }
+
+// BackwardInput implements engine.SingleKernel.
+func (k *Kernel) BackwardInput(ei, eo, w *tensor.Tensor) { k.single.BackwardInput(k, ei, eo, w) }
+
+// BackwardWeights implements engine.SingleKernel.
 func (k *Kernel) BackwardWeights(dw, eo, in *tensor.Tensor) {
-	k.fallback.BackwardWeights(dw, eo, in)
+	k.single.BackwardWeights(k, dw, eo, in)
 }
 
 // Generator returns the engine.Generator for the Winograd technique.

@@ -92,7 +92,7 @@ func benchWinograd(b *testing.B, s conv.Spec, wino bool) {
 	in := conv.RandInput(r, s)
 	w := conv.RandWeights(r, s)
 	out := conv.NewOutput(s)
-	var k engine.Kernel
+	var k engine.SingleKernel
 	if wino {
 		k = New(s)
 	} else {

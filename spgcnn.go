@@ -24,8 +24,10 @@
 //
 //	spec := spgcnn.Square(36, 64, 3, 5, 1)     // CIFAR-10 layer 0
 //	fmt.Println(spgcnn.Analyze(spec))          // AIT, unfold loss, region
-//	k := spgcnn.NewStencil(spec)               // generate a kernel
-//	k.Forward(out, in, weights)                // run it
+//	ctx := spgcnn.NewCtx(4)                    // workers + scratch arena
+//	k := spgcnn.NewStencil(spec)               // generate a kernel (stateless plan)
+//	k.ForwardBatch(ctx, outs, ins, weights)    // run a batch through the context
+//	k.Forward(out, in, weights)                // or one sample, compat adapter
 package spgcnn
 
 import (
@@ -38,6 +40,7 @@ import (
 	"spgcnn/internal/data"
 	"spgcnn/internal/dataparallel"
 	"spgcnn/internal/engine"
+	"spgcnn/internal/exec"
 	"spgcnn/internal/fftconv"
 	"spgcnn/internal/machine"
 	"spgcnn/internal/netdef"
@@ -105,11 +108,45 @@ const (
 	BPWeights Phase = ait.BPWeights
 )
 
+// Execution contexts (batch-first execution seam).
+
+// Ctx is the execution context every kernel runs under: a worker count, a
+// size-classed scratch arena, and an instrumentation probe. One Ctx is
+// typically shared across every layer of a network so scratch buffers are
+// reused across kernels and training steps.
+type Ctx = exec.Ctx
+
+// Probe is the instrumentation sink carried by a Ctx: named timing spans
+// and the §4.4 scheduler's deployment decisions.
+type Probe = exec.Probe
+
+// Arena is the size-classed scratch pool carried by a Ctx.
+type Arena = tensor.Arena
+
+// ArenaStats is an arena's cumulative acquisition/reuse counters.
+type ArenaStats = tensor.ArenaStats
+
+// NewCtx builds an execution context with the given worker count (minimum
+// 1), a fresh arena and a fresh probe.
+func NewCtx(workers int) *Ctx { return exec.New(workers) }
+
+// NewCtxWithArena builds a context over an existing arena and probe — how
+// sub-systems share one scratch pool. Nil arena or probe get fresh ones.
+func NewCtxWithArena(workers int, a *Arena, p *Probe) *Ctx {
+	return exec.NewWithArena(workers, a, p)
+}
+
 // Kernels (paper §4).
 
 // Kernel executes the three convolution computations of one training step
-// (Eqs. 2–4) for a single input.
-type Kernel = engine.Kernel
+// (Eqs. 2–4). The batch entry points (ForwardBatch and friends) take the
+// execution context explicitly and are safe for concurrent use; the
+// per-sample methods (Forward and friends) are a convenience adapter over
+// a private serial context and are not.
+type Kernel interface {
+	engine.Kernel
+	engine.SingleKernel
+}
 
 // NewUnfoldGEMM builds an Unfold+GEMM kernel (§2.3): workers <= 1 gives
 // the single-threaded GEMM, workers > 1 the Parallel-GEMM baseline.
@@ -165,8 +202,13 @@ type AutoConv = core.AutoConv
 func FPStrategies(workers int) []Strategy { return core.FPStrategies(workers) }
 func BPStrategies(workers int) []Strategy { return core.BPStrategies(workers) }
 
-// NewExec instantiates a strategy for a spec.
+// NewExec instantiates a strategy for a spec with a private context of the
+// given worker count.
 func NewExec(st Strategy, s ConvSpec, workers int) *Exec { return core.NewExec(st, s, workers) }
+
+// NewExecCtx instantiates a strategy for a spec under a shared execution
+// context.
+func NewExecCtx(st Strategy, s ConvSpec, c *Ctx) *Exec { return core.NewExecCtx(st, s, c) }
 
 // NewAutoConv builds the §4.4 auto-tuning scheduler for one layer.
 func NewAutoConv(s ConvSpec, workers int) *AutoConv {
