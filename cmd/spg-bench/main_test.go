@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spgcnn"
+)
+
+func runQuiet(t *testing.T, args ...string) error {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	if err != nil {
+		t.Logf("stderr:\n%s", errb.String())
+	}
+	return err
+}
+
+func TestListPrintsKinds(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"table1", "goodput", "analytical", "measured"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestJSONReportSchemaAndDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	if err := runQuiet(t, "-exp", "table1", "-json", "-out", dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_table1.json")
+	rep, err := spgcnn.LoadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != spgcnn.BenchSchemaVersion || rep.Experiment != "table1" {
+		t.Fatalf("report identity wrong: %+v", rep)
+	}
+	if rep.Kind != "analytical" || rep.Scale != "quick" || rep.Machine != "paper" {
+		t.Fatalf("report fields wrong: kind=%q scale=%q machine=%q", rep.Kind, rep.Scale, rep.Machine)
+	}
+	if rep.Host.OS == "" || rep.Host.CPUs < 1 {
+		t.Fatalf("host fingerprint missing: %+v", rep.Host)
+	}
+	if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) == 0 {
+		t.Fatal("report has no data")
+	}
+
+	// An analytical experiment must regenerate byte-identical JSON.
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuiet(t, "-exp", "table1", "-json", "-out", dir); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("regenerated BENCH_table1.json differs byte-for-byte")
+	}
+}
+
+func TestBaselineCompare(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	if err := runQuiet(t, "-exp", "table1", "-json", "-out", baseDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuiet(t, "-exp", "table1", "-json", "-out", curDir, "-baseline", baseDir); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+
+	// Grossly perturb one baseline number: the strict analytical
+	// comparison must fail.
+	path := filepath.Join(baseDir, "BENCH_table1.json")
+	rep, err := spgcnn.LoadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Tables[0].Rows[0][len(rep.Tables[0].Rows[0])-1] = "99999"
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	err = runQuiet(t, "-exp", "table1", "-json", "-out", curDir, "-baseline", baseDir)
+	if err == nil || !strings.Contains(err.Error(), "baseline comparison failed") {
+		t.Fatalf("perturbed baseline accepted: %v", err)
+	}
+}
+
+func TestBaselineRequiresJSON(t *testing.T) {
+	if err := runQuiet(t, "-exp", "table1", "-baseline", "x"); err == nil {
+		t.Fatal("-baseline without -json accepted")
+	}
+}
+
+func TestGoodputJSONSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("goodput runs a real training loop")
+	}
+	dir := t.TempDir()
+	if err := runQuiet(t, "-exp", "goodput", "-json", "-out", dir, "-workers", "2"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := spgcnn.LoadBenchReport(filepath.Join(dir, "BENCH_goodput.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != "measured" || len(rep.Tables) == 0 {
+		t.Fatalf("goodput report malformed: kind=%q tables=%d", rep.Kind, len(rep.Tables))
+	}
+}

@@ -8,42 +8,66 @@
 //	spg-train -net cifar -epochs 5 -examples 512
 //	spg-train -file mynet.prototxt -dataset mnist -strategy stencil
 //	spg-train -net mnist -strategy auto       # spg-CNN scheduler (default)
+//	spg-train -net mnist -metrics-addr :8080  # live /metrics + pprof
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
 	"spgcnn"
 )
 
+// Test seams: invoked (when non-nil) once the metrics endpoint is
+// listening and after every recorded epoch, so an integration test can
+// scrape the live endpoint at a deterministic mid-training moment.
+var (
+	metricsUpHook func(addr string)
+	epochHook     func(epoch int)
+)
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "spg-train: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("spg-train", flag.ContinueOnError)
 	var (
-		netName  = flag.String("net", "cifar", "built-in network: mnist, cifar, imagenet100")
-		file     = flag.String("file", "", "netdef file (overrides -net)")
-		dataset  = flag.String("dataset", "", "dataset: mnist, cifar, imagenet100 (default: matches -net)")
-		epochs   = flag.Int("epochs", 3, "training epochs")
-		examples = flag.Int("examples", 256, "dataset size")
-		batch    = flag.Int("batch", 16, "minibatch size")
-		lr       = flag.Float64("lr", 0.01, "learning rate")
-		workers  = flag.Int("workers", 0, "worker cores (0 = GOMAXPROCS)")
-		strategy = flag.String("strategy", "auto", "conv strategy: auto, parallel-gemm, gemm-in-parallel, stencil, sparse")
-		seed     = flag.Uint64("seed", 42, "random seed")
-		profile  = flag.Bool("profile", false, "print a per-layer time breakdown after training")
-		savePath = flag.String("save", "", "write a weight checkpoint here after training")
-		loadPath = flag.String("load", "", "restore a weight checkpoint before training")
-		saveTune = flag.String("savetune", "", "write the scheduler's per-layer choices (JSON) here after training")
-		loadTune = flag.String("loadtune", "", "deploy a saved tuning configuration instead of measuring")
+		netName     = fs.String("net", "cifar", "built-in network: mnist, cifar, imagenet100")
+		file        = fs.String("file", "", "netdef file (overrides -net)")
+		dataset     = fs.String("dataset", "", "dataset: mnist, cifar, imagenet100 (default: matches -net)")
+		epochs      = fs.Int("epochs", 3, "training epochs")
+		examples    = fs.Int("examples", 256, "dataset size")
+		batch       = fs.Int("batch", 16, "minibatch size")
+		lr          = fs.Float64("lr", 0.01, "learning rate")
+		workers     = fs.Int("workers", 0, "worker cores (0 = GOMAXPROCS)")
+		strategy    = fs.String("strategy", "auto", "conv strategy: auto, parallel-gemm, gemm-in-parallel, stencil, sparse")
+		seed        = fs.Uint64("seed", 42, "random seed")
+		profile     = fs.Bool("profile", false, "print a per-layer time breakdown after training")
+		savePath    = fs.String("save", "", "write a weight checkpoint here after training")
+		loadPath    = fs.String("load", "", "restore a weight checkpoint before training")
+		saveTune    = fs.String("savetune", "", "write the scheduler's per-layer choices (JSON) here after training")
+		loadTune    = fs.String("loadtune", "", "deploy a saved tuning configuration instead of measuring")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics (Prometheus), /healthz and /debug/pprof on this address during training (e.g. :8080)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	src, defaultData := builtin(*netName)
+	if src == "" && *file == "" {
+		return fmt.Errorf("unknown built-in network %q (want mnist, cifar, imagenet100)", *netName)
+	}
 	if *file != "" {
 		b, err := os.ReadFile(*file)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		src = string(b)
 	}
@@ -53,7 +77,7 @@ func main() {
 
 	def, err := spgcnn.ParseNet(src)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	w := *workers
 	if w < 1 {
@@ -62,118 +86,168 @@ func main() {
 	// One execution context for the whole network: every layer draws
 	// scratch from the same arena and reports into the same probe.
 	ctx := spgcnn.NewCtx(w)
+
+	// The metrics endpoint comes up before training starts, so a scrape at
+	// any point during the run sees live per-layer spans and the goodput
+	// series as they accumulate.
+	var reg *spgcnn.MetricsRegistry
+	if *metricsAddr != "" {
+		reg = spgcnn.NewMetricsRegistry()
+		spgcnn.BindMetrics(ctx, reg)
+		srv, err := spgcnn.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "metrics endpoint %s\n", srv.URL())
+		if metricsUpHook != nil {
+			metricsUpHook(srv.Addr())
+		}
+	}
+
 	opts := spgcnn.BuildOptions{Ctx: ctx, Seed: *seed}
 	if *strategy != "auto" {
 		st, ok := findStrategy(*strategy, w)
 		if !ok {
-			fatal("unknown strategy %q", *strategy)
+			return fmt.Errorf("unknown strategy %q", *strategy)
 		}
 		opts.FixedStrategy = &st
 	}
 	if *loadTune != "" {
 		f, err := os.Open(*loadTune)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		choices, err := spgcnn.LoadTuningChoices(f)
 		f.Close()
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		opts.Choices = choices
-		fmt.Printf("deployed tuning configuration %s (%d layers)\n", *loadTune, len(choices))
+		fmt.Fprintf(stdout, "deployed tuning configuration %s (%d layers)\n", *loadTune, len(choices))
 	}
 	net, err := spgcnn.BuildNet(def, opts)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 
 	ds := datasetByName(*dataset, *examples)
 	if ds == nil {
-		fatal("unknown dataset %q", *dataset)
+		return fmt.Errorf("unknown dataset %q", *dataset)
 	}
 	if *loadPath != "" {
 		f, err := os.Open(*loadPath)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		err = net.Load(f)
 		f.Close()
 		if err != nil {
-			fatal("restoring %s: %v", *loadPath, err)
+			return fmt.Errorf("restoring %s: %w", *loadPath, err)
 		}
-		fmt.Printf("restored checkpoint %s\n", *loadPath)
+		fmt.Fprintf(stdout, "restored checkpoint %s\n", *loadPath)
 	}
 	if *profile {
 		net.EnableProfiling()
 	}
 
-	fmt.Printf("network %q, dataset %s (%d examples), strategy %s\n",
+	fmt.Fprintf(stdout, "network %q, dataset %s (%d examples), strategy %s\n",
 		def.Name, *dataset, *examples, *strategy)
 	tr := spgcnn.NewTrainer(net, float32(*lr), *batch)
 	r := spgcnn.NewRNG(*seed)
 	for e := 0; e < *epochs; e++ {
 		stats := tr.TrainEpoch(ds, r)
-		fmt.Printf("epoch %2d  loss %.4f  acc %5.1f%%  %7.1f images/sec  conv %.2f GF (goodput %.2f)",
+		if reg != nil {
+			reg.RecordEpoch(epochSample(stats))
+		}
+		fmt.Fprintf(stdout, "epoch %2d  loss %.4f  acc %5.1f%%  %7.1f images/sec  conv %.2f GF (goodput %.2f)",
 			stats.Epoch, stats.Loss, stats.Accuracy*100, stats.ImagesPerSec,
 			stats.ConvGFlops, stats.ConvGoodputGFlops)
 		if len(stats.ConvSparsity) > 0 {
-			fmt.Printf("  EO sparsity:")
+			fmt.Fprintf(stdout, "  EO sparsity:")
 			for _, c := range net.ConvLayers() {
 				if s, ok := stats.ConvSparsity[c.Name()]; ok {
-					fmt.Printf(" %s=%.2f", c.Name(), s)
+					fmt.Fprintf(stdout, " %s=%.2f", c.Name(), s)
 				}
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
+		if epochHook != nil {
+			epochHook(e)
+		}
 	}
 	if *profile {
-		fmt.Print("\nper-layer time breakdown:\n", net.ProfileReport())
+		fmt.Fprint(stdout, "\nper-layer time breakdown:\n", net.ProfileReport())
 	}
 	st := ctx.Arena().Stats()
 	if st.Gets > 0 {
-		fmt.Printf("arena: %d scratch acquisitions, %.1f%% served from free lists, %d outstanding\n",
+		fmt.Fprintf(stdout, "arena: %d scratch acquisitions, %.1f%% served from free lists, %d outstanding\n",
 			st.Gets, 100*float64(st.Hits)/float64(st.Gets), st.Outstanding)
 	}
 	if choices := ctx.Probe().Choices(); len(choices) > 0 {
-		fmt.Printf("scheduler deployments:")
+		fmt.Fprintf(stdout, "scheduler deployments:")
 		for _, c := range choices {
-			fmt.Printf(" %s=%s", c.Phase, c.Strategy)
+			fmt.Fprintf(stdout, " %s=%s", c.Phase, c.Strategy)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if *saveTune != "" {
 		choices := net.TuningChoices()
 		if len(choices) == 0 {
-			fmt.Println("no tuning choices to save (run with -strategy auto)")
+			fmt.Fprintln(stdout, "no tuning choices to save (run with -strategy auto)")
 		} else {
 			f, err := os.Create(*saveTune)
 			if err != nil {
-				fatal("%v", err)
+				return err
 			}
 			err = choices.Save(f)
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
 			if err != nil {
-				fatal("saving %s: %v", *saveTune, err)
+				return fmt.Errorf("saving %s: %w", *saveTune, err)
 			}
-			fmt.Printf("saved tuning configuration %s\n", *saveTune)
+			fmt.Fprintf(stdout, "saved tuning configuration %s\n", *saveTune)
 		}
 	}
 	if *savePath != "" {
 		f, err := os.Create(*savePath)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		err = net.Save(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			fatal("saving %s: %v", *savePath, err)
+			return fmt.Errorf("saving %s: %w", *savePath, err)
 		}
-		fmt.Printf("saved checkpoint %s\n", *savePath)
+		fmt.Fprintf(stdout, "saved checkpoint %s\n", *savePath)
+	}
+	return nil
+}
+
+// epochSample converts trainer statistics into the metrics form of the
+// per-epoch goodput series (Eq. 9).
+func epochSample(stats spgcnn.TrainEpochStats) spgcnn.EpochSample {
+	var spSum float64
+	for _, s := range stats.ConvSparsity {
+		spSum += s
+	}
+	mean := 0.0
+	if len(stats.ConvSparsity) > 0 {
+		mean = spSum / float64(len(stats.ConvSparsity))
+	}
+	return spgcnn.EpochSample{
+		Epoch:         stats.Epoch,
+		Images:        stats.Images,
+		Seconds:       stats.Seconds,
+		ImagesPerSec:  stats.ImagesPerSec,
+		Loss:          stats.Loss,
+		Accuracy:      stats.Accuracy,
+		DenseGFlops:   stats.ConvGFlops,
+		GoodputGFlops: stats.ConvGoodputGFlops,
+		MeanSparsity:  mean,
 	}
 }
 
@@ -186,7 +260,6 @@ func builtin(name string) (src, dataset string) {
 	case "imagenet100":
 		return spgcnn.ImageNet100Net, "imagenet100"
 	default:
-		fatal("unknown built-in network %q (want mnist, cifar, imagenet100)", name)
 		return "", ""
 	}
 }
@@ -214,9 +287,4 @@ func findStrategy(name string, workers int) (spgcnn.Strategy, bool) {
 		}
 	}
 	return spgcnn.Strategy{}, false
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "spg-train: "+format+"\n", args...)
-	os.Exit(1)
 }

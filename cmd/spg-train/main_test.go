@@ -1,6 +1,103 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// scrape fetches one URL off the live metrics endpoint.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("scraping %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scraping %s: status %d", url, resp.StatusCode)
+	}
+	return string(b)
+}
+
+func TestMetricsEndpointDuringTraining(t *testing.T) {
+	var addr string
+	var midTraining, final, health string
+	metricsUpHook = func(a string) { addr = a }
+	epochHook = func(epoch int) {
+		if addr == "" {
+			t.Fatal("epoch ran before the metrics endpoint came up")
+		}
+		switch epoch {
+		case 0:
+			midTraining = scrape(t, "http://"+addr+"/metrics")
+			health = scrape(t, "http://"+addr+"/healthz")
+		case 1:
+			final = scrape(t, "http://"+addr+"/metrics")
+		}
+	}
+	defer func() { metricsUpHook, epochHook = nil, nil }()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-net", "mnist", "-epochs", "2", "-examples", "32", "-batch", "8",
+		"-workers", "2", "-strategy", "gemm-in-parallel",
+		"-metrics-addr", "127.0.0.1:0",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-training scrape: per-layer fp and bp spans with nonzero counts.
+	var sawFP, sawBP bool
+	for _, line := range strings.Split(midTraining, "\n") {
+		if !strings.HasPrefix(line, "spg_span_seconds_count{") {
+			continue
+		}
+		var n float64
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%g", &n); err != nil || n <= 0 {
+			continue
+		}
+		if strings.Contains(line, `span="layer/`) && strings.Contains(line, "/fp/") {
+			sawFP = true
+		}
+		if strings.Contains(line, `span="layer/`) && strings.Contains(line, "/bp/") {
+			sawBP = true
+		}
+	}
+	if !sawFP || !sawBP {
+		t.Fatalf("mid-training scrape missing per-layer spans (fp=%v bp=%v):\n%s",
+			sawFP, sawBP, midTraining)
+	}
+
+	// The goodput series is recorded before the epoch hook fires.
+	for _, want := range []string{
+		`spg_conv_goodput_gflops_series{epoch="1"}`,
+		"spg_images_per_sec",
+		"spg_workers 2",
+	} {
+		if !strings.Contains(midTraining, want) {
+			t.Errorf("mid-training scrape missing %q", want)
+		}
+	}
+	if !strings.Contains(final, `spg_conv_goodput_gflops_series{epoch="2"}`) {
+		t.Error("final scrape missing the epoch-2 goodput series")
+	}
+
+	if !strings.Contains(health, "ok") {
+		t.Errorf("healthz = %q", health)
+	}
+	if !strings.Contains(out.String(), "metrics endpoint http://") {
+		t.Errorf("run output does not announce the metrics endpoint:\n%s", out.String())
+	}
+}
 
 func TestBuiltinNetworks(t *testing.T) {
 	for _, name := range []string{"mnist", "cifar", "imagenet100"} {

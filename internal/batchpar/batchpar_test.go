@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"spgcnn/internal/conv"
+	"spgcnn/internal/engine"
+	"spgcnn/internal/engine/enginetest"
 	"spgcnn/internal/exec"
 	"spgcnn/internal/rng"
 	"spgcnn/internal/spkernel"
@@ -11,6 +13,14 @@ import (
 	"spgcnn/internal/tensor"
 	"spgcnn/internal/unfoldgemm"
 )
+
+func TestDifferentialVsUnfoldGEMM(t *testing.T) {
+	gen := engine.Generator{
+		Name: "batchpar(unfold-gemm)",
+		New:  func(s conv.Spec) engine.Kernel { return New(unfoldgemm.Generator(1), s) },
+	}
+	enginetest.RunDifferential(t, gen, unfoldgemm.Generator(1), enginetest.DiffOptions{Seed: 0xD1F3, Batch: 4})
+}
 
 func makeBatch(r *rng.RNG, s conv.Spec, n int, sparsity float64) (ins, outs, eos, eis []*tensor.Tensor) {
 	for i := 0; i < n; i++ {

@@ -54,45 +54,70 @@ func fixedSerialStrategy(workers int) core.Strategy {
 	return core.FPStrategies(workers)[1]
 }
 
+// Experiment kinds, by how reproducible the numbers are. Deterministic
+// kinds get strict tolerance-band comparison in baseline checks; measured
+// kinds vary with the host and only get structural + sanity checks.
+const (
+	// KindAnalytical is pure closed-form math or a worked example on fixed
+	// inputs: byte-deterministic everywhere.
+	KindAnalytical = "analytical"
+	// KindModeled evaluates the calibrated machine model: deterministic
+	// when the paper machine is selected, host-dependent otherwise.
+	KindModeled = "modeled"
+	// KindMeasured times real kernels or training runs on this host.
+	KindMeasured = "measured"
+	// KindMixed combines modeled and measured series in one artifact.
+	KindMixed = "mixed"
+)
+
 // Experiment is one regenerable paper artifact.
 type Experiment struct {
 	ID   string
 	Desc string
+	Kind string
 	Run  func(Options) []Table
 }
 
 // Experiments returns every experiment, in paper order.
 func Experiments() []Experiment {
 	return []Experiment{
-		{"table1", "Table 1: convolution AIT characterization (analytical)", RunTable1},
-		{"fig1", "Fig 1: AIT x sparsity design-space regions (analytical)", RunFig1},
-		{"fig2", "Fig 2: unfolding + O = W*U^T worked example (executed)", RunFig2},
-		{"fig5", "Fig 5a: CT-CSR layout worked example (executed)", RunFig5},
-		{"fig6", "Fig 6: pointer-shifting trace worked example", RunFig6},
-		{"fig7", "Fig 7: generated stencil basic-block plans", RunFig7},
-		{"fig3a", "Fig 3a: Parallel-GEMM scalability (modeled)", RunFig3a},
-		{"fig3b", "Fig 3b: gradient sparsity across epochs (measured training)", RunFig3b},
-		{"fig4a", "Fig 4a: GEMM-in-Parallel scalability (modeled)", RunFig4a},
-		{"fig4b", "Fig 4b: GiP speedup over Parallel-GEMM (modeled)", RunFig4b},
-		{"fig4c", "Fig 4c: Stencil-Kernel scalability (modeled)", RunFig4c},
-		{"fig4d", "Fig 4d: Stencil speedup over GiP (modeled)", RunFig4d},
-		{"fig4e", "Fig 4e: Sparse-Kernel goodput vs sparsity (modeled)", RunFig4e},
-		{"fig4f", "Fig 4f: Sparse speedup over GiP vs sparsity (modeled)", RunFig4f},
-		{"fig4-measured", "Fig 4d/4f analogues measured on this host (single-kernel timings)", RunFig4Measured},
-		{"table2", "Table 2: benchmark network layers (analytical)", RunTable2},
-		{"fig8", "Fig 8: per-layer speedups on real networks (modeled + measured)", RunFig8},
-		{"fig9", "Fig 9: end-to-end CIFAR-10 throughput (modeled + measured)", RunFig9},
-		{"ablation-spatial", "Ablation: stencil vs unfold speedup vs spatial extent (measured)", RunAblationSpatial},
-		{"ablation-rtile", "Ablation: stencil register-tile sweep vs generator choice (measured)", RunAblationRTile},
-		{"ablation-ctcsr", "Ablation: CT-CSR column-tile width sweep (measured)", RunAblationCTCSR},
-		{"ablation-machine", "Ablation: machine-model sensitivity study (modeled)", RunAblationMachine},
-		{"ablation-fft", "Ablation: FFT vs direct convolution vs kernel size (measured)", RunAblationFFT},
-		{"goodput-train", "Goodput across training: dense vs sparse BP (measured)", RunGoodputTrain},
+		{"table1", "Table 1: convolution AIT characterization (analytical)", KindAnalytical, RunTable1},
+		{"fig1", "Fig 1: AIT x sparsity design-space regions (analytical)", KindAnalytical, RunFig1},
+		{"fig2", "Fig 2: unfolding + O = W*U^T worked example (executed)", KindAnalytical, RunFig2},
+		{"fig5", "Fig 5a: CT-CSR layout worked example (executed)", KindAnalytical, RunFig5},
+		{"fig6", "Fig 6: pointer-shifting trace worked example", KindAnalytical, RunFig6},
+		{"fig7", "Fig 7: generated stencil basic-block plans", KindAnalytical, RunFig7},
+		{"fig3a", "Fig 3a: Parallel-GEMM scalability (modeled)", KindModeled, RunFig3a},
+		{"fig3b", "Fig 3b: gradient sparsity across epochs (measured training)", KindMeasured, RunFig3b},
+		{"fig4a", "Fig 4a: GEMM-in-Parallel scalability (modeled)", KindModeled, RunFig4a},
+		{"fig4b", "Fig 4b: GiP speedup over Parallel-GEMM (modeled)", KindModeled, RunFig4b},
+		{"fig4c", "Fig 4c: Stencil-Kernel scalability (modeled)", KindModeled, RunFig4c},
+		{"fig4d", "Fig 4d: Stencil speedup over GiP (modeled)", KindModeled, RunFig4d},
+		{"fig4e", "Fig 4e: Sparse-Kernel goodput vs sparsity (modeled)", KindModeled, RunFig4e},
+		{"fig4f", "Fig 4f: Sparse speedup over GiP vs sparsity (modeled)", KindModeled, RunFig4f},
+		{"fig4-measured", "Fig 4d/4f analogues measured on this host (single-kernel timings)", KindMeasured, RunFig4Measured},
+		{"table2", "Table 2: benchmark network layers (analytical)", KindAnalytical, RunTable2},
+		{"fig8", "Fig 8: per-layer speedups on real networks (modeled + measured)", KindMixed, RunFig8},
+		{"fig9", "Fig 9: end-to-end CIFAR-10 throughput (modeled + measured)", KindMixed, RunFig9},
+		{"ablation-spatial", "Ablation: stencil vs unfold speedup vs spatial extent (measured)", KindMeasured, RunAblationSpatial},
+		{"ablation-rtile", "Ablation: stencil register-tile sweep vs generator choice (measured)", KindMeasured, RunAblationRTile},
+		{"ablation-ctcsr", "Ablation: CT-CSR column-tile width sweep (measured)", KindMeasured, RunAblationCTCSR},
+		{"ablation-machine", "Ablation: machine-model sensitivity study (modeled)", KindModeled, RunAblationMachine},
+		{"ablation-fft", "Ablation: FFT vs direct convolution vs kernel size (measured)", KindMeasured, RunAblationFFT},
+		{"goodput", "Goodput across training: dense vs sparse BP (measured)", KindMeasured, RunGoodputTrain},
 	}
 }
 
-// Lookup finds an experiment by ID.
+// aliases maps historical experiment IDs onto their current names.
+var aliases = map[string]string{
+	"goodput-train": "goodput",
+}
+
+// Lookup finds an experiment by ID (accepting historical aliases).
 func Lookup(id string) (Experiment, error) {
+	if canonical, ok := aliases[id]; ok {
+		id = canonical
+	}
 	for _, e := range Experiments() {
 		if e.ID == id {
 			return e, nil

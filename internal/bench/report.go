@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"spgcnn/internal/machine"
+)
+
+// SchemaVersion is the version stamp every machine-readable benchmark
+// report carries. Bump it whenever a field changes meaning; baseline
+// comparison refuses to cross versions.
+const SchemaVersion = 1
+
+// Report is the machine-readable form of one experiment run — what
+// `spg-bench -json` writes into BENCH_<exp>.json. It carries everything a
+// later reader needs to interpret the numbers: schema version, experiment
+// identity and kind, workload scale, and the host fingerprint.
+type Report struct {
+	Schema     int           `json:"schema"`
+	Experiment string        `json:"experiment"`
+	Desc       string        `json:"desc"`
+	Kind       string        `json:"kind"`
+	Scale      string        `json:"scale"`
+	Workers    int           `json:"workers"`
+	Machine    string        `json:"machine"`
+	Host       machine.Host  `json:"host"`
+	Tables     []ReportTable `json:"tables"`
+}
+
+// ReportTable is one result table in machine-readable form.
+type ReportTable struct {
+	Title   string     `json:"title"`
+	Note    string     `json:"note,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// NewReport assembles the report for one experiment run.
+func NewReport(e Experiment, o Options, tables []Table) Report {
+	r := Report{
+		Schema:     SchemaVersion,
+		Experiment: e.ID,
+		Desc:       e.Desc,
+		Kind:       e.Kind,
+		Scale:      o.Scale,
+		Workers:    o.workers(),
+		Machine:    o.Machine,
+		Host:       machine.HostInfo(),
+	}
+	if r.Scale == "" {
+		r.Scale = "quick"
+	}
+	if r.Machine == "" {
+		r.Machine = "paper"
+	}
+	for _, t := range tables {
+		r.Tables = append(r.Tables, ReportTable{
+			Title:   t.Title,
+			Note:    t.Note,
+			Columns: t.Columns,
+			Rows:    t.Rows,
+		})
+	}
+	return r
+}
+
+// Validate checks the report against the schema: version, identity,
+// enumerated fields, and rectangular tables.
+func (r *Report) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("bench: schema %d, want %d", r.Schema, SchemaVersion)
+	}
+	if r.Experiment == "" {
+		return fmt.Errorf("bench: report missing experiment id")
+	}
+	switch r.Kind {
+	case KindAnalytical, KindModeled, KindMeasured, KindMixed:
+	default:
+		return fmt.Errorf("bench: %s: invalid kind %q", r.Experiment, r.Kind)
+	}
+	if r.Scale != "quick" && r.Scale != "full" {
+		return fmt.Errorf("bench: %s: invalid scale %q", r.Experiment, r.Scale)
+	}
+	if r.Machine != "paper" && r.Machine != "host" {
+		return fmt.Errorf("bench: %s: invalid machine %q", r.Experiment, r.Machine)
+	}
+	if r.Workers < 1 {
+		return fmt.Errorf("bench: %s: invalid workers %d", r.Experiment, r.Workers)
+	}
+	if r.Host.OS == "" || r.Host.Arch == "" || r.Host.CPUs < 1 {
+		return fmt.Errorf("bench: %s: incomplete host fingerprint %+v", r.Experiment, r.Host)
+	}
+	if len(r.Tables) == 0 {
+		return fmt.Errorf("bench: %s: no tables", r.Experiment)
+	}
+	for ti, t := range r.Tables {
+		if t.Title == "" {
+			return fmt.Errorf("bench: %s: table %d has no title", r.Experiment, ti)
+		}
+		if len(t.Columns) == 0 {
+			return fmt.Errorf("bench: %s: table %q has no columns", r.Experiment, t.Title)
+		}
+		for ri, row := range t.Rows {
+			if len(row) != len(t.Columns) {
+				return fmt.Errorf("bench: %s: table %q row %d has %d cells, want %d",
+					r.Experiment, t.Title, ri, len(row), len(t.Columns))
+			}
+		}
+	}
+	return nil
+}
+
+// Encode renders the report as indented JSON (stable field order).
+func (r *Report) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile validates and writes the report to path.
+func (r *Report) WriteFile(path string) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	b, err := r.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// LoadReport reads and validates a report written by WriteFile.
+func LoadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// deterministic reports whether the experiment's numbers are expected to
+// reproduce exactly (up to float formatting) on any host.
+func (r *Report) deterministic() bool {
+	return r.Kind == KindAnalytical || (r.Kind == KindModeled && r.Machine == "paper")
+}
+
+// Compare checks a freshly generated report against a committed baseline
+// with a relative tolerance band. Structure is compared strictly (schema,
+// experiment identity, kind, scale, table shapes, column headers, row
+// labels); values follow the experiment's kind: deterministic experiments
+// must match within tol, measured ones only have to stay finite and keep
+// the sign of the baseline (their magnitudes are host property, tracked by
+// the committed trajectory rather than gated). Host fingerprint and worker
+// count are deliberately ignored. The returned error lists every
+// violation.
+func Compare(base, cur *Report, tol float64) error {
+	var viol []string
+	bad := func(format string, args ...any) { viol = append(viol, fmt.Sprintf(format, args...)) }
+
+	if base.Schema != cur.Schema {
+		bad("schema: baseline %d vs current %d", base.Schema, cur.Schema)
+	}
+	if base.Experiment != cur.Experiment {
+		bad("experiment: baseline %q vs current %q", base.Experiment, cur.Experiment)
+	}
+	if base.Kind != cur.Kind {
+		bad("kind: baseline %q vs current %q", base.Kind, cur.Kind)
+	}
+	if base.Scale != cur.Scale {
+		bad("scale: baseline %q vs current %q", base.Scale, cur.Scale)
+	}
+	if len(base.Tables) != len(cur.Tables) {
+		bad("table count: baseline %d vs current %d", len(base.Tables), len(cur.Tables))
+	}
+	strict := base.deterministic() && cur.deterministic()
+	for i := 0; i < len(base.Tables) && i < len(cur.Tables); i++ {
+		compareTable(&base.Tables[i], &cur.Tables[i], strict, tol, bad)
+	}
+	if len(viol) == 0 {
+		return nil
+	}
+	const maxShown = 12
+	shown := viol
+	suffix := ""
+	if len(shown) > maxShown {
+		suffix = fmt.Sprintf("\n  ... and %d more", len(shown)-maxShown)
+		shown = shown[:maxShown]
+	}
+	return fmt.Errorf("bench: %s: %d violation(s) vs baseline:\n  %s%s",
+		cur.Experiment, len(viol), strings.Join(shown, "\n  "), suffix)
+}
+
+func compareTable(base, cur *ReportTable, strict bool, tol float64, bad func(string, ...any)) {
+	if base.Title != cur.Title {
+		bad("table title: %q vs %q", base.Title, cur.Title)
+		return
+	}
+	if len(base.Columns) != len(cur.Columns) {
+		bad("%q: column count %d vs %d", base.Title, len(base.Columns), len(cur.Columns))
+		return
+	}
+	for i := range base.Columns {
+		if base.Columns[i] != cur.Columns[i] {
+			bad("%q: column %d header %q vs %q", base.Title, i, base.Columns[i], cur.Columns[i])
+		}
+	}
+	if len(base.Rows) != len(cur.Rows) {
+		bad("%q: row count %d vs %d", base.Title, len(base.Rows), len(cur.Rows))
+		return
+	}
+	for ri := range base.Rows {
+		for ci := range base.Rows[ri] {
+			if ci >= len(cur.Rows[ri]) {
+				break
+			}
+			b, c := base.Rows[ri][ci], cur.Rows[ri][ci]
+			bv, bNum := parseNumeric(b)
+			cv, cNum := parseNumeric(c)
+			switch {
+			case bNum && cNum:
+				if math.IsNaN(cv) || math.IsInf(cv, 0) {
+					bad("%q row %d col %d: current value %q not finite", base.Title, ri, ci, c)
+				} else if strict {
+					if relDiff(bv, cv) > tol {
+						bad("%q row %d col %d: %v vs %v exceeds tolerance %v",
+							base.Title, ri, ci, b, c, tol)
+					}
+				} else if bv > 0 && cv <= 0 {
+					bad("%q row %d col %d: baseline %v positive but current %v is not",
+						base.Title, ri, ci, b, c)
+				}
+			case bNum != cNum:
+				bad("%q row %d col %d: numeric/text mismatch (%q vs %q)", base.Title, ri, ci, b, c)
+			case ci == 0 || strict:
+				// Row labels always compare; other text only for
+				// deterministic experiments.
+				if b != c {
+					bad("%q row %d col %d: %q vs %q", base.Title, ri, ci, b, c)
+				}
+			}
+		}
+	}
+}
+
+func parseNumeric(s string) (float64, bool) {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(s), "%"), 64)
+	return v, err == nil
+}
+
+// relDiff is |a-b| relative to max(|a|, |b|, 1) — an absolute floor of 1
+// keeps near-zero cells from amplifying formatting noise.
+func relDiff(a, b float64) float64 {
+	scale := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
+	return math.Abs(a-b) / scale
+}

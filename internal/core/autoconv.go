@@ -113,14 +113,16 @@ func (a *AutoConv) Backward(eis []*tensor.Tensor, dw *tensor.Tensor,
 		a.bp = a.bpSel.Chosen
 		a.tunedBP = true
 	}
-	// Retain references to the freshest gradients for epoch-boundary
-	// re-tuning.
+	// Retain the freshest gradients for epoch-boundary re-tuning. The
+	// caller's tensors are recycled batch storage — the arena (or the next
+	// minibatch) rewrites them long before EpochEnd runs — so the sample
+	// must be copied into scheduler-owned tensors, not aliased.
 	n := len(eos)
 	if n > a.ctx.Workers() {
 		n = a.ctx.Workers()
 	}
-	a.lastEOs = eos[:n]
-	a.lastIns = ins[:n]
+	a.lastEOs = retainSamples(a.lastEOs, eos[:n])
+	a.lastIns = retainSamples(a.lastIns, ins[:n])
 	a.lastWRef = w
 	bp := a.bp
 	a.mu.Unlock()
@@ -128,9 +130,27 @@ func (a *AutoConv) Backward(eis []*tensor.Tensor, dw *tensor.Tensor,
 	bp.BackwardWeights(dw, eos, ins)
 }
 
+// retainSamples copies src into dst, reusing dst's tensors when shapes
+// match so steady-state retention is allocation-free.
+func retainSamples(dst, src []*tensor.Tensor) []*tensor.Tensor {
+	if cap(dst) < len(src) {
+		dst = append(dst[:cap(dst)], make([]*tensor.Tensor, len(src)-cap(dst))...)
+	}
+	dst = dst[:len(src)]
+	for i, s := range src {
+		if dst[i] == nil || !dst[i].SameShape(s) {
+			dst[i] = s.Clone()
+		} else {
+			copy(dst[i].Data, s.Data)
+		}
+	}
+	return dst
+}
+
 // EpochEnd notifies the scheduler that a training epoch finished. Every
 // RecheckEpochs epochs the BP strategies are re-measured against the most
-// recent gradients and the deployment switches if the ranking changed.
+// recent gradients and the deployment switches if the ranking changed; a
+// switch is recorded in the probe as a "bp-flip" choice event.
 func (a *AutoConv) EpochEnd() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -139,8 +159,12 @@ func (a *AutoConv) EpochEnd() {
 		return
 	}
 	a.epochs = 0
+	prev := a.bpSel.Chosen.Strategy().Name
 	a.bpSel = ChooseBP(a.opts.BP, a.spec, a.ctx, a.lastEOs, a.lastIns, a.lastWRef, a.opts.Tune)
 	a.bp = a.bpSel.Chosen
+	if next := a.bpSel.Chosen.Strategy().Name; next != prev {
+		a.ctx.Probe().RecordChoice("bp-flip", next, a.bpSel.Best().Seconds)
+	}
 }
 
 // FPSelection returns the most recent FP measurement table (zero value

@@ -10,6 +10,18 @@ type Probe struct {
 	mu      sync.Mutex
 	spans   map[string]*Span
 	choices []Choice
+	sink    Sink
+}
+
+// Sink receives a live copy of everything the probe records — the seam
+// the metrics registry attaches through (metrics.Bind) so a running
+// training job is scrapeable without polling the probe. Implementations
+// must be safe for concurrent use and must not call back into the probe.
+type Sink interface {
+	// ObserveSpan mirrors Probe.Observe.
+	ObserveSpan(name string, seconds float64)
+	// RecordChoice mirrors Probe.RecordChoice.
+	RecordChoice(phase, strategy string, seconds float64)
 }
 
 // Span aggregates the observations of one named instrumentation point.
@@ -36,6 +48,17 @@ type Choice struct {
 // NewProbe returns an empty probe.
 func NewProbe() *Probe { return &Probe{spans: make(map[string]*Span)} }
 
+// SetSink attaches (or, with nil, detaches) a live mirror of the probe's
+// stream. Only one sink is held; attaching replaces the previous one.
+func (p *Probe) SetSink(s Sink) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.sink = s
+	p.mu.Unlock()
+}
+
 // Observe records one timed run of the named span.
 func (p *Probe) Observe(name string, seconds float64) {
 	if p == nil {
@@ -52,7 +75,11 @@ func (p *Probe) Observe(name string, seconds float64) {
 	if seconds < sp.Min {
 		sp.Min = seconds
 	}
+	sink := p.sink
 	p.mu.Unlock()
+	if sink != nil {
+		sink.ObserveSpan(name, seconds)
+	}
 }
 
 // SpanStats returns a copy of the named span's aggregate.
@@ -90,7 +117,11 @@ func (p *Probe) RecordChoice(phase, strategy string, seconds float64) {
 	}
 	p.mu.Lock()
 	p.choices = append(p.choices, Choice{Phase: phase, Strategy: strategy, Seconds: seconds})
+	sink := p.sink
 	p.mu.Unlock()
+	if sink != nil {
+		sink.RecordChoice(phase, strategy, seconds)
+	}
 }
 
 // Choices returns a copy of the recorded deployment decisions, oldest

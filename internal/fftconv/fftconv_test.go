@@ -24,6 +24,16 @@ func TestConformance(t *testing.T) {
 	})
 }
 
+func TestDifferentialVsUnfoldGEMM(t *testing.T) {
+	// Frequency-domain rounding is structural: the comparison leans on the
+	// relative-error escape instead of a pure ULP budget.
+	enginetest.RunDifferential(t, Generator(), unfoldgemm.Generator(1), enginetest.DiffOptions{
+		Seed:   0xD1F6,
+		MaxULP: 1 << 14,
+		RelTol: 2e-3,
+	})
+}
+
 func TestPaddedDimsArePow2AndSufficient(t *testing.T) {
 	s := conv.Square(28, 4, 2, 5, 1)
 	k := New(s)

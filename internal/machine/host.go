@@ -1,0 +1,32 @@
+package machine
+
+import (
+	"os"
+	"runtime"
+)
+
+// Host is the machine fingerprint stamped into every machine-readable
+// benchmark report, so a BENCH_*.json baseline records where its numbers
+// came from. Baseline comparison deliberately ignores these fields — they
+// exist to explain a trajectory, not to gate it.
+type Host struct {
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	CPUs      int    `json:"cpus"`
+	GoVersion string `json:"go"`
+	Hostname  string `json:"hostname,omitempty"`
+}
+
+// HostInfo fingerprints the running machine.
+func HostInfo() Host {
+	h := Host{
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+	if name, err := os.Hostname(); err == nil {
+		h.Hostname = name
+	}
+	return h
+}

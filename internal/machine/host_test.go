@@ -1,0 +1,13 @@
+package machine
+
+import "testing"
+
+func TestHostInfoPopulated(t *testing.T) {
+	h := HostInfo()
+	if h.OS == "" || h.Arch == "" || h.GoVersion == "" {
+		t.Fatalf("fingerprint has empty identity fields: %+v", h)
+	}
+	if h.CPUs < 1 {
+		t.Fatalf("fingerprint reports %d CPUs", h.CPUs)
+	}
+}

@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"runtime"
+
+	"spgcnn/internal/exec"
+)
+
+// ProbeBridge forwards an exec.Probe's live stream into a Registry: every
+// span observation lands in the hierarchical span tree and every scheduler
+// deployment decision increments the choice counters. It satisfies
+// exec.Sink.
+type ProbeBridge struct{ r *Registry }
+
+var _ exec.Sink = (*ProbeBridge)(nil)
+
+// NewProbeBridge builds a bridge into r.
+func NewProbeBridge(r *Registry) *ProbeBridge { return &ProbeBridge{r: r} }
+
+// ObserveSpan implements exec.Sink.
+func (b *ProbeBridge) ObserveSpan(name string, seconds float64) {
+	b.r.ObserveSpan(name, seconds)
+}
+
+// RecordChoice implements exec.Sink.
+func (b *ProbeBridge) RecordChoice(phase, strategy string, seconds float64) {
+	b.r.Counter("spg_scheduler_choice_total",
+		"Scheduler deployment decisions by phase and winning strategy.",
+		"phase", phase, "strategy", strategy).Inc()
+	b.r.Gauge("spg_scheduler_choice_seconds",
+		"Measured time of the most recent winning strategy per phase.",
+		"phase", phase, "strategy", strategy).Set(seconds)
+}
+
+// Bind wires an execution context into the registry: the context's probe
+// streams into the span tree and choice counters, and the arena's
+// cumulative acquisition statistics plus basic process gauges export as
+// render-time gauges. Call once per (ctx, registry) pair, before the run.
+func Bind(c *exec.Ctx, r *Registry) {
+	c.Probe().SetSink(NewProbeBridge(r))
+	r.GaugeFunc("spg_workers", "Worker pool size of the bound execution context.",
+		func() float64 { return float64(c.Workers()) })
+	r.GaugeFunc("spg_arena_gets_total", "Cumulative scratch acquisitions from the bound arena.",
+		func() float64 { return float64(c.Arena().Stats().Gets) })
+	r.GaugeFunc("spg_arena_hits_total", "Scratch acquisitions served from arena free lists.",
+		func() float64 { return float64(c.Arena().Stats().Hits) })
+	r.GaugeFunc("spg_arena_outstanding", "Arena buffers currently checked out.",
+		func() float64 { return float64(c.Arena().Stats().Outstanding) })
+	r.GaugeFunc("spg_goroutines", "Live goroutines in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+}

@@ -1,0 +1,43 @@
+package metrics
+
+import "strconv"
+
+// EpochSample is one training epoch's goodput accounting, as produced by
+// the trainer: wall-clock progress (images/sec), model progress (loss,
+// accuracy) and the paper's Eq. 9 split between dense convolution
+// throughput and the useful subset of it.
+type EpochSample struct {
+	Epoch         int
+	Images        int
+	Seconds       float64
+	ImagesPerSec  float64
+	Loss          float64
+	Accuracy      float64
+	DenseGFlops   float64
+	GoodputGFlops float64
+	// MeanSparsity is the mean output-error sparsity across conv layers
+	// (0 when no conv layer reported).
+	MeanSparsity float64
+}
+
+// RecordEpoch publishes one epoch's goodput accounting: "current value"
+// gauges for dashboards plus an epoch-labeled series of every sample, so a
+// single scrape at the end of a run still recovers the whole trajectory.
+func (r *Registry) RecordEpoch(s EpochSample) {
+	set := func(name, help string, v float64) {
+		r.Gauge(name, help).Set(v)
+		r.Gauge(name+"_series", help+" (per-epoch series)",
+			"epoch", strconv.Itoa(s.Epoch)).Set(v)
+	}
+	r.Gauge("spg_epoch", "Most recently completed training epoch.").Set(float64(s.Epoch))
+	r.Counter("spg_images_total", "Training examples processed.").Add(float64(s.Images))
+	r.Counter("spg_train_seconds_total", "Wall-clock seconds spent training.").Add(s.Seconds)
+	set("spg_images_per_sec", "Training throughput of the last epoch.", s.ImagesPerSec)
+	set("spg_loss", "Mean training loss of the last epoch.", s.Loss)
+	set("spg_accuracy", "Training accuracy of the last epoch.", s.Accuracy)
+	set("spg_conv_dense_gflops", "Dense convolution work rate of the last epoch.", s.DenseGFlops)
+	set("spg_conv_goodput_gflops",
+		"Useful convolution work rate of the last epoch (Eq. 9: BP discounted by gradient sparsity).",
+		s.GoodputGFlops)
+	set("spg_eo_sparsity", "Mean conv output-error gradient sparsity of the last epoch.", s.MeanSparsity)
+}

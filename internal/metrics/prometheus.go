@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the whole registry — every counter, gauge,
+// histogram and span — in Prometheus text exposition format (version
+// 0.0.4). Families appear in sorted name order and series in sorted label
+// order, so the output is deterministic for a fixed registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	for _, name := range names {
+		r.mu.Lock()
+		f := r.families[name]
+		keys := append([]string(nil), f.order...)
+		r.mu.Unlock()
+		sort.Strings(keys)
+
+		promType := f.typ
+		if promType == "gaugefunc" {
+			promType = "gauge"
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, promType); err != nil {
+			return err
+		}
+		for _, key := range keys {
+			r.mu.Lock()
+			ins := f.series[key]
+			r.mu.Unlock()
+			if err := writeSeries(w, name, ins); err != nil {
+				return err
+			}
+		}
+	}
+	return r.writeSpans(w)
+}
+
+func writeSeries(w io.Writer, name string, ins *instrument) error {
+	lb := renderLabels(ins.labels)
+	switch {
+	case ins.counter != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, lb, formatValue(ins.counter.Value()))
+		return err
+	case ins.gaugeFn != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, lb, formatValue(ins.gaugeFn()))
+		return err
+	case ins.gauge != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, lb, formatValue(ins.gauge.Value()))
+		return err
+	case ins.hist != nil:
+		return writeHistogram(w, name, ins.labels, ins.hist.Snapshot())
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, labels []string, s HistSnapshot) error {
+	cum := uint64(0)
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		lb := renderLabels(append(append([]string(nil), labels...), "le", formatValue(bound)))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, lb, cum); err != nil {
+			return err
+		}
+	}
+	cum += s.Counts[len(s.Bounds)]
+	lb := renderLabels(append(append([]string(nil), labels...), "le", "+Inf"))
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, lb, cum); err != nil {
+		return err
+	}
+	base := renderLabels(labels)
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, base, formatValue(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, base, s.Count)
+	return err
+}
+
+// writeSpans renders every span path as one histogram family
+// (spg_span_seconds, labeled span="<path>") plus min/max gauge families.
+func (r *Registry) writeSpans(w io.Writer) error {
+	paths := r.SpanPaths()
+	if len(paths) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "# HELP spg_span_seconds Observed latency of each instrumentation span (path: layer/phase/strategy).\n# TYPE spg_span_seconds histogram\n"); err != nil {
+		return err
+	}
+	for _, p := range paths {
+		r.mu.Lock()
+		h := r.spans[p]
+		r.mu.Unlock()
+		if err := writeHistogram(w, "spg_span_seconds", []string{"span", p}, h.Snapshot()); err != nil {
+			return err
+		}
+	}
+	for _, fam := range []struct{ suffix, help string }{
+		{"min", "Fastest single observation of each span."},
+		{"max", "Slowest single observation of each span."},
+	} {
+		name := "spg_span_" + fam.suffix + "_seconds"
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, fam.help, name); err != nil {
+			return err
+		}
+		for _, p := range paths {
+			st, ok := r.Span(p)
+			if !ok || st.Calls == 0 {
+				continue
+			}
+			v := st.Min
+			if fam.suffix == "max" {
+				v = st.Max
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", name, renderLabels([]string{"span", p}), formatValue(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{SanitizeName(labels[i]), labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		// "le" must stay last so histogram buckets read naturally.
+		if (pairs[i].k == "le") != (pairs[j].k == "le") {
+			return pairs[j].k == "le"
+		}
+		return pairs[i].k < pairs[j].k
+	})
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

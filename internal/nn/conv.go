@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"spgcnn/internal/conv"
 	"spgcnn/internal/core"
@@ -31,6 +32,10 @@ func (f fixedExec) backward(eis []*tensor.Tensor, dw *tensor.Tensor, eos, ins []
 	f.e.BackwardWeights(dw, eos, ins)
 }
 func (f fixedExec) EpochEnd() {}
+func (f fixedExec) strategyNames() (fp, bp string) {
+	n := f.e.Strategy().Name
+	return n, n
+}
 
 // splitExec runs different fixed strategies for FP and BP — how the
 // paper's composed configurations (e.g. Stencil-Kernel FP + Sparse-Kernel
@@ -45,6 +50,9 @@ func (s splitExec) backward(eis []*tensor.Tensor, dw *tensor.Tensor, eos, ins []
 	s.bp.BackwardWeights(dw, eos, ins)
 }
 func (s splitExec) EpochEnd() {}
+func (s splitExec) strategyNames() (fp, bp string) {
+	return s.fp.Strategy().Name, s.bp.Strategy().Name
+}
 
 // autoExec adapts core.AutoConv.
 type autoExec struct{ a *core.AutoConv }
@@ -56,10 +64,23 @@ func (x autoExec) backward(eis []*tensor.Tensor, dw *tensor.Tensor, eos, ins []*
 	x.a.Backward(eis, dw, eos, ins, w)
 }
 func (x autoExec) EpochEnd() { x.a.EpochEnd() }
+func (x autoExec) strategyNames() (fp, bp string) {
+	fp, bp = "tuning", "tuning"
+	if sel := x.a.FPSelection(); sel.Chosen != nil {
+		fp = sel.Chosen.Strategy().Name
+	}
+	if sel := x.a.BPSelection(); sel.Chosen != nil {
+		bp = sel.Chosen.Strategy().Name
+	}
+	return fp, bp
+}
 
 type convBackend interface {
 	ConvExecutor
 	backward(eis []*tensor.Tensor, dw *tensor.Tensor, eos, ins []*tensor.Tensor, w *tensor.Tensor)
+	// strategyNames reports the currently deployed FP and BP strategy
+	// names — the third level of the layer/phase/strategy span tree.
+	strategyNames() (fp, bp string)
 }
 
 // Conv is a convolution layer with per-feature bias. The execution
@@ -82,6 +103,13 @@ type Conv struct {
 	// Fig. 3b probe.
 	eoSparsitySum float64
 	eoBatches     int
+
+	// Cached probe span paths "layer/<name>/<phase>/<strategy>". The auto
+	// scheduler deploys strategies lazily and may flip BP at epoch
+	// boundaries, so the cache is rebuilt until both names are final and
+	// invalidated by EpochEnd.
+	spanFP, spanBP string
+	spansFinal     bool
 }
 
 // NewConvCtx builds an auto-tuned convolution layer (spg-CNN scheduling)
@@ -161,8 +189,18 @@ func (c *Conv) InDims() []int { return []int{c.spec.Nc, c.spec.Ny, c.spec.Nx} }
 // OutDims implements Layer.
 func (c *Conv) OutDims() []int { return []int{c.spec.Nf, c.spec.OutY(), c.spec.OutX()} }
 
+// refreshSpans rebuilds the cached span paths from the currently deployed
+// strategies.
+func (c *Conv) refreshSpans() {
+	fp, bp := c.exec.strategyNames()
+	c.spanFP = "layer/" + c.name + "/fp/" + fp
+	c.spanBP = "layer/" + c.name + "/bp/" + bp
+	c.spansFinal = fp != "tuning" && bp != "tuning"
+}
+
 // Forward implements Layer: convolution plus per-feature bias.
 func (c *Conv) Forward(outs, ins []*tensor.Tensor) {
+	start := time.Now()
 	c.exec.Forward(outs, ins, c.W)
 	oy, ox := c.spec.OutY(), c.spec.OutX()
 	for _, out := range outs {
@@ -177,11 +215,16 @@ func (c *Conv) Forward(outs, ins []*tensor.Tensor) {
 			}
 		}
 	}
+	if !c.spansFinal {
+		c.refreshSpans()
+	}
+	c.ctx.Probe().Observe(c.spanFP, time.Since(start).Seconds())
 }
 
 // Backward implements Layer. It also records the error-gradient sparsity
 // the Fig. 3b experiment tracks.
 func (c *Conv) Backward(eis, eos, ins []*tensor.Tensor) {
+	start := time.Now()
 	for _, eo := range eos {
 		c.eoSparsitySum += eo.Sparsity()
 		c.eoBatches++
@@ -201,6 +244,10 @@ func (c *Conv) Backward(eis, eos, ins []*tensor.Tensor) {
 			c.dB.Data[f] += sum
 		}
 	}
+	if !c.spansFinal {
+		c.refreshSpans()
+	}
+	c.ctx.Probe().Observe(c.spanBP, time.Since(start).Seconds())
 }
 
 // ApplyGrads implements Layer.
@@ -209,8 +256,13 @@ func (c *Conv) ApplyGrads(lr float32, batch int) {
 	c.opt.step(c.B, c.dB, lr, batch)
 }
 
-// EpochEnd implements Layer: forwards to the scheduler (BP re-check).
-func (c *Conv) EpochEnd() { c.exec.EpochEnd() }
+// EpochEnd implements Layer: forwards to the scheduler (BP re-check). The
+// re-check may flip the deployed BP strategy, so the cached span paths are
+// invalidated.
+func (c *Conv) EpochEnd() {
+	c.exec.EpochEnd()
+	c.spansFinal = false
+}
 
 // TakeSparsity returns the mean observed EO sparsity since the last call
 // and resets the probe. Returns 0 with ok=false if nothing was recorded.

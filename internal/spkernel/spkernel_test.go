@@ -8,7 +8,17 @@ import (
 	"spgcnn/internal/engine/enginetest"
 	"spgcnn/internal/rng"
 	"spgcnn/internal/tensor"
+	"spgcnn/internal/unfoldgemm"
 )
+
+func TestDifferentialVsUnfoldGEMM(t *testing.T) {
+	// The sparse kernel's whole point is the high-sparsity regime, so the
+	// sweep leans there on top of the default dense-to-0.99 ladder.
+	enginetest.RunDifferential(t, Generator(), unfoldgemm.Generator(1), enginetest.DiffOptions{
+		Seed:       0xD1F5,
+		Sparsities: []float64{0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99},
+	})
+}
 
 func TestConformance(t *testing.T) {
 	enginetest.Run(t, Generator(), enginetest.Options{

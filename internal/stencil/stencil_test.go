@@ -26,6 +26,11 @@ func TestConformance(t *testing.T) {
 	})
 }
 
+func TestDifferentialVsUnfoldGEMM(t *testing.T) {
+	enginetest.RunDifferential(t, Generator(), unfoldgemm.Generator(1),
+		enginetest.DiffOptions{Seed: 0xD1F4})
+}
+
 func TestConformanceEveryRegisterTile(t *testing.T) {
 	// Every (rx, ry) register tile the ablation API accepts must be
 	// correct, not just the generator's favourite.

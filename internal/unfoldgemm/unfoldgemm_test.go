@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"spgcnn/internal/conv"
+	"spgcnn/internal/engine"
 	"spgcnn/internal/engine/enginetest"
 	"spgcnn/internal/rng"
 	"spgcnn/internal/tensor"
@@ -19,6 +20,18 @@ func TestConformanceParallel4(t *testing.T) {
 
 func TestConformanceParallel16(t *testing.T) {
 	enginetest.Run(t, Generator(16), enginetest.Options{Trials: 8, Seed: 3})
+}
+
+func TestDifferentialParallelVsSerial(t *testing.T) {
+	enginetest.RunDifferential(t, Generator(4), Generator(1), enginetest.DiffOptions{Seed: 0xD1F1})
+}
+
+func TestDifferentialBatchedVsSerial(t *testing.T) {
+	gen := engine.Generator{
+		Name: "unfold-batched",
+		New:  func(s conv.Spec) engine.Kernel { return NewBatched(s, 4, 2) },
+	}
+	enginetest.RunDifferential(t, gen, Generator(1), enginetest.DiffOptions{Seed: 0xD1F2, Batch: 5})
 }
 
 func TestNames(t *testing.T) {

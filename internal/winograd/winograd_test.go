@@ -26,6 +26,16 @@ func TestConformance(t *testing.T) {
 	})
 }
 
+func TestDifferentialVsUnfoldGEMM(t *testing.T) {
+	// The F(2x2,3x3) transform reassociates aggressively; its rounding is
+	// structural, so the budget is looser than for direct-domain engines.
+	enginetest.RunDifferential(t, Generator(), unfoldgemm.Generator(1), enginetest.DiffOptions{
+		Seed:   0xD1F7,
+		MaxULP: 1 << 12,
+		RelTol: 1e-3,
+	})
+}
+
 func TestFastPathDetection(t *testing.T) {
 	if !New(conv.Square(8, 2, 2, 3, 1)).Fast() {
 		t.Fatal("3x3 stride-1 should take the Winograd path")

@@ -1,0 +1,35 @@
+#!/bin/sh
+# bench_check: regenerate the quick-scale benchmark reports and gate them
+# against the committed baselines in baselines/.
+#
+# Every BENCH_<exp>.json is schema-validated on load; deterministic
+# experiments (analytical tables, paper-machine models) must match the
+# baseline within the tolerance band, measured experiments are checked
+# structurally (same tables/columns/row labels, finite sign-preserving
+# numbers). Regenerate a baseline after an intentional change with:
+#
+#	go run ./cmd/spg-bench -exp <id> -json -out baselines
+#
+# Usage: scripts/bench_check.sh [tolerance]
+set -eu
+
+cd "$(dirname "$0")/.."
+tol="${1:-0.05}"
+
+exps=""
+for f in baselines/BENCH_*.json; do
+	[ -e "$f" ] || { echo "bench_check: no baselines committed" >&2; exit 1; }
+	e="${f#baselines/BENCH_}"
+	exps="$exps ${e%.json}"
+done
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+go build -o "$tmp/spg-bench" ./cmd/spg-bench
+for e in $exps; do
+	"$tmp/spg-bench" -exp "$e" -scale quick -json -out "$tmp" \
+		-baseline baselines -tolerance "$tol"
+done
+
+echo "bench_check: $(echo $exps | wc -w | tr -d ' ') experiment(s) match baselines (tolerance $tol)"

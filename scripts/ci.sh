@@ -1,8 +1,11 @@
 #!/bin/sh
-# CI gate: vet, build, then the race-instrumented short test suite.
+# CI gate: formatting, vet, build, the race-instrumented short test suite,
+# and the quick-scale benchmark baseline check.
 # Run from the repository root.
 set -eux
 
+test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test -race -short ./...
+scripts/bench_check.sh

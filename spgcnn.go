@@ -43,6 +43,7 @@ import (
 	"spgcnn/internal/exec"
 	"spgcnn/internal/fftconv"
 	"spgcnn/internal/machine"
+	"spgcnn/internal/metrics"
 	"spgcnn/internal/netdef"
 	"spgcnn/internal/nn"
 	"spgcnn/internal/rng"
@@ -235,6 +236,10 @@ type Trainer = nn.Trainer
 // Dataset is the trainer's data source.
 type Dataset = nn.Dataset
 
+// TrainEpochStats reports one training epoch (loss, accuracy, throughput,
+// per-layer gradient sparsity, dense and goodput conv work rates).
+type TrainEpochStats = nn.EpochStats
+
 // NetDef is a parsed network description.
 type NetDef = netdef.NetDef
 
@@ -300,3 +305,65 @@ func LookupExperiment(id string) (Experiment, error) { return bench.Lookup(id) }
 // PaperMachine returns the analytical model of the paper's 16-core Xeon
 // E5-2650 testbed (the documented hardware substitution, DESIGN.md §2).
 func PaperMachine() machine.Machine { return machine.Paper() }
+
+// Observability (metrics registry, live export, bench baselines).
+
+// MetricsRegistry holds counters, gauges, latency histograms and the
+// hierarchical layer/phase/strategy span tree, and renders itself in
+// Prometheus text exposition format.
+type MetricsRegistry = metrics.Registry
+
+// MetricsServer is a live metrics endpoint: /metrics (Prometheus text
+// format), /healthz, and net/http/pprof under /debug/pprof/.
+type MetricsServer = metrics.Server
+
+// EpochSample is one epoch's training statistics in metrics form — the
+// per-epoch goodput series of Eq. 9.
+type EpochSample = metrics.EpochSample
+
+// MetricsSpanStats is one span's aggregate (calls, total seconds, min,
+// max).
+type MetricsSpanStats = metrics.SpanStats
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// BindMetrics attaches a registry to an execution context: every probe
+// span and scheduler choice is mirrored live into the registry, and the
+// context's worker count and arena statistics are exported as gauges.
+func BindMetrics(c *Ctx, r *MetricsRegistry) { metrics.Bind(c, r) }
+
+// ServeMetrics starts the metrics endpoint on addr (":0" picks a free
+// port; query the result's Addr or URL). Close the returned server when
+// done.
+func ServeMetrics(addr string, r *MetricsRegistry) (*MetricsServer, error) {
+	return metrics.Serve(addr, r)
+}
+
+// BenchSchemaVersion is the schema stamp of machine-readable bench
+// reports (BENCH_<exp>.json).
+const BenchSchemaVersion = bench.SchemaVersion
+
+// BenchReport is the machine-readable form of one experiment run.
+type BenchReport = bench.Report
+
+// NewBenchReport assembles the report for one experiment run.
+func NewBenchReport(e Experiment, o ExperimentOptions, tables []ResultTable) BenchReport {
+	return bench.NewReport(e, o, tables)
+}
+
+// LoadBenchReport reads and schema-validates a BENCH_<exp>.json file.
+func LoadBenchReport(path string) (*BenchReport, error) { return bench.LoadReport(path) }
+
+// CompareBenchReports checks a fresh report against a committed baseline:
+// structure strictly, numbers within tol for deterministic experiment
+// kinds, finiteness and sign for measured ones.
+func CompareBenchReports(base, cur *BenchReport, tol float64) error {
+	return bench.Compare(base, cur, tol)
+}
+
+// HostFingerprint describes the machine a report was generated on.
+type HostFingerprint = machine.Host
+
+// HostInfo fingerprints this host.
+func HostInfo() HostFingerprint { return machine.HostInfo() }
