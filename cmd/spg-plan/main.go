@@ -1,98 +1,177 @@
 // spg-plan characterizes a convolution: its arithmetic intensity, the AIT
 // lost to unfolding, its Fig. 1 region, the stencil generator's register
-// tile, and what the spg-CNN scheduler measures and picks for it on this
-// host — the paper's §3 analysis as a command.
+// tile, the planner's analytical strategy ranking, and — with -tune — what
+// the spg-CNN planner measures, picks and caches for it on this host. The
+// paper's §3 analysis plus the §4.4 scheduler as a command.
 //
 // Usage:
 //
 //	spg-plan -n 36 -nf 64 -nc 3 -f 5 -s 1
 //	spg-plan -n 64 -nf 16 -nc 16 -f 11 -s 1 -sparsity 0.9 -tune
+//	spg-plan -n 36 -nf 64 -nc 3 -f 5 -tune -plan-cache plans.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 
 	"spgcnn"
 	"spgcnn/internal/ait"
 	"spgcnn/internal/conv"
 	"spgcnn/internal/core"
 	"spgcnn/internal/machine"
+	"spgcnn/internal/plan"
 	"spgcnn/internal/stencil"
 )
 
 func main() {
-	var (
-		n        = flag.Int("n", 36, "input spatial size (Nx = Ny)")
-		nf       = flag.Int("nf", 64, "output features")
-		nc       = flag.Int("nc", 3, "input channels")
-		f        = flag.Int("f", 5, "kernel size (Fx = Fy)")
-		s        = flag.Int("s", 1, "stride")
-		sparsity = flag.Float64("sparsity", 0.85, "assumed BP error sparsity")
-		tune     = flag.Bool("tune", false, "also run the scheduler's measurement pass on this host")
-		workers  = flag.Int("workers", 0, "worker cores for -tune (0 = GOMAXPROCS)")
-	)
-	flag.Parse()
-
-	spec := conv.Square(*n, *nf, *nc, *f, *s)
-	if err := spec.Validate(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "spg-plan: %v\n", err)
 		os.Exit(1)
 	}
-	a := spgcnn.Analyze(spec)
-	fmt.Printf("convolution %s\n", spec)
-	fmt.Printf("  flops (FP)          %d\n", spec.FlopsFP())
-	fmt.Printf("  intrinsic AIT       %.1f\n", a.IntrinsicAIT)
-	fmt.Printf("  unfold+GEMM AIT     %.1f  (r = %.3f: unfolding keeps %.1f%% of the intensity)\n",
-		a.UnfoldAIT, a.Ratio, a.Ratio*100)
-	fmt.Printf("  region (dense)      %v\n", a.DenseRegion)
-	fmt.Printf("  region (%.0f%% sparse) %v\n", *sparsity*100, spgcnn.Classify(spec, *sparsity))
-	p := spgcnn.Classify(spec, *sparsity).Props()
-	fmt.Printf("  prescribed          %v\n", p.Recommendations)
+}
 
-	plan := stencil.ChoosePlan(spec)
-	fmt.Printf("stencil plan          %v\n", plan)
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("spg-plan", flag.ContinueOnError)
+	var (
+		n         = fs.Int("n", 36, "input spatial size (Nx = Ny)")
+		nf        = fs.Int("nf", 64, "output features")
+		nc        = fs.Int("nc", 3, "input channels")
+		f         = fs.Int("f", 5, "kernel size (Fx = Fy)")
+		s         = fs.Int("s", 1, "stride")
+		sparsity  = fs.Float64("sparsity", 0.85, "assumed BP error sparsity")
+		tune      = fs.Bool("tune", false, "also run the planner's measurement pass on this host")
+		workers   = fs.Int("workers", 0, "worker cores for the model ranking and -tune (0 = GOMAXPROCS)")
+		reps      = fs.Int("reps", 0, "measurement repetitions per candidate for -tune (0 = default)")
+		planCache = fs.String("plan-cache", "", "plan cache file for -tune: deploy cached verdicts instead of re-measuring, save updated cache on exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	spec := conv.Square(*n, *nf, *nc, *f, *s)
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	w := *workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+
+	a := spgcnn.Analyze(spec)
+	fmt.Fprintf(stdout, "convolution %s\n", spec)
+	fmt.Fprintf(stdout, "  flops (FP)          %d\n", spec.FlopsFP())
+	fmt.Fprintf(stdout, "  intrinsic AIT       %.1f\n", a.IntrinsicAIT)
+	fmt.Fprintf(stdout, "  unfold+GEMM AIT     %.1f  (r = %.3f: unfolding keeps %.1f%% of the intensity)\n",
+		a.UnfoldAIT, a.Ratio, a.Ratio*100)
+	fmt.Fprintf(stdout, "  region (dense)      %v\n", a.DenseRegion)
+	fmt.Fprintf(stdout, "  region (%.0f%% sparse) %v\n", *sparsity*100, spgcnn.Classify(spec, *sparsity))
+	p := spgcnn.Classify(spec, *sparsity).Props()
+	fmt.Fprintf(stdout, "  prescribed          %v\n", p.Recommendations)
+
+	sp := stencil.ChoosePlan(spec)
+	fmt.Fprintf(stdout, "stencil plan          %v\n", sp)
 
 	m := machine.Paper()
-	fmt.Printf("modeled on the paper's 16-core Xeon (GFlops/core at p=16):\n")
-	fmt.Printf("  Parallel-GEMM (FP)  %.1f\n", m.ParallelGEMM(spec, ait.FP, 16))
-	fmt.Printf("  GEMM-in-Parallel    %.1f\n", m.GEMMInParallel(spec, ait.FP, 16))
-	fmt.Printf("  Stencil-Kernel      %.1f\n", m.Stencil(spec, 16))
-	fmt.Printf("  Sparse BP goodput   %.1f (at %.0f%% sparsity)\n",
+	fmt.Fprintf(stdout, "modeled on the paper's 16-core Xeon (GFlops/core at p=16):\n")
+	fmt.Fprintf(stdout, "  Parallel-GEMM (FP)  %.1f\n", m.ParallelGEMM(spec, ait.FP, 16))
+	fmt.Fprintf(stdout, "  GEMM-in-Parallel    %.1f\n", m.GEMMInParallel(spec, ait.FP, 16))
+	fmt.Fprintf(stdout, "  Stencil-Kernel      %.1f\n", m.Stencil(spec, 16))
+	fmt.Fprintf(stdout, "  Sparse BP goodput   %.1f (at %.0f%% sparsity)\n",
 		m.SparseGoodput(spec, *sparsity, 16), *sparsity*100)
 
-	if *tune {
-		w := *workers
-		if w < 1 {
-			w = 1
-		}
-		fmt.Printf("measured on this host (%d workers):\n", w)
-		ctx := spgcnn.NewCtx(w)
-		r := spgcnn.NewRNG(1)
-		var ins, eos []*spgcnn.Tensor
-		for i := 0; i < w; i++ {
-			in := conv.RandInput(r, spec)
-			ins = append(ins, in)
-			eos = append(eos, conv.RandOutputError(r, spec, *sparsity))
-		}
-		wts := conv.RandWeights(r, spec)
-		fpSel := core.ChooseFP(core.FPStrategies(w), spec, ctx, ins, wts, core.TuneOptions{})
-		for _, tm := range fpSel.Timings {
-			fmt.Printf("  FP %-18s %8.3f ms\n", tm.Strategy.Name, tm.Seconds*1e3)
-		}
-		fmt.Printf("  FP chosen: %s\n", fpSel.Best().Strategy.Name)
-		bpSel := core.ChooseBP(core.BPStrategies(w), spec, ctx, eos, ins, wts, core.TuneOptions{})
-		for _, tm := range bpSel.Timings {
-			fmt.Printf("  BP %-18s %8.3f ms\n", tm.Strategy.Name, tm.Seconds*1e3)
-		}
-		fmt.Printf("  BP chosen: %s\n", bpSel.Best().Strategy.Name)
-		st := ctx.Arena().Stats()
-		gets := st.Gets
-		if gets == 0 {
-			gets = 1
-		}
-		fmt.Printf("  arena: %d scratch acquisitions, %.1f%% served from free lists\n",
-			st.Gets, 100*float64(st.Hits)/float64(gets))
+	// The planner's model-first pass: every candidate ranked on one
+	// dense-equivalent axis, with the prune verdicts the planner would
+	// apply before measuring.
+	fmt.Fprintf(stdout, "planner model ranking (dense-equivalent GFlops/core at p=%d):\n", w)
+	printModelRank(stdout, "fp", modelRanking(m, spec, "fp", 0, w))
+	printModelRank(stdout, "bp", modelRanking(m, spec, "bp", *sparsity, w))
+
+	if !*tune {
+		return nil
 	}
+
+	planner := spgcnn.NewPlanner(spgcnn.PlannerOptions{})
+	if *planCache != "" {
+		loaded, err := planner.LoadFile(*planCache)
+		if err != nil {
+			return fmt.Errorf("plan cache: %w", err)
+		}
+		fmt.Fprintf(stdout, "plan cache: loaded %d entries from %s\n", loaded, *planCache)
+	}
+
+	fmt.Fprintf(stdout, "measured on this host (%d workers):\n", w)
+	ctx := spgcnn.NewCtx(w)
+	r := spgcnn.NewRNG(1)
+	var ins, eos []*spgcnn.Tensor
+	for i := 0; i < w; i++ {
+		ins = append(ins, conv.RandInput(r, spec))
+		eos = append(eos, conv.RandOutputError(r, spec, *sparsity))
+	}
+	wts := conv.RandWeights(r, spec)
+	topts := core.TuneOptions{Reps: *reps}
+
+	fpPlan := planner.PlanFP(spec, ctx, ins, wts, topts)
+	printMeasured(stdout, "FP", fpPlan)
+	bpPlan := planner.PlanBP(spec, ctx, eos, ins, wts, topts)
+	printMeasured(stdout, "BP", bpPlan)
+
+	pst := planner.Stats()
+	fmt.Fprintf(stdout, "planner: %d hits, %d misses, %d measurement passes, %d candidates model-pruned\n",
+		pst.Hits, pst.Misses, pst.Measurements, pst.Pruned)
+	if *planCache != "" {
+		if err := planner.SaveFile(*planCache); err != nil {
+			return fmt.Errorf("plan cache: %w", err)
+		}
+		fmt.Fprintf(stdout, "plan cache: saved %d entries to %s\n", planner.Entries(), *planCache)
+	}
+	return nil
+}
+
+// modelRanking runs the planner's model pass over the built-in candidate
+// set for one phase, marking the prune verdicts the planner would apply.
+func modelRanking(m machine.Machine, spec conv.Spec, phase string, sparsity float64, w int) []plan.ModelScore {
+	var cands []core.Strategy
+	if phase == "fp" {
+		cands = core.FPStrategies(w)
+	} else {
+		cands = core.BPStrategies(w)
+	}
+	names := make([]string, len(cands))
+	for i, st := range cands {
+		names[i] = st.Name
+	}
+	scores := plan.ModelRank(m, spec, phase, sparsity, w, names)
+	plan.MarkPruned(cands, scores, plan.DefaultPruneRatio, spec, sparsity)
+	return scores
+}
+
+func printModelRank(stdout io.Writer, phase string, scores []plan.ModelScore) {
+	for i, sc := range scores {
+		head := "  "
+		if i == 0 {
+			head = phase
+		}
+		note := ""
+		if !sc.Modeled {
+			note = "  (unmodeled)"
+		} else if sc.Pruned {
+			note = "  (pruned before measurement)"
+		}
+		fmt.Fprintf(stdout, "  %-3s %d. %-18s %8.1f%s\n", head, i+1, sc.Strategy, sc.GFlopsPerCore, note)
+	}
+}
+
+func printMeasured(stdout io.Writer, phase string, pd core.Planned) {
+	for _, tm := range pd.Timings {
+		fmt.Fprintf(stdout, "  %s %-18s %8.3f ms\n", phase, tm.Strategy.Name, tm.Seconds*1e3)
+	}
+	provenance := "measured now"
+	if pd.FromCache {
+		provenance = "deployed from plan cache, no measurement"
+	}
+	fmt.Fprintf(stdout, "  %s chosen: %s (%s)\n", phase, pd.Best().Strategy.Name, provenance)
 }

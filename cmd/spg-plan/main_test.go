@@ -1,0 +1,88 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestRunGolden pins the deterministic (non -tune) output: the §3
+// characterization, the stencil plan, the paper-machine numbers and the
+// planner's model ranking are all pure functions of the flags, so the
+// rendering is compared byte-for-byte against testdata/golden.txt.
+// Regenerate after an intentional change with:
+//
+//	go run ./cmd/spg-plan -n 36 -nf 64 -nc 3 -f 5 -s 1 -sparsity 0.85 -workers 4 > cmd/spg-plan/testdata/golden.txt
+func TestRunGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err = run([]string{"-n", "36", "-nf", "64", "-nc", "3", "-f", "5", "-s", "1",
+		"-sparsity", "0.85", "-workers", "4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("output diverged from testdata/golden.txt\n--- got ---\n%s\n--- want ---\n%s",
+			out.String(), want)
+	}
+}
+
+// TestRunWorkersZeroUsesGOMAXPROCS covers the -workers 0 default: the
+// model ranking must run at GOMAXPROCS, not clamp to one core.
+func TestRunWorkersZeroUsesGOMAXPROCS(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "36", "-nf", "64", "-nc", "3", "-f", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("planner model ranking (dense-equivalent GFlops/core at p=%d):",
+		runtime.GOMAXPROCS(0))
+	if !strings.Contains(out.String(), want) {
+		t.Errorf("output missing %q (the -workers 0 GOMAXPROCS default):\n%s", want, out.String())
+	}
+}
+
+// TestRunBadSpec verifies flag validation surfaces as an error, not a
+// panic or os.Exit.
+func TestRunBadSpec(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "2", "-f", "5"}, &out); err == nil {
+		t.Fatal("expected an error for a kernel larger than its input")
+	}
+}
+
+// TestRunTunePlanCacheRoundTrip runs the full measured path twice against
+// one cache file: the first run must measure, the second must deploy every
+// verdict from the cache with zero measurement passes.
+func TestRunTunePlanCacheRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement passes in -short mode")
+	}
+	cache := filepath.Join(t.TempDir(), "plans.json")
+	args := []string{"-n", "12", "-nf", "8", "-nc", "3", "-f", "3",
+		"-workers", "2", "-tune", "-reps", "1", "-plan-cache", cache}
+
+	var cold strings.Builder
+	if err := run(args, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cold.String(), "planner: 0 hits, 2 misses, 2 measurement passes") {
+		t.Errorf("cold run should measure FP and BP once each:\n%s", cold.String())
+	}
+
+	var warm strings.Builder
+	if err := run(args, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.String(), "planner: 2 hits, 0 misses, 0 measurement passes") {
+		t.Errorf("warm run should deploy both verdicts from the cache:\n%s", warm.String())
+	}
+	if !strings.Contains(warm.String(), "deployed from plan cache, no measurement") {
+		t.Errorf("warm run should report cache provenance:\n%s", warm.String())
+	}
+}

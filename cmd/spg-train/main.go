@@ -54,6 +54,7 @@ func run(args []string, stdout io.Writer) error {
 		loadPath    = fs.String("load", "", "restore a weight checkpoint before training")
 		saveTune    = fs.String("savetune", "", "write the scheduler's per-layer choices (JSON) here after training")
 		loadTune    = fs.String("loadtune", "", "deploy a saved tuning configuration instead of measuring")
+		planCache   = fs.String("plan-cache", "", "persistent plan cache file: load cached strategy verdicts on start (skipping their measurement passes), save the updated cache on exit")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics (Prometheus), /healthz and /debug/pprof on this address during training (e.g. :8080)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -105,7 +106,23 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	opts := spgcnn.BuildOptions{Ctx: ctx, Seed: *seed}
+	// One planner for the whole run: same-geometry layers tune once, and
+	// with -plan-cache the verdicts persist across processes on this host.
+	planner := spgcnn.NewPlanner(spgcnn.PlannerOptions{})
+	if *planCache != "" {
+		n, err := planner.LoadFile(*planCache)
+		if err != nil {
+			return fmt.Errorf("plan cache: %w", err)
+		}
+		if n > 0 {
+			fmt.Fprintf(stdout, "plan cache: loaded %d entries from %s\n", n, *planCache)
+		}
+	}
+	if reg != nil {
+		spgcnn.BindPlannerMetrics(planner, reg)
+	}
+
+	opts := spgcnn.BuildOptions{Ctx: ctx, Seed: *seed, Planner: planner}
 	if *strategy != "auto" {
 		st, ok := findStrategy(*strategy, w)
 		if !ok {
@@ -190,6 +207,23 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, " %s=%s", c.Phase, c.Strategy)
 		}
 		fmt.Fprintln(stdout)
+	}
+	if pst := planner.Stats(); pst.Hits+pst.Misses > 0 {
+		fmt.Fprintf(stdout, "plan cache: %d hits, %d misses, %d measurement passes",
+			pst.Hits, pst.Misses, pst.Measurements)
+		if pst.Pruned > 0 {
+			fmt.Fprintf(stdout, ", %d candidates model-pruned", pst.Pruned)
+		}
+		if pst.ModelAgree+pst.ModelDisagree > 0 {
+			fmt.Fprintf(stdout, ", model agreement %.0f%%", 100*pst.AgreementRate())
+		}
+		fmt.Fprintln(stdout)
+	}
+	if *planCache != "" {
+		if err := planner.SaveFile(*planCache); err != nil {
+			return fmt.Errorf("plan cache: %w", err)
+		}
+		fmt.Fprintf(stdout, "plan cache: saved %d entries to %s\n", planner.Entries(), *planCache)
 	}
 	if *saveTune != "" {
 		choices := net.TuningChoices()

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -133,4 +135,69 @@ func TestFindStrategy(t *testing.T) {
 	if st, ok := findStrategy("parallel-gemm", 0); !ok || st.Name != "parallel-gemm" {
 		t.Fatal("workers=0 not floored")
 	}
+}
+
+// TestPlanCacheWarmStart trains the same tiny network twice against one
+// plan cache file. The cold run must measure once per (geometry, phase);
+// the warm run must deploy every verdict from the cache with zero
+// measurement passes and land on identical strategies.
+//
+// The network is conv+fc only — no relu/pool — so the conv layer's
+// gradients stay dense (sparsity band 0) and the warm run's BP key matches
+// the cold run's deterministically.
+func TestPlanCacheWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	netFile := filepath.Join(dir, "net.prototxt")
+	netSrc := `
+name: "plancache"
+input { channels: 1 height: 28 width: 28 }
+layer { name: "conv0" type: "conv" features: 4 kernel: 5 stride: 2 }
+layer { name: "fc0" type: "fc" outputs: 10 }
+`
+	if err := os.WriteFile(netFile, []byte(netSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cache := filepath.Join(dir, "plans.json")
+	args := []string{"-file", netFile, "-dataset", "mnist",
+		"-epochs", "1", "-examples", "16", "-batch", "8", "-workers", "2",
+		"-plan-cache", cache}
+
+	var cold bytes.Buffer
+	if err := run(args, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cold.String(), "plan cache: 0 hits, 2 misses, 2 measurement passes") {
+		t.Errorf("cold run should measure FP and BP once:\n%s", cold.String())
+	}
+	if !strings.Contains(cold.String(), "plan cache: saved 2 entries") {
+		t.Errorf("cold run should persist both verdicts:\n%s", cold.String())
+	}
+
+	var warm bytes.Buffer
+	if err := run(args, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.String(), "plan cache: loaded 2 entries") {
+		t.Errorf("warm run should load the persisted cache:\n%s", warm.String())
+	}
+	if !strings.Contains(warm.String(), "plan cache: 2 hits, 0 misses, 0 measurement passes") {
+		t.Errorf("warm run must not re-measure:\n%s", warm.String())
+	}
+
+	// Same deployments either way: the warm path redeploys the cold path's
+	// verdicts verbatim.
+	coldDep := deploymentsLine(cold.String())
+	warmDep := deploymentsLine(warm.String())
+	if coldDep == "" || coldDep != warmDep {
+		t.Errorf("deployments diverged:\ncold: %q\nwarm: %q", coldDep, warmDep)
+	}
+}
+
+func deploymentsLine(out string) string {
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "scheduler deployments:") {
+			return line
+		}
+	}
+	return ""
 }

@@ -19,9 +19,10 @@ import (
 // tuning passes warm the same arena the deployed kernels draw from and all
 // decisions land in the shared probe.
 type AutoConv struct {
-	spec conv.Spec
-	ctx  *exec.Ctx
-	opts AutoOptions
+	spec    conv.Spec
+	ctx     *exec.Ctx
+	opts    AutoOptions
+	planner Planner
 
 	mu       sync.Mutex
 	fp       *Exec
@@ -48,8 +49,14 @@ type AutoOptions struct {
 	// Tune configures the measurement passes.
 	Tune TuneOptions
 	// FP / BP override the candidate strategy sets (defaults:
-	// FPStrategies / BPStrategies).
+	// FPStrategies / BPStrategies). Only consulted when Planner is nil;
+	// an injected planner carries its own candidate sets.
 	FP, BP []Strategy
+	// Planner owns strategy selection. Nil falls back to measuring every
+	// candidate on every selection request — the pre-planner behavior.
+	// Injecting one (internal/plan) adds model-first pruning, in-memory
+	// verdict sharing across layers and replicas, and persistence.
+	Planner Planner
 }
 
 func (o AutoOptions) recheck() int {
@@ -72,7 +79,11 @@ func NewAutoConv(s conv.Spec, workers int, opts AutoOptions) *AutoConv {
 	if opts.BP == nil {
 		opts.BP = BPStrategies(opts.Ctx.Workers())
 	}
-	return &AutoConv{spec: s, ctx: opts.Ctx, opts: opts}
+	pl := opts.Planner
+	if pl == nil {
+		pl = measurePlanner{fp: opts.FP, bp: opts.BP}
+	}
+	return &AutoConv{spec: s, ctx: opts.Ctx, opts: opts, planner: pl}
 }
 
 // Spec returns the layer geometry.
@@ -89,7 +100,8 @@ func (a *AutoConv) Forward(outs, ins []*tensor.Tensor, w *tensor.Tensor) {
 		if len(sample) > a.ctx.Workers() {
 			sample = sample[:a.ctx.Workers()]
 		}
-		a.fpSel = ChooseFP(a.opts.FP, a.spec, a.ctx, sample, w, a.opts.Tune)
+		pd := a.planner.PlanFP(a.spec, a.ctx, sample, w, a.opts.Tune)
+		a.fpSel = pd.Selection
 		a.fp = a.fpSel.Chosen
 		a.tunedFP = true
 	}
@@ -109,7 +121,8 @@ func (a *AutoConv) Backward(eis []*tensor.Tensor, dw *tensor.Tensor,
 		if n > a.ctx.Workers() {
 			n = a.ctx.Workers()
 		}
-		a.bpSel = ChooseBP(a.opts.BP, a.spec, a.ctx, eos[:n], ins[:n], w, a.opts.Tune)
+		pd := a.planner.PlanBP(a.spec, a.ctx, eos[:n], ins[:n], w, a.opts.Tune)
+		a.bpSel = pd.Selection
 		a.bp = a.bpSel.Chosen
 		a.tunedBP = true
 	}
@@ -160,7 +173,13 @@ func (a *AutoConv) EpochEnd() {
 	}
 	a.epochs = 0
 	prev := a.bpSel.Chosen.Strategy().Name
-	a.bpSel = ChooseBP(a.opts.BP, a.spec, a.ctx, a.lastEOs, a.lastIns, a.lastWRef, a.opts.Tune)
+	// Re-plan against the freshest gradients. A caching planner keys BP
+	// verdicts on the gradients' sparsity band, so this is a zero-cost
+	// cache hit while sparsity stays in-band and a fresh measurement the
+	// moment training crosses a band boundary — §4.4's re-check with the
+	// redundant in-band re-measurements deduplicated away.
+	pd := a.planner.PlanBP(a.spec, a.ctx, a.lastEOs, a.lastIns, a.lastWRef, a.opts.Tune)
+	a.bpSel = pd.Selection
 	a.bp = a.bpSel.Chosen
 	if next := a.bpSel.Chosen.Strategy().Name; next != prev {
 		a.ctx.Probe().RecordChoice("bp-flip", next, a.bpSel.Best().Seconds)

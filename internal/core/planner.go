@@ -1,0 +1,51 @@
+package core
+
+import (
+	"spgcnn/internal/conv"
+	"spgcnn/internal/exec"
+	"spgcnn/internal/tensor"
+)
+
+// Planner is the strategy-selection seam of §4.4: given a layer geometry,
+// an execution context and sample tensors, it produces the deployed
+// verdict for one phase. AutoConv delegates every selection to a Planner,
+// so where the verdict comes from — a fresh measurement pass, an
+// in-memory share with another layer or replica, or a persistent plan
+// cache — is the planner's concern, not the layer's. The caching,
+// model-pruning implementation lives in internal/plan; the fallback used
+// when no planner is injected measures every candidate on every request
+// (the pre-planner behavior).
+type Planner interface {
+	// PlanFP selects the forward-propagation strategy for s under c,
+	// using ins/w as the sample batch if a measurement pass is needed.
+	PlanFP(s conv.Spec, c *exec.Ctx, ins []*tensor.Tensor, w *tensor.Tensor, opts TuneOptions) Planned
+
+	// PlanBP selects the back-propagation strategy for s under c. The
+	// sample error gradients eos carry the sparsity of the current
+	// training phase; planners key their verdicts on it.
+	PlanBP(s conv.Spec, c *exec.Ctx, eos, ins []*tensor.Tensor, w *tensor.Tensor, opts TuneOptions) Planned
+}
+
+// Planned is a planner's verdict: the selection (chosen exec plus the
+// backing measurement table) and where it came from.
+type Planned struct {
+	Selection
+	// FromCache reports that the verdict was deployed from a prior
+	// measurement — no tuning pass ran for this request.
+	FromCache bool
+}
+
+// measurePlanner is the planner AutoConv falls back to when none is
+// injected: measure every candidate on every request, no cache — exactly
+// the behavior of calling ChooseFP/ChooseBP directly.
+type measurePlanner struct{ fp, bp []Strategy }
+
+func (m measurePlanner) PlanFP(s conv.Spec, c *exec.Ctx, ins []*tensor.Tensor,
+	w *tensor.Tensor, opts TuneOptions) Planned {
+	return Planned{Selection: ChooseFP(m.fp, s, c, ins, w, opts)}
+}
+
+func (m measurePlanner) PlanBP(s conv.Spec, c *exec.Ctx, eos, ins []*tensor.Tensor,
+	w *tensor.Tensor, opts TuneOptions) Planned {
+	return Planned{Selection: ChooseBP(m.bp, s, c, eos, ins, w, opts)}
+}

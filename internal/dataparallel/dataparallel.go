@@ -22,7 +22,11 @@ import (
 	"sync"
 	"time"
 
+	"spgcnn/internal/core"
+	"spgcnn/internal/exec"
+	"spgcnn/internal/netdef"
 	"spgcnn/internal/nn"
+	"spgcnn/internal/plan"
 	"spgcnn/internal/rng"
 	"spgcnn/internal/tensor"
 )
@@ -45,6 +49,7 @@ type Trainer struct {
 	cfg      Config
 	replicas []*nn.Network
 	trainers []*shardState
+	planner  core.Planner
 	loss     nn.SoftmaxXent
 
 	steps int
@@ -92,6 +97,59 @@ func New(build func(replica int) *nn.Network, cfg Config) (*Trainer, error) {
 	}
 	return t, nil
 }
+
+// NewFromDef builds a data-parallel trainer whose replicas are constructed
+// from one network description — the common case — with every replica
+// sharing a single strategy planner. Replica 0's first measurement of each
+// layer geometry is deployed verbatim to replicas 1..N-1 (and concurrent
+// first-touch tuning is single-flighted), so an N-replica trainer pays for
+// one tuning pass per distinct (geometry, phase, sparsity band), not N.
+//
+// Each replica still gets its own execution context: scratch arenas and
+// probes must not be shared across goroutines that run concurrently. The
+// Workers/Ctx fields of opts set the per-replica worker count; opts.Ctx,
+// if non-nil, is used for replica 0 only and its worker count is cloned
+// for the rest. If opts.Planner is nil a fresh shared plan.Planner is
+// created (reachable afterward via Planner()).
+func NewFromDef(def *netdef.NetDef, opts netdef.BuildOptions, cfg Config) (*Trainer, error) {
+	if opts.Planner == nil {
+		opts.Planner = plan.New(plan.Options{})
+	}
+	ctx0 := opts.Ctx
+	workers := opts.Workers
+	if ctx0 != nil {
+		workers = ctx0.Workers()
+	}
+	var buildErr error
+	t, err := New(func(replica int) *nn.Network {
+		ro := opts
+		if replica == 0 && ctx0 != nil {
+			ro.Ctx = ctx0
+		} else {
+			ro.Ctx = exec.New(workers)
+		}
+		net, err := netdef.Build(def, ro)
+		if err != nil {
+			if buildErr == nil {
+				buildErr = fmt.Errorf("dataparallel: replica %d: %w", replica, err)
+			}
+			return nil
+		}
+		return net
+	}, cfg)
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	t.planner = opts.Planner
+	return t, nil
+}
+
+// Planner returns the strategy planner the replicas share (nil when the
+// trainer was built with New and no planner was threaded through).
+func (t *Trainer) Planner() core.Planner { return t.planner }
 
 // checkAligned verifies the replicas start from identical parameters.
 func (t *Trainer) checkAligned() error {
@@ -182,6 +240,13 @@ func (t *Trainer) TrainEpoch(ds nn.Dataset, r *rng.RNG) Stats {
 			t.syncs++
 			epochSyncs++
 		}
+	}
+	// Epoch boundary: run every replica's scheduler re-check (§4.4's
+	// periodic BP re-measurement). Replicas share the planner, so at most
+	// one re-measurement per distinct geometry actually runs; the rest
+	// deploy the refreshed verdict from cache.
+	for _, net := range t.replicas {
+		net.EpochEnd()
 	}
 	elapsed := time.Since(start).Seconds()
 	stats := Stats{

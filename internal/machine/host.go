@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 )
@@ -15,6 +16,13 @@ type Host struct {
 	CPUs      int    `json:"cpus"`
 	GoVersion string `json:"go"`
 	Hostname  string `json:"hostname,omitempty"`
+}
+
+// Fingerprint renders the host as one comparable string — the key the
+// persistent plan cache files measured verdicts under, so a cache written
+// on one machine never silently deploys on a different one.
+func (h Host) Fingerprint() string {
+	return fmt.Sprintf("%s/%s/%dcpu/%s/%s", h.OS, h.Arch, h.CPUs, h.GoVersion, h.Hostname)
 }
 
 // HostInfo fingerprints the running machine.

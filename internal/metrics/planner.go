@@ -1,0 +1,38 @@
+package metrics
+
+import "spgcnn/internal/plan"
+
+// BindPlanner exports a planner's cumulative counters as render-time
+// gauges, the same idiom Bind uses for arena statistics: the planner keeps
+// counting under its own lock and every export snapshots Stats(), so the
+// binding adds no cost to the selection hot path.
+func BindPlanner(p *plan.Planner, r *Registry) {
+	st := func() plan.Stats { return p.Stats() }
+	r.GaugeFunc("spg_planner_cache_hits_total",
+		"Selection requests served from the plan cache with zero measurement.",
+		func() float64 { return float64(st().Hits) })
+	r.GaugeFunc("spg_planner_cache_misses_total",
+		"Selection requests that entered the measurement path.",
+		func() float64 { return float64(st().Misses) })
+	r.GaugeFunc("spg_planner_measurements_total",
+		"Measurement passes actually run (single-flighted misses share one).",
+		func() float64 { return float64(st().Measurements) })
+	r.GaugeFunc("spg_planner_pruned_total",
+		"Candidates the model-first pass excluded from measurement.",
+		func() float64 { return float64(st().Pruned) })
+	r.GaugeFunc("spg_planner_model_agree_total",
+		"Measurement passes where the model's top-ranked survivor won.",
+		func() float64 { return float64(st().ModelAgree) })
+	r.GaugeFunc("spg_planner_model_disagree_total",
+		"Measurement passes where measurement overruled the model's top pick.",
+		func() float64 { return float64(st().ModelDisagree) })
+	r.GaugeFunc("spg_planner_model_agreement_ratio",
+		"Fraction of measured verdicts the analytical model predicted.",
+		func() float64 { return st().AgreementRate() })
+	r.GaugeFunc("spg_planner_singleflight_waits_total",
+		"Selection requests that blocked on another caller's in-flight measurement.",
+		func() float64 { return float64(st().Waits) })
+	r.GaugeFunc("spg_planner_entries",
+		"Verdicts currently held in the plan cache.",
+		func() float64 { return float64(p.Entries()) })
+}

@@ -7,6 +7,7 @@ import (
 	"spgcnn/internal/core"
 	"spgcnn/internal/exec"
 	"spgcnn/internal/nn"
+	"spgcnn/internal/plan"
 	"spgcnn/internal/rng"
 )
 
@@ -28,6 +29,12 @@ type BuildOptions struct {
 	// in it gets the recorded FP/BP strategies (taking precedence over
 	// FixedStrategy and auto-tuning for that layer).
 	Choices core.Choices
+	// Planner owns strategy selection for auto-tuned conv layers. Nil
+	// builds one fresh plan.Planner per Build call, so same-geometry
+	// layers within the network tune once and share the verdict. Pass an
+	// explicit planner to share verdicts more widely — across networks,
+	// data-parallel replicas, or processes (via its plan cache file).
+	Planner core.Planner
 	// Seed seeds weight initialization.
 	Seed uint64
 }
@@ -40,6 +47,10 @@ func Build(def *NetDef, opts BuildOptions) (*nn.Network, error) {
 		ctx = exec.New(opts.Workers)
 	}
 	workers := ctx.Workers()
+	planner := opts.Planner
+	if planner == nil {
+		planner = plan.New(plan.Options{})
+	}
 	r := rng.New(opts.Seed ^ 0xB111D)
 	dims := []int{def.Input.Channels, def.Input.Height, def.Input.Width}
 	var layers []nn.Layer
@@ -78,7 +89,7 @@ func Build(def *NetDef, opts BuildOptions) (*nn.Network, error) {
 			} else if opts.FixedStrategy != nil {
 				cl = nn.NewConvFixedCtx(name, s, *opts.FixedStrategy, ctx, r)
 			} else {
-				cl = nn.NewConvCtx(name, s, ctx, r)
+				cl = nn.NewConvPlannedCtx(name, s, planner, ctx, r)
 			}
 			layers = append(layers, cl)
 			dims = cl.OutDims()

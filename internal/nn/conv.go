@@ -126,6 +126,17 @@ func NewConv(name string, s conv.Spec, workers int, r *rng.RNG) *Conv {
 	return NewConvCtx(name, s, exec.New(workers), r)
 }
 
+// NewConvPlannedCtx builds an auto-tuned convolution layer whose strategy
+// selection is delegated to pl — typically one plan.Planner shared by every
+// layer of a network (and every replica of a data-parallel trainer), so
+// layers with identical geometry tune once and deploy everywhere. A nil
+// planner degrades to NewConvCtx's measure-every-time behavior.
+func NewConvPlannedCtx(name string, s conv.Spec, pl core.Planner, c *exec.Ctx, r *rng.RNG) *Conv {
+	l := newConvCommon(name, s, c, r)
+	l.exec = autoExec{core.NewAutoConv(s, 0, core.AutoOptions{Ctx: l.ctx, Planner: pl})}
+	return l
+}
+
 // NewConvFixedCtx builds a convolution layer pinned to one strategy under
 // the given execution context.
 func NewConvFixedCtx(name string, s conv.Spec, st core.Strategy, c *exec.Ctx, r *rng.RNG) *Conv {

@@ -1,0 +1,347 @@
+// Package plan is spg-CNN's strategy-selection subsystem: the paper's
+// §4.4 measure-and-deploy scheduler promoted to a first-class planner
+// with an analytical front end and a persistent, host-keyed plan cache.
+//
+// A selection request flows through three stages:
+//
+//  1. Model-first pass — the §3 AIT characterization (ait.Classify's
+//     Fig. 1 region plus the internal/machine roofline rates) ranks the
+//     candidate strategies and prunes the clearly-dominated ones, so the
+//     measured search runs over a shortlist instead of the full set
+//     (the analytical-pruning idea of Li et al., PAPERS.md).
+//  2. Measured tuning — core.ChooseFP/ChooseBP time the survivors on
+//     sample tensors under the caller's execution context, exactly as the
+//     paper's scheduler does.
+//  3. Plan cache — the verdict is stored under a Key of host fingerprint
+//     × conv.Spec × worker count × sparsity band. Later requests with the
+//     same key (another layer with the same geometry, another dataparallel
+//     replica, another process loading the saved cache) deploy the cached
+//     verdict with zero measurement passes. Concurrent first requests are
+//     single-flighted: one caller measures, the rest wait and share.
+//
+// The Planner satisfies core.Planner, so core.AutoConv, nn.Conv, netdef
+// network construction and the CLIs all delegate selection here.
+package plan
+
+import (
+	"sync"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/core"
+	"spgcnn/internal/exec"
+	"spgcnn/internal/machine"
+	"spgcnn/internal/tensor"
+)
+
+// DefaultPruneRatio is the model-prune threshold: a modeled candidate is
+// excluded from measurement when its predicted rate is below this fraction
+// of the best modeled rate. Deliberately conservative — the model exists
+// to skip hopeless candidates, not to decide close races.
+const DefaultPruneRatio = 0.2
+
+// Options configures a Planner. The zero value is fully usable: paper
+// machine model, this host's fingerprint, the paper's candidate sets, and
+// the default prune ratio.
+type Options struct {
+	// Machine is the analytical model backing the model-first pass.
+	// Nil uses machine.Paper().
+	Machine *machine.Machine
+	// Host overrides the host fingerprint cache keys carry (zero value:
+	// machine.HostInfo() of the running process).
+	Host machine.Host
+	// FP and BP build the candidate sets per worker count (defaults:
+	// core.FPStrategies / core.BPStrategies).
+	FP, BP func(workers int) []core.Strategy
+	// Tune configures measurement passes when the caller's request does
+	// not carry its own TuneOptions.
+	Tune core.TuneOptions
+	// PruneRatio overrides DefaultPruneRatio; negative disables model
+	// pruning entirely.
+	PruneRatio float64
+}
+
+// Stats are the planner's cumulative counters — the numbers
+// metrics.BindPlanner exports.
+type Stats struct {
+	// Hits counts requests served from the cache with zero measurement.
+	Hits uint64
+	// Misses counts requests that entered the measurement path.
+	Misses uint64
+	// Measurements counts measurement passes actually run (a miss whose
+	// single-flight leader is another caller does not measure).
+	Measurements uint64
+	// Pruned counts candidates the model pass excluded from measurement.
+	Pruned uint64
+	// ModelAgree / ModelDisagree count measurement passes where the
+	// model's top-ranked survivor did / did not win the measurement.
+	ModelAgree, ModelDisagree uint64
+	// Waits counts requests that blocked on another caller's in-flight
+	// measurement of the same key.
+	Waits uint64
+}
+
+// AgreementRate returns ModelAgree / (ModelAgree + ModelDisagree), or 0
+// before any measured comparison.
+func (s Stats) AgreementRate() float64 {
+	n := s.ModelAgree + s.ModelDisagree
+	if n == 0 {
+		return 0
+	}
+	return float64(s.ModelAgree) / float64(n)
+}
+
+// Planner owns strategy selection end-to-end. Safe for concurrent use;
+// one Planner is typically shared by every layer of a network, every
+// replica of a data-parallel trainer, and (via Save/Load) every run on
+// the same host.
+type Planner struct {
+	mach       machine.Machine
+	hostInfo   machine.Host
+	host       string
+	fp, bp     func(workers int) []core.Strategy
+	tune       core.TuneOptions
+	pruneRatio float64
+
+	mu       sync.Mutex
+	entries  map[Key]*Entry
+	inflight map[Key]*flight
+	st       Stats
+}
+
+var _ core.Planner = (*Planner)(nil)
+
+type flight struct{ done chan struct{} }
+
+// New builds a planner.
+func New(opts Options) *Planner {
+	p := &Planner{
+		hostInfo:   opts.Host,
+		fp:         opts.FP,
+		bp:         opts.BP,
+		tune:       opts.Tune,
+		pruneRatio: opts.PruneRatio,
+		entries:    make(map[Key]*Entry),
+		inflight:   make(map[Key]*flight),
+	}
+	if opts.Machine != nil {
+		p.mach = *opts.Machine
+	} else {
+		p.mach = machine.Paper()
+	}
+	if p.hostInfo == (machine.Host{}) {
+		p.hostInfo = machine.HostInfo()
+	}
+	p.host = p.hostInfo.Fingerprint()
+	if p.fp == nil {
+		p.fp = core.FPStrategies
+	}
+	if p.bp == nil {
+		p.bp = core.BPStrategies
+	}
+	switch {
+	case p.pruneRatio < 0:
+		p.pruneRatio = 0 // disabled
+	case p.pruneRatio == 0:
+		p.pruneRatio = DefaultPruneRatio
+	}
+	return p
+}
+
+// Host returns the fingerprint the planner keys verdicts under.
+func (p *Planner) Host() string { return p.host }
+
+// Stats returns a snapshot of the planner's counters.
+func (p *Planner) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.st
+}
+
+// PlanFP implements core.Planner: forward-propagation selection. FP
+// activations are dense, so the key's sparsity band is always 0.
+func (p *Planner) PlanFP(s conv.Spec, c *exec.Ctx, ins []*tensor.Tensor,
+	w *tensor.Tensor, opts core.TuneOptions) core.Planned {
+	return p.plan("fp", s, 0, c, func(survivors []core.Strategy) core.Selection {
+		return core.ChooseFP(survivors, s, c, ins, w, p.tuneOpts(opts))
+	})
+}
+
+// PlanBP implements core.Planner: back-propagation selection, keyed on
+// the sample gradients' sparsity band.
+func (p *Planner) PlanBP(s conv.Spec, c *exec.Ctx, eos, ins []*tensor.Tensor,
+	w *tensor.Tensor, opts core.TuneOptions) core.Planned {
+	return p.plan("bp", s, meanSparsity(eos), c, func(survivors []core.Strategy) core.Selection {
+		return core.ChooseBP(survivors, s, c, eos, ins, w, p.tuneOpts(opts))
+	})
+}
+
+func (p *Planner) tuneOpts(req core.TuneOptions) core.TuneOptions {
+	if req.Reps > 0 {
+		return req
+	}
+	return p.tune
+}
+
+func meanSparsity(eos []*tensor.Tensor) float64 {
+	if len(eos) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, eo := range eos {
+		sum += eo.Sparsity()
+	}
+	return sum / float64(len(eos))
+}
+
+func (p *Planner) candidates(phase string, workers int) []core.Strategy {
+	if phase == "fp" {
+		return p.fp(workers)
+	}
+	return p.bp(workers)
+}
+
+// plan is the shared request path: cache lookup, single-flight dedup, and
+// on a genuine miss the model-prune + measure pipeline.
+func (p *Planner) plan(phase string, s conv.Spec, sparsity float64, c *exec.Ctx,
+	measure func([]core.Strategy) core.Selection) core.Planned {
+	s.MustValidate()
+	if c == nil {
+		c = exec.New(1)
+	}
+	band := 0
+	if phase == "bp" {
+		band = Band(sparsity)
+	}
+	key := Key{Host: p.host, Spec: s, Workers: c.Workers(), Phase: phase, Band: band}
+	for {
+		p.mu.Lock()
+		if e := p.entries[key]; e != nil {
+			entry := *e
+			p.mu.Unlock()
+			if pd, ok := p.deploy(entry, c); ok {
+				p.mu.Lock()
+				p.st.Hits++
+				p.mu.Unlock()
+				return pd
+			}
+			// The cached strategy no longer resolves against this
+			// planner's candidate set: drop the entry and re-measure.
+			p.mu.Lock()
+			if p.entries[key] != nil && p.entries[key].Strategy == entry.Strategy {
+				delete(p.entries, key)
+			}
+			p.mu.Unlock()
+			continue
+		}
+		if f := p.inflight[key]; f != nil {
+			p.st.Waits++
+			p.mu.Unlock()
+			<-f.done
+			continue // pick the fresh entry up via the cache path
+		}
+		f := &flight{done: make(chan struct{})}
+		p.inflight[key] = f
+		p.st.Misses++
+		p.mu.Unlock()
+		return p.measureMiss(key, sparsity, f, measure)
+	}
+}
+
+// measureMiss runs the model-first pass and the measured tuning for one
+// key, publishes the verdict, and releases the key's waiters.
+func (p *Planner) measureMiss(key Key, sparsity float64, f *flight,
+	measure func([]core.Strategy) core.Selection) core.Planned {
+	published := false
+	defer func() {
+		p.mu.Lock()
+		delete(p.inflight, key)
+		p.mu.Unlock()
+		close(f.done)
+		_ = published
+	}()
+
+	cands := p.candidates(key.Phase, key.Workers)
+	names := make([]string, len(cands))
+	for i, st := range cands {
+		names[i] = st.Name
+	}
+	classifySparsity := sparsity
+	if key.Phase == "fp" {
+		classifySparsity = 0
+	}
+	scores := ModelRank(p.mach, key.Spec, key.Phase, sparsity, key.Workers, names)
+	survivors, prunedNames := prune(cands, scores, p.pruneRatio,
+		recommendedNames(key.Spec, classifySparsity))
+
+	sel := measure(survivors)
+	winner := sel.Chosen.Strategy().Name
+
+	entry := &Entry{
+		Key:      key,
+		Strategy: winner,
+		Seconds:  sel.Best().Seconds,
+		Model:    scores,
+		Pruned:   prunedNames,
+	}
+	for _, tm := range sel.Timings {
+		entry.Timings = append(entry.Timings, EntryTiming{Strategy: tm.Strategy.Name, Seconds: tm.Seconds})
+	}
+
+	p.mu.Lock()
+	p.entries[key] = entry
+	p.st.Measurements++
+	p.st.Pruned += uint64(len(prunedNames))
+	if top := topModeled(scores); top != "" {
+		if top == winner {
+			p.st.ModelAgree++
+		} else {
+			p.st.ModelDisagree++
+		}
+	}
+	p.mu.Unlock()
+	published = true
+	return core.Planned{Selection: sel}
+}
+
+// topModeled returns the best-scored modeled, non-pruned candidate.
+func topModeled(scores []ModelScore) string {
+	for _, sc := range scores { // scores are sorted best-first
+		if sc.Modeled && !sc.Pruned {
+			return sc.Strategy
+		}
+	}
+	return ""
+}
+
+// deploy instantiates a cached verdict under the caller's context with
+// zero measurement: the strategy is resolved by name from the candidate
+// set, an exec is built, and the deployment is recorded in the context's
+// probe (as a choice event, NOT a tune span — warm paths never time).
+func (p *Planner) deploy(e Entry, c *exec.Ctx) (core.Planned, bool) {
+	cands := p.candidates(e.Phase, c.Workers())
+	st, ok := lookupStrategy(cands, e.Strategy)
+	if !ok {
+		return core.Planned{}, false
+	}
+	ex := core.NewExecCtx(st, e.Spec, c)
+	sel := core.Selection{Chosen: ex}
+	for _, tm := range e.Timings {
+		if s2, ok := lookupStrategy(cands, tm.Strategy); ok {
+			sel.Timings = append(sel.Timings, core.Timing{Strategy: s2, Seconds: tm.Seconds})
+		}
+	}
+	if len(sel.Timings) == 0 {
+		sel.Timings = []core.Timing{{Strategy: st, Seconds: e.Seconds}}
+	}
+	c.Probe().RecordChoice(e.Phase, e.Strategy, e.Seconds)
+	return core.Planned{Selection: sel, FromCache: true}, true
+}
+
+func lookupStrategy(cands []core.Strategy, name string) (core.Strategy, bool) {
+	for _, st := range cands {
+		if st.Name == name {
+			return st, true
+		}
+	}
+	return core.Strategy{}, false
+}

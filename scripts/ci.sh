@@ -1,6 +1,8 @@
 #!/bin/sh
 # CI gate: formatting, vet, build, the race-instrumented short test suite,
-# and the quick-scale benchmark baseline check.
+# the quick-scale benchmark baseline check, and the plan-cache round-trip
+# check (warm starts must deploy cached strategy verdicts with zero
+# measurement passes).
 # Run from the repository root.
 set -eux
 
@@ -9,3 +11,4 @@ go vet ./...
 go build ./...
 go test -race -short ./...
 scripts/bench_check.sh
+scripts/plan_check.sh

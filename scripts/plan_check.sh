@@ -1,0 +1,68 @@
+#!/bin/sh
+# plan_check: end-to-end gate for the planner subsystem's persistent plan
+# cache. Trains a tiny conv+fc network twice against one cache file:
+#
+#   cold run — no cache on disk: both phases must be measured and the
+#              verdicts persisted;
+#   warm run — cache present: every selection must deploy from the cache
+#              with ZERO measurement passes, and the deployed strategies
+#              must match the cold run's exactly.
+#
+# Also runs the spg-plan golden-output test, which pins the deterministic
+# analysis/model-ranking rendering byte-for-byte.
+#
+# Usage: scripts/plan_check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+cat > "$tmp/net.prototxt" <<'EOF'
+name: "plancheck"
+input { channels: 1 height: 28 width: 28 }
+layer { name: "conv0" type: "conv" features: 4 kernel: 5 stride: 2 }
+layer { name: "fc0" type: "fc" outputs: 10 }
+EOF
+
+go build -o "$tmp/spg-train" ./cmd/spg-train
+
+common="-file $tmp/net.prototxt -dataset mnist -epochs 1 -examples 16 -batch 8 -workers 2 -plan-cache $tmp/plans.json"
+
+cold="$("$tmp/spg-train" $common)"
+echo "$cold" | grep -q "plan cache: 0 hits, 2 misses, 2 measurement passes" || {
+	echo "plan_check: cold run did not measure once per phase:" >&2
+	echo "$cold" >&2
+	exit 1
+}
+echo "$cold" | grep -q "plan cache: saved 2 entries" || {
+	echo "plan_check: cold run did not persist its verdicts:" >&2
+	echo "$cold" >&2
+	exit 1
+}
+
+warm="$("$tmp/spg-train" $common)"
+echo "$warm" | grep -q "plan cache: loaded 2 entries" || {
+	echo "plan_check: warm run did not load the cache:" >&2
+	echo "$warm" >&2
+	exit 1
+}
+echo "$warm" | grep -q "plan cache: 2 hits, 0 misses, 0 measurement passes" || {
+	echo "plan_check: warm run re-measured instead of deploying from cache:" >&2
+	echo "$warm" >&2
+	exit 1
+}
+
+cold_dep="$(echo "$cold" | grep "^scheduler deployments:")"
+warm_dep="$(echo "$warm" | grep "^scheduler deployments:")"
+[ -n "$cold_dep" ] && [ "$cold_dep" = "$warm_dep" ] || {
+	echo "plan_check: deployments diverged between cold and warm runs:" >&2
+	echo "  cold: $cold_dep" >&2
+	echo "  warm: $warm_dep" >&2
+	exit 1
+}
+
+go test -run 'TestRunGolden|TestRunWorkersZero' ./cmd/spg-plan
+
+echo "plan_check: warm start deployed from cache with zero measurement passes"

@@ -46,6 +46,7 @@ import (
 	"spgcnn/internal/metrics"
 	"spgcnn/internal/netdef"
 	"spgcnn/internal/nn"
+	"spgcnn/internal/plan"
 	"spgcnn/internal/rng"
 	"spgcnn/internal/spkernel"
 	"spgcnn/internal/stencil"
@@ -216,6 +217,44 @@ func NewAutoConv(s ConvSpec, workers int) *AutoConv {
 	return core.NewAutoConv(s, workers, core.AutoOptions{})
 }
 
+// Planning (the §4.4 scheduler promoted to a subsystem).
+
+// Planner is the strategy-selection subsystem: an analytical model-first
+// pass prunes dominated candidates, measured tuning picks among the
+// survivors, and verdicts are cached in memory (shared across layers and
+// replicas, concurrent requests single-flighted) and persistently (a
+// schema-versioned, host-keyed plan cache file).
+type Planner = plan.Planner
+
+// PlannerOptions configures a Planner; the zero value is fully usable.
+type PlannerOptions = plan.Options
+
+// PlannerStats are a planner's cumulative counters (cache hits/misses,
+// measurement passes, model-pruned candidates, model-vs-measured
+// agreement, single-flight waits).
+type PlannerStats = plan.Stats
+
+// PlanKey identifies one cached verdict: host fingerprint, geometry,
+// worker count, phase and sparsity band.
+type PlanKey = plan.Key
+
+// PlanEntry is one cached verdict with its measurement table and the model
+// pass that preceded it.
+type PlanEntry = plan.Entry
+
+// PlanSchemaVersion stamps plan-cache files; loading a file written under
+// a different schema fails instead of misreading.
+const PlanSchemaVersion = plan.SchemaVersion
+
+// NewPlanner builds a strategy planner. Thread one through
+// BuildOptions.Planner (or share one via NewDataParallelFromDef) so
+// same-geometry layers tune once; persist it across runs with its
+// SaveFile/LoadFile methods.
+func NewPlanner(opts PlannerOptions) *Planner { return plan.New(opts) }
+
+// BindPlannerMetrics exports a planner's counters into a metrics registry.
+func BindPlannerMetrics(p *Planner, r *MetricsRegistry) { metrics.BindPlanner(p, r) }
+
 // TuningChoices is a network's serializable per-layer deployment — the
 // "best configuration" the scheduler produced (§1.3). Harvest one from a
 // trained network with Network.TuningChoices, persist it with its Save
@@ -270,6 +309,13 @@ type DataParallelTrainer = dataparallel.Trainer
 // identically-initialized replicas (same seed).
 func NewDataParallel(build func(replica int) *Network, cfg DataParallelConfig) (*DataParallelTrainer, error) {
 	return dataparallel.New(build, cfg)
+}
+
+// NewDataParallelFromDef builds a data-parallel trainer from one network
+// description, with every replica sharing a single strategy planner: an
+// N-replica trainer pays for one tuning pass per distinct geometry, not N.
+func NewDataParallelFromDef(def *NetDef, opts BuildOptions, cfg DataParallelConfig) (*DataParallelTrainer, error) {
+	return dataparallel.NewFromDef(def, opts, cfg)
 }
 
 // Built-in benchmark network descriptions (Table 2 geometries).
