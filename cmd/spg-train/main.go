@@ -56,6 +56,9 @@ func run(args []string, stdout io.Writer) error {
 		loadTune    = fs.String("loadtune", "", "deploy a saved tuning configuration instead of measuring")
 		planCache   = fs.String("plan-cache", "", "persistent plan cache file: load cached strategy verdicts on start (skipping their measurement passes), save the updated cache on exit")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics (Prometheus), /healthz and /debug/pprof on this address during training (e.g. :8080)")
+		replicas    = fs.Int("replicas", 1, "data-parallel model replicas; N > 1 shards each global batch of -batch across N replicas with synchronous parameter averaging")
+		tracePath   = fs.String("trace", "", "write a Chrome/Perfetto trace-event JSON capture of the run here (open in ui.perfetto.dev, analyze with spg-trace)")
+		traceMode   = fs.String("trace-mode", "ring", "trace capture mode: ring (bounded flight recorder, keeps the newest events) or full (everything up to a cap)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,6 +125,21 @@ func run(args []string, stdout io.Writer) error {
 		spgcnn.BindPlannerMetrics(planner, reg)
 	}
 
+	// The trace recorder, when requested, captures the whole run: layer and
+	// kernel spans, planner activity, arena growth, and (with -replicas)
+	// per-replica steps and all-reduce barriers.
+	var rec *spgcnn.TraceRecorder
+	if *tracePath != "" {
+		mode, err := spgcnn.ParseTraceMode(*traceMode)
+		if err != nil {
+			return err
+		}
+		rec = spgcnn.NewTraceRecorder(spgcnn.TraceOptions{Mode: mode})
+		if reg != nil {
+			spgcnn.BindTraceMetrics(rec, reg)
+		}
+	}
+
 	opts := spgcnn.BuildOptions{Ctx: ctx, Seed: *seed, Planner: planner}
 	if *strategy != "auto" {
 		st, ok := findStrategy(*strategy, w)
@@ -143,58 +161,97 @@ func run(args []string, stdout io.Writer) error {
 		opts.Choices = choices
 		fmt.Fprintf(stdout, "deployed tuning configuration %s (%d layers)\n", *loadTune, len(choices))
 	}
-	net, err := spgcnn.BuildNet(def, opts)
-	if err != nil {
-		return err
-	}
-
 	ds := datasetByName(*dataset, *examples)
 	if ds == nil {
 		return fmt.Errorf("unknown dataset %q", *dataset)
 	}
-	if *loadPath != "" {
-		f, err := os.Open(*loadPath)
-		if err != nil {
-			return err
-		}
-		err = net.Load(f)
-		f.Close()
-		if err != nil {
-			return fmt.Errorf("restoring %s: %w", *loadPath, err)
-		}
-		fmt.Fprintf(stdout, "restored checkpoint %s\n", *loadPath)
-	}
-	if *profile {
-		net.EnableProfiling()
-	}
 
 	fmt.Fprintf(stdout, "network %q, dataset %s (%d examples), strategy %s\n",
 		def.Name, *dataset, *examples, *strategy)
-	tr := spgcnn.NewTrainer(net, float32(*lr), *batch)
 	r := spgcnn.NewRNG(*seed)
-	for e := 0; e < *epochs; e++ {
-		stats := tr.TrainEpoch(ds, r)
-		if reg != nil {
-			reg.RecordEpoch(epochSample(stats))
+	var net *spgcnn.Network
+	if *replicas > 1 {
+		var err error
+		net, err = trainDataParallel(def, opts, dpFlags{
+			replicas: *replicas, epochs: *epochs, batch: *batch, lr: *lr,
+			loadPath: *loadPath, profile: *profile,
+		}, ds, r, rec, reg, stdout)
+		if err != nil {
+			return err
 		}
-		fmt.Fprintf(stdout, "epoch %2d  loss %.4f  acc %5.1f%%  %7.1f images/sec  conv %.2f GF (goodput %.2f)",
-			stats.Epoch, stats.Loss, stats.Accuracy*100, stats.ImagesPerSec,
-			stats.ConvGFlops, stats.ConvGoodputGFlops)
-		if len(stats.ConvSparsity) > 0 {
-			fmt.Fprintf(stdout, "  EO sparsity:")
-			for _, c := range net.ConvLayers() {
-				if s, ok := stats.ConvSparsity[c.Name()]; ok {
-					fmt.Fprintf(stdout, " %s=%.2f", c.Name(), s)
+	} else {
+		var err error
+		net, err = spgcnn.BuildNet(def, opts)
+		if err != nil {
+			return err
+		}
+		if *loadPath != "" {
+			f, err := os.Open(*loadPath)
+			if err != nil {
+				return err
+			}
+			err = net.Load(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("restoring %s: %w", *loadPath, err)
+			}
+			fmt.Fprintf(stdout, "restored checkpoint %s\n", *loadPath)
+		}
+		if *profile {
+			net.EnableProfiling()
+		}
+
+		tr := spgcnn.NewTrainer(net, float32(*lr), *batch)
+		coord := rec.Emitter(-1, 0)
+		if rec != nil {
+			spgcnn.AttachTraceCtx(rec, ctx, 0)
+			planner.SetTrace(coord)
+			spgcnn.RegisterTraceLayers(rec, net)
+			tr.OnStep = rec.SetStep
+		}
+		for e := 0; e < *epochs; e++ {
+			stats := tr.TrainEpoch(ds, r)
+			if reg != nil {
+				reg.RecordEpoch(epochSample(stats))
+			}
+			if rec != nil {
+				coord.Instant("epoch", "epoch", "", float64(stats.Images))
+				mean, n := 0.0, 0
+				for name, s := range stats.ConvSparsity {
+					coord.Instant("sparsity", "sparsity/"+name, name, s)
+					mean, n = mean+s, n+1
+				}
+				if n > 0 {
+					rec.SetBand(spgcnn.SparsityBand(mean / float64(n)))
 				}
 			}
+			fmt.Fprintf(stdout, "epoch %2d  loss %.4f  acc %5.1f%%  %7.1f images/sec  conv %.2f GF (goodput %.2f)",
+				stats.Epoch, stats.Loss, stats.Accuracy*100, stats.ImagesPerSec,
+				stats.ConvGFlops, stats.ConvGoodputGFlops)
+			if len(stats.ConvSparsity) > 0 {
+				fmt.Fprintf(stdout, "  EO sparsity:")
+				for _, c := range net.ConvLayers() {
+					if s, ok := stats.ConvSparsity[c.Name()]; ok {
+						fmt.Fprintf(stdout, " %s=%.2f", c.Name(), s)
+					}
+				}
+			}
+			fmt.Fprintln(stdout)
+			if epochHook != nil {
+				epochHook(e)
+			}
 		}
-		fmt.Fprintln(stdout)
-		if epochHook != nil {
-			epochHook(e)
+		if *profile {
+			fmt.Fprint(stdout, "\nper-layer time breakdown:\n", net.ProfileReport())
 		}
 	}
-	if *profile {
-		fmt.Fprint(stdout, "\nper-layer time breakdown:\n", net.ProfileReport())
+	if rec != nil {
+		if err := rec.WriteFile(*tracePath); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		ts := rec.Stats()
+		fmt.Fprintf(stdout, "trace: wrote %d events to %s (mode %s, %d emitted, %d overwritten, %d dropped)\n",
+			ts.Buffered, *tracePath, *traceMode, ts.Emitted, ts.Overwritten, ts.Dropped)
 	}
 	st := ctx.Arena().Stats()
 	if st.Gets > 0 {
@@ -259,6 +316,95 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "saved checkpoint %s\n", *savePath)
 	}
 	return nil
+}
+
+// dpFlags carries the replica-path command-line knobs.
+type dpFlags struct {
+	replicas, epochs, batch int
+	lr                      float64
+	loadPath                string
+	profile                 bool
+}
+
+// trainDataParallel runs the -replicas > 1 path: N model replicas share
+// the planner, each global batch of -batch images shards across them, and
+// parameters average after every step. Returns replica 0 — canonical
+// after the final sync — for the shared epilogue (checkpoints, tuning
+// choices).
+func trainDataParallel(def *spgcnn.NetDef, opts spgcnn.BuildOptions, f dpFlags,
+	ds spgcnn.Dataset, r *spgcnn.RNG, rec *spgcnn.TraceRecorder,
+	reg *spgcnn.MetricsRegistry, stdout io.Writer) (*spgcnn.Network, error) {
+	if f.loadPath != "" {
+		return nil, fmt.Errorf("-load is not supported with -replicas > 1")
+	}
+	if f.profile {
+		return nil, fmt.Errorf("-profile is not supported with -replicas > 1")
+	}
+	dp, err := spgcnn.NewDataParallelFromDef(def, opts, spgcnn.DataParallelConfig{
+		Replicas: f.replicas, LR: float32(f.lr), GlobalBatch: f.batch, SyncEvery: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dp.BindTrace(rec) // no-op when tracing is off
+	fmt.Fprintf(stdout, "data-parallel: %d replicas, global batch %d (shard %d)\n",
+		f.replicas, f.batch, f.batch/f.replicas)
+
+	agg := make([]spgcnn.DataParallelReplicaStats, f.replicas)
+	for e := 0; e < f.epochs; e++ {
+		stats := dp.TrainEpoch(ds, r)
+		if reg != nil {
+			reg.RecordEpoch(dpEpochSample(e+1, stats))
+		}
+		fmt.Fprintf(stdout, "epoch %2d  loss %.4f  acc %5.1f%%  %7.1f images/sec  conv %.2f GF (goodput %.2f)  %d syncs\n",
+			e+1, stats.Loss, stats.Accuracy*100, stats.ImagesPerSec,
+			stats.ConvGFlops, stats.ConvGoodputGFlops, stats.Syncs)
+		for i, rs := range stats.Replicas {
+			agg[i].Replica = rs.Replica
+			agg[i].Steps += rs.Steps
+			agg[i].Total += rs.Total
+			agg[i].BarrierWait += rs.BarrierWait
+			if agg[i].Max < rs.Max {
+				agg[i].Max = rs.Max
+			}
+			if e == 0 || rs.Min < agg[i].Min {
+				agg[i].Min = rs.Min
+			}
+		}
+		if epochHook != nil {
+			epochHook(e)
+		}
+	}
+	fmt.Fprintln(stdout, "replica  steps  step min/mean/max (ms)  barrier wait (ms)")
+	for _, rs := range agg {
+		fmt.Fprintf(stdout, "%7d  %5d  %7.2f /%7.2f /%7.2f  %17.2f\n",
+			rs.Replica, rs.Steps, rs.Min*1e3, rs.Mean()*1e3, rs.Max*1e3, rs.BarrierWait*1e3)
+	}
+	return dp.Replica(0), nil
+}
+
+// dpEpochSample converts data-parallel epoch statistics into the metrics
+// form of the per-epoch goodput series.
+func dpEpochSample(epoch int, stats spgcnn.DataParallelStats) spgcnn.EpochSample {
+	var spSum float64
+	for _, s := range stats.ConvSparsity {
+		spSum += s
+	}
+	mean := 0.0
+	if len(stats.ConvSparsity) > 0 {
+		mean = spSum / float64(len(stats.ConvSparsity))
+	}
+	return spgcnn.EpochSample{
+		Epoch:         epoch,
+		Images:        stats.Images,
+		Seconds:       stats.Seconds,
+		ImagesPerSec:  stats.ImagesPerSec,
+		Loss:          stats.Loss,
+		Accuracy:      stats.Accuracy,
+		DenseGFlops:   stats.ConvGFlops,
+		GoodputGFlops: stats.ConvGoodputGFlops,
+		MeanSparsity:  mean,
+	}
 }
 
 // epochSample converts trainer statistics into the metrics form of the

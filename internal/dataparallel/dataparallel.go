@@ -19,6 +19,7 @@ package dataparallel
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -29,6 +30,7 @@ import (
 	"spgcnn/internal/plan"
 	"spgcnn/internal/rng"
 	"spgcnn/internal/tensor"
+	"spgcnn/internal/trace"
 )
 
 // Config tunes the data-parallel run.
@@ -49,11 +51,16 @@ type Trainer struct {
 	cfg      Config
 	replicas []*nn.Network
 	trainers []*shardState
+	ctxs     []*exec.Ctx // per-replica execution contexts (NewFromDef only)
 	planner  core.Planner
 	loss     nn.SoftmaxXent
 
 	steps int
 	syncs int
+
+	rec      *trace.Recorder
+	coord    *trace.Emitter   // replica -1: all-reduce, planner, epoch accounting
+	emitters []*trace.Emitter // one per replica
 }
 
 // shardState is one replica's working storage.
@@ -63,6 +70,7 @@ type shardState struct {
 	loss    float64
 	correct int
 	images  int
+	secs    float64 // wall time of the replica's last step
 }
 
 // New builds a data-parallel trainer. The builder must return
@@ -121,6 +129,7 @@ func NewFromDef(def *netdef.NetDef, opts netdef.BuildOptions, cfg Config) (*Trai
 		workers = ctx0.Workers()
 	}
 	var buildErr error
+	var ctxs []*exec.Ctx
 	t, err := New(func(replica int) *nn.Network {
 		ro := opts
 		if replica == 0 && ctx0 != nil {
@@ -135,6 +144,7 @@ func NewFromDef(def *netdef.NetDef, opts netdef.BuildOptions, cfg Config) (*Trai
 			}
 			return nil
 		}
+		ctxs = append(ctxs, ro.Ctx)
 		return net
 	}, cfg)
 	if buildErr != nil {
@@ -143,8 +153,60 @@ func NewFromDef(def *netdef.NetDef, opts netdef.BuildOptions, cfg Config) (*Trai
 	if err != nil {
 		return nil, err
 	}
+	t.ctxs = ctxs
 	t.planner = opts.Planner
 	return t, nil
+}
+
+// Contexts returns the per-replica execution contexts (nil when the
+// trainer was built with New, which does not see the builder's contexts).
+func (t *Trainer) Contexts() []*exec.Ctx { return t.ctxs }
+
+// BindTrace attaches a trace recorder to the trainer: each replica gets an
+// emitter (its probe stream — layer, core and tune spans — plus arena
+// growth land on its timeline row), the coordinator emitter carries
+// all-reduce spans and epoch accounting, the shared planner's activity is
+// traced when it is a *plan.Planner, and replica 0's conv layer flop
+// metadata is registered for goodput-waste attribution. Call once, before
+// training; a nil recorder is a no-op.
+func (t *Trainer) BindTrace(rec *trace.Recorder) {
+	if rec == nil {
+		return
+	}
+	t.rec = rec
+	t.coord = rec.Emitter(-1, 0)
+	t.emitters = make([]*trace.Emitter, len(t.replicas))
+	for w := range t.replicas {
+		em := rec.Emitter(w, 0)
+		t.emitters[w] = em
+		if w < len(t.ctxs) && t.ctxs[w] != nil {
+			t.ctxs[w].Probe().AddSink(trace.NewProbeSink(em))
+			em := em
+			t.ctxs[w].Arena().SetGrowHook(func(bytes int64) {
+				em.Instant("arena", "grow", "", float64(bytes))
+			})
+		}
+	}
+	if p, ok := t.planner.(*plan.Planner); ok {
+		p.SetTrace(t.coord)
+	}
+	for _, c := range t.replicas[0].ConvLayers() {
+		spec := c.Spec()
+		rec.AddLayerMeta(trace.LayerMeta{
+			Name:    c.Name(),
+			FPFlops: spec.FlopsFP(),
+			BPFlops: spec.FlopsBPInput() + spec.FlopsBPWeights(),
+		})
+	}
+}
+
+// em returns replica w's emitter (nil when no recorder is bound — every
+// emitter method is nil-safe).
+func (t *Trainer) em(w int) *trace.Emitter {
+	if w < len(t.emitters) {
+		return t.emitters[w]
+	}
+	return nil
 }
 
 // Planner returns the strategy planner the replicas share (nil when the
@@ -176,14 +238,45 @@ func (t *Trainer) checkAligned() error {
 	return nil
 }
 
+// ReplicaStats summarizes one replica's step times over an epoch — the
+// straggler surface of a synchronous data-parallel run.
+type ReplicaStats struct {
+	Replica int
+	Steps   int
+	// Total/Min/Max are the replica's per-step wall times in seconds.
+	Total, Min, Max float64
+	// BarrierWait is the cumulative time this replica spent finished,
+	// waiting at the step barrier for the slowest replica (seconds).
+	BarrierWait float64
+}
+
+// Mean returns the replica's mean step time.
+func (r ReplicaStats) Mean() float64 {
+	if r.Steps == 0 {
+		return 0
+	}
+	return r.Total / float64(r.Steps)
+}
+
 // Stats reports one epoch.
 type Stats struct {
 	Loss         float64
 	Accuracy     float64
 	Images       int
+	Seconds      float64
 	ImagesPerSec float64
 	Steps        int
 	Syncs        int
+	// Replicas holds per-replica step-time min/max/mean and barrier-wait
+	// attribution for this epoch.
+	Replicas []ReplicaStats
+	// ConvSparsity maps conv layer name to its mean gradient sparsity over
+	// the epoch, averaged across replicas.
+	ConvSparsity map[string]float64
+	// ConvGFlops / ConvGoodputGFlops mirror nn.EpochStats: the dense conv
+	// work rate and the Eq. 9 useful-work rate over the global image count.
+	ConvGFlops        float64
+	ConvGoodputGFlops float64
 }
 
 // TrainEpoch runs one shuffled pass over the dataset. Trailing examples
@@ -199,7 +292,13 @@ func (t *Trainer) TrainEpoch(ds nn.Dataset, r *rng.RNG) Stats {
 	correct, images := 0, 0
 	epochSyncs := 0
 
+	perRep := make([]ReplicaStats, cfg.Replicas)
+	for w := range perRep {
+		perRep[w] = ReplicaStats{Replica: w, Min: math.MaxFloat64}
+	}
+
 	for lo := 0; lo+cfg.GlobalBatch <= len(order); lo += cfg.GlobalBatch {
+		t.rec.SetStep(int64(t.steps + 1))
 		var wg sync.WaitGroup
 		wg.Add(cfg.Replicas)
 		for w := 0; w < cfg.Replicas; w++ {
@@ -208,35 +307,61 @@ func (t *Trainer) TrainEpoch(ds nn.Dataset, r *rng.RNG) Stats {
 				st := t.trainers[w]
 				net := t.replicas[w]
 				base := lo + w*shard
-				for i := 0; i < shard; i++ {
-					ds.Image(order[base+i], st.inputs[i])
-				}
-				logits := net.Forward(st.inputs[:shard])
-				st.loss, st.correct = 0, 0
-				for i := 0; i < shard; i++ {
-					l, ok := t.loss.Loss(logits[i], ds.Label(order[base+i]), st.dlogits[i])
-					st.loss += l
-					if ok {
-						st.correct++
+				stepStart := time.Now()
+				t.em(w).Region("step", "step", func() {
+					for i := 0; i < shard; i++ {
+						ds.Image(order[base+i], st.inputs[i])
 					}
-				}
-				st.images = shard
-				net.Backward(st.dlogits[:shard], st.inputs[:shard])
-				// Locally-scaled step: lr/shard per replica; averaging
-				// across replicas reconstructs the lr/GlobalBatch global
-				// step (see package comment).
-				net.ApplyGrads(cfg.LR, shard)
+					logits := net.Forward(st.inputs[:shard])
+					st.loss, st.correct = 0, 0
+					for i := 0; i < shard; i++ {
+						l, ok := t.loss.Loss(logits[i], ds.Label(order[base+i]), st.dlogits[i])
+						st.loss += l
+						if ok {
+							st.correct++
+						}
+					}
+					st.images = shard
+					net.Backward(st.dlogits[:shard], st.inputs[:shard])
+					// Locally-scaled step: lr/shard per replica; averaging
+					// across replicas reconstructs the lr/GlobalBatch global
+					// step (see package comment).
+					net.ApplyGrads(cfg.LR, shard)
+				})
+				st.secs = time.Since(stepStart).Seconds()
 			}(w)
 		}
 		wg.Wait()
+		slowest := 0.0
 		for _, st := range t.trainers {
 			totalLoss += st.loss
 			correct += st.correct
 			images += st.images
+			if st.secs > slowest {
+				slowest = st.secs
+			}
+		}
+		for w, st := range t.trainers {
+			r := &perRep[w]
+			r.Steps++
+			r.Total += st.secs
+			if st.secs < r.Min {
+				r.Min = st.secs
+			}
+			if st.secs > r.Max {
+				r.Max = st.secs
+			}
+			if cfg.Replicas >= 2 && st.secs < slowest {
+				wait := slowest - st.secs
+				r.BarrierWait += wait
+				t.em(w).Instant("sync", "barrier", "", wait)
+			}
 		}
 		t.steps++
 		if t.steps%cfg.SyncEvery == 0 {
+			arStart := time.Now()
 			t.allReduce()
+			t.coord.Span("sync", "allreduce", arStart, time.Since(arStart))
 			t.syncs++
 			epochSyncs++
 		}
@@ -249,17 +374,73 @@ func (t *Trainer) TrainEpoch(ds nn.Dataset, r *rng.RNG) Stats {
 		net.EpochEnd()
 	}
 	elapsed := time.Since(start).Seconds()
+	for w := range perRep {
+		if perRep[w].Steps == 0 {
+			perRep[w].Min = 0
+		}
+	}
 	stats := Stats{
 		Loss:     safeDiv(totalLoss, float64(images)),
 		Accuracy: safeDiv(float64(correct), float64(images)),
 		Images:   images,
+		Seconds:  elapsed,
 		Steps:    t.steps,
 		Syncs:    epochSyncs,
+		Replicas: perRep,
 	}
 	if elapsed > 0 {
 		stats.ImagesPerSec = float64(images) / elapsed
 	}
+	t.convAccounting(&stats, images, elapsed)
 	return stats
+}
+
+// convAccounting fills the epoch's sparsity map and work rates (Eq. 9/10)
+// and, when a tracer is bound, emits the epoch accounting events the
+// goodput-waste analyzer consumes and refreshes the live sparsity band.
+func (t *Trainer) convAccounting(stats *Stats, images int, elapsed float64) {
+	stats.ConvSparsity = map[string]float64{}
+	counts := map[string]int{}
+	for _, net := range t.replicas {
+		for _, c := range net.ConvLayers() {
+			if s, ok := c.TakeSparsity(); ok {
+				stats.ConvSparsity[c.Name()] += s
+				counts[c.Name()]++
+			}
+		}
+	}
+	meanAll, layers := 0.0, 0
+	for name, n := range counts {
+		stats.ConvSparsity[name] /= float64(n)
+		meanAll += stats.ConvSparsity[name]
+		layers++
+	}
+	var denseFlops, usefulFlops float64
+	for _, c := range t.replicas[0].ConvLayers() {
+		spec := c.Spec()
+		fp := float64(spec.FlopsFP()) * float64(images)
+		bp := float64(spec.FlopsBPInput()+spec.FlopsBPWeights()) * float64(images)
+		denseFlops += fp + bp
+		s, ok := stats.ConvSparsity[c.Name()]
+		if !ok {
+			s = 0
+		}
+		usefulFlops += fp + bp*(1-s)
+	}
+	if elapsed > 0 {
+		stats.ConvGFlops = denseFlops / elapsed / 1e9
+		stats.ConvGoodputGFlops = usefulFlops / elapsed / 1e9
+	}
+	if t.rec == nil {
+		return
+	}
+	if layers > 0 {
+		t.rec.SetBand(plan.Band(meanAll / float64(layers)))
+	}
+	t.coord.Instant("epoch", "epoch", "", float64(images))
+	for name, s := range stats.ConvSparsity {
+		t.coord.Instant("sparsity", "sparsity/"+name, name, s)
+	}
 }
 
 func safeDiv(a, b float64) float64 {

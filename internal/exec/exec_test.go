@@ -92,3 +92,98 @@ func TestProbeChoicesAndSpansConcurrent(t *testing.T) {
 		t.Fatalf("spans = %d, want 1", len(p.Spans()))
 	}
 }
+
+// recordSink counts what reaches one attached sink.
+type recordSink struct {
+	mu      sync.Mutex
+	spans   int
+	choices int
+}
+
+func (s *recordSink) ObserveSpan(string, float64) {
+	s.mu.Lock()
+	s.spans++
+	s.mu.Unlock()
+}
+
+func (s *recordSink) RecordChoice(string, string, float64) {
+	s.mu.Lock()
+	s.choices++
+	s.mu.Unlock()
+}
+
+func (s *recordSink) counts() (int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spans, s.choices
+}
+
+// TestSetSinkReplaces pins the documented single-sink semantics: a second
+// SetSink silently detaches the first consumer. (AddSink is the fan-out
+// path — see TestAddSinkFansOut.)
+func TestSetSinkReplaces(t *testing.T) {
+	p := NewProbe()
+	a, b := &recordSink{}, &recordSink{}
+	p.SetSink(a)
+	p.Observe("x", 1)
+	p.SetSink(b)
+	p.Observe("x", 1)
+	p.RecordChoice("fp", "stencil", 1)
+	if sp, _ := a.counts(); sp != 1 {
+		t.Fatalf("replaced sink saw %d spans, want 1 (only pre-replace traffic)", sp)
+	}
+	if sp, ch := b.counts(); sp != 1 || ch != 1 {
+		t.Fatalf("new sink saw %d spans / %d choices, want 1/1", sp, ch)
+	}
+}
+
+// TestAddSinkFansOut: AddSink composes with the existing sink instead of
+// replacing it, so the metrics bridge and a tracer can both observe one
+// probe.
+func TestAddSinkFansOut(t *testing.T) {
+	p := NewProbe()
+	a, b, c := &recordSink{}, &recordSink{}, &recordSink{}
+	p.SetSink(a)
+	p.AddSink(b)
+	p.AddSink(nil) // no-op
+	p.AddSink(c)
+	p.Observe("x", 1)
+	p.Observe("y", 2)
+	p.RecordChoice("bp", "sparse", 3)
+	for i, s := range []*recordSink{a, b, c} {
+		if sp, ch := s.counts(); sp != 2 || ch != 1 {
+			t.Fatalf("sink %d saw %d spans / %d choices, want 2/1", i, sp, ch)
+		}
+	}
+}
+
+// TestAddSinkFirst covers AddSink onto an empty probe (degenerates to
+// SetSink).
+func TestAddSinkFirst(t *testing.T) {
+	p := NewProbe()
+	a := &recordSink{}
+	p.AddSink(a)
+	p.Observe("x", 1)
+	if sp, _ := a.counts(); sp != 1 {
+		t.Fatalf("sink saw %d spans, want 1", sp)
+	}
+}
+
+// TestMultiSinkFlattens verifies composing composed sinks does not build a
+// nested forwarding chain and drops nils.
+func TestMultiSinkFlattens(t *testing.T) {
+	a, b, c := &recordSink{}, &recordSink{}, &recordSink{}
+	m := MultiSink(MultiSink(a, b), nil, c)
+	if ms, ok := m.(interface{ ObserveSpan(string, float64) }); !ok || ms == nil {
+		t.Fatal("MultiSink did not return a sink")
+	}
+	if got := len(m.(multiSink)); got != 3 {
+		t.Fatalf("flattened to %d sinks, want 3", got)
+	}
+	if MultiSink() != nil || MultiSink(nil) != nil {
+		t.Fatal("empty MultiSink should be nil")
+	}
+	if MultiSink(a) != Sink(a) {
+		t.Fatal("single-sink MultiSink should collapse to the sink itself")
+	}
+}

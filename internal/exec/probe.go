@@ -49,7 +49,9 @@ type Choice struct {
 func NewProbe() *Probe { return &Probe{spans: make(map[string]*Span)} }
 
 // SetSink attaches (or, with nil, detaches) a live mirror of the probe's
-// stream. Only one sink is held; attaching replaces the previous one.
+// stream. Only one sink is held; attaching replaces the previous one — use
+// AddSink (or an explicit MultiSink) when several consumers must observe
+// the same probe.
 func (p *Probe) SetSink(s Sink) {
 	if p == nil {
 		return
@@ -57,6 +59,62 @@ func (p *Probe) SetSink(s Sink) {
 	p.mu.Lock()
 	p.sink = s
 	p.mu.Unlock()
+}
+
+// AddSink attaches s WITHOUT detaching the current sink: when one is
+// already held the two are composed through a MultiSink, so the metrics
+// bridge and the tracer (or any further consumer) can observe the same
+// probe concurrently. A nil s is a no-op.
+func (p *Probe) AddSink(s Sink) {
+	if p == nil || s == nil {
+		return
+	}
+	p.mu.Lock()
+	p.sink = MultiSink(p.sink, s)
+	p.mu.Unlock()
+}
+
+// multiSink fans the probe stream out to several sinks, in attach order.
+type multiSink []Sink
+
+// MultiSink composes sinks into one: every observation is forwarded to
+// each non-nil sink in order. Nil sinks are dropped; zero or one survivor
+// collapses to nil or the survivor itself (no wrapper on the hot path).
+// Nested MultiSinks are flattened, so repeated AddSink calls never build a
+// forwarding chain.
+func MultiSink(sinks ...Sink) Sink {
+	var flat multiSink
+	for _, s := range sinks {
+		switch v := s.(type) {
+		case nil:
+			continue
+		case multiSink:
+			flat = append(flat, v...)
+		default:
+			flat = append(flat, s)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return nil
+	case 1:
+		return flat[0]
+	}
+	return flat
+}
+
+// ObserveSpan implements Sink.
+func (m multiSink) ObserveSpan(name string, seconds float64) {
+	for _, s := range m {
+		s.ObserveSpan(name, seconds)
+	}
+}
+
+// RecordChoice implements Sink.
+func (m multiSink) RecordChoice(phase, strategy string, seconds float64) {
+	for _, s := range m {
+		s.RecordChoice(phase, strategy, seconds)
+	}
 }
 
 // Observe records one timed run of the named span.

@@ -36,8 +36,10 @@ func (b *ProbeBridge) RecordChoice(phase, strategy string, seconds float64) {
 // streams into the span tree and choice counters, and the arena's
 // cumulative acquisition statistics plus basic process gauges export as
 // render-time gauges. Call once per (ctx, registry) pair, before the run.
+// The bridge attaches additively (Probe.AddSink), so a trace recorder and
+// the metrics registry can observe the same probe side by side.
 func Bind(c *exec.Ctx, r *Registry) {
-	c.Probe().SetSink(NewProbeBridge(r))
+	c.Probe().AddSink(NewProbeBridge(r))
 	r.GaugeFunc("spg_workers", "Worker pool size of the bound execution context.",
 		func() float64 { return float64(c.Workers()) })
 	r.GaugeFunc("spg_arena_gets_total", "Cumulative scratch acquisitions from the bound arena.",

@@ -1,0 +1,30 @@
+package metrics
+
+import "spgcnn/internal/trace"
+
+// BindTrace exports a trace recorder's buffer accounting as live gauges,
+// so an operator watching /metrics can see whether the flight recorder is
+// keeping up (ring overwrites, full-mode drops) before pulling the trace
+// file. Gauges are render-time reads of the recorder's atomic counters —
+// scraping costs nothing on the training path.
+func BindTrace(rec *trace.Recorder, r *Registry) {
+	if rec == nil || r == nil {
+		return
+	}
+	r.GaugeFunc("spg_trace_emitted_total", "Trace events emitted since recording began.",
+		func() float64 { return float64(rec.Stats().Emitted) })
+	r.GaugeFunc("spg_trace_buffered", "Trace events currently held in capture buffers.",
+		func() float64 { return float64(rec.Stats().Buffered) })
+	r.GaugeFunc("spg_trace_overwritten_total", "Trace events overwritten by the ring (flight-recorder mode).",
+		func() float64 { return float64(rec.Stats().Overwritten) })
+	r.GaugeFunc("spg_trace_dropped_total", "Trace events dropped at the full-capture cap.",
+		func() float64 { return float64(rec.Stats().Dropped) })
+	r.GaugeFunc("spg_trace_buffer_used_ratio", "Fraction of trace buffer capacity in use (0..1).",
+		func() float64 {
+			st := rec.Stats()
+			if st.Capacity == 0 {
+				return 0
+			}
+			return float64(st.Buffered) / float64(st.Capacity)
+		})
+}

@@ -49,8 +49,13 @@ type Trainer struct {
 	BatchSize int
 	// Loss is the loss head (zero value is ready to use).
 	Loss SoftmaxXent
+	// OnStep, when set, runs before every minibatch with the global step
+	// number (1-based, monotonic across epochs). Observability taps use it
+	// to stamp trace events with the live step.
+	OnStep func(step int64)
 
 	epoch   int
+	steps   int64
 	inputs  []*tensor.Tensor
 	dlogits []*tensor.Tensor
 }
@@ -87,6 +92,10 @@ func (t *Trainer) TrainEpoch(ds Dataset, r *rng.RNG) EpochStats {
 			hi = len(order)
 		}
 		n := hi - lo
+		t.steps++
+		if t.OnStep != nil {
+			t.OnStep(t.steps)
+		}
 		ins := t.inputs[:n]
 		for i := 0; i < n; i++ {
 			ds.Image(order[lo+i], ins[i])

@@ -25,12 +25,14 @@ package plan
 
 import (
 	"sync"
+	"time"
 
 	"spgcnn/internal/conv"
 	"spgcnn/internal/core"
 	"spgcnn/internal/exec"
 	"spgcnn/internal/machine"
 	"spgcnn/internal/tensor"
+	"spgcnn/internal/trace"
 )
 
 // DefaultPruneRatio is the model-prune threshold: a modeled candidate is
@@ -58,6 +60,11 @@ type Options struct {
 	// PruneRatio overrides DefaultPruneRatio; negative disables model
 	// pruning entirely.
 	PruneRatio float64
+	// Trace, when non-nil, puts planner activity on the trace timeline:
+	// cache hits and single-flight waits as instants, measurement passes
+	// as spans carrying the winning strategy. Can also be bound after
+	// construction with SetTrace.
+	Trace *trace.Emitter
 }
 
 // Stats are the planner's cumulative counters — the numbers
@@ -106,6 +113,7 @@ type Planner struct {
 	entries  map[Key]*Entry
 	inflight map[Key]*flight
 	st       Stats
+	tr       *trace.Emitter
 }
 
 var _ core.Planner = (*Planner)(nil)
@@ -122,6 +130,7 @@ func New(opts Options) *Planner {
 		pruneRatio: opts.PruneRatio,
 		entries:    make(map[Key]*Entry),
 		inflight:   make(map[Key]*flight),
+		tr:         opts.Trace,
 	}
 	if opts.Machine != nil {
 		p.mach = *opts.Machine
@@ -149,6 +158,15 @@ func New(opts Options) *Planner {
 
 // Host returns the fingerprint the planner keys verdicts under.
 func (p *Planner) Host() string { return p.host }
+
+// SetTrace binds (or, with nil, unbinds) a trace emitter after
+// construction. The emitter's replica stamp attributes planner events —
+// bind the coordinator emitter, since the planner is shared.
+func (p *Planner) SetTrace(e *trace.Emitter) {
+	p.mu.Lock()
+	p.tr = e
+	p.mu.Unlock()
+}
 
 // Stats returns a snapshot of the planner's counters.
 func (p *Planner) Stats() Stats {
@@ -221,7 +239,9 @@ func (p *Planner) plan(phase string, s conv.Spec, sparsity float64, c *exec.Ctx,
 			if pd, ok := p.deploy(entry, c); ok {
 				p.mu.Lock()
 				p.st.Hits++
+				tr := p.tr
 				p.mu.Unlock()
+				tr.Instant("plan", "plan/"+phase+"/hit", entry.Strategy, entry.Seconds)
 				return pd
 			}
 			// The cached strategy no longer resolves against this
@@ -235,7 +255,9 @@ func (p *Planner) plan(phase string, s conv.Spec, sparsity float64, c *exec.Ctx,
 		}
 		if f := p.inflight[key]; f != nil {
 			p.st.Waits++
+			tr := p.tr
 			p.mu.Unlock()
+			tr.Instant("plan", "plan/"+phase+"/wait", "", 0)
 			<-f.done
 			continue // pick the fresh entry up via the cache path
 		}
@@ -273,8 +295,14 @@ func (p *Planner) measureMiss(key Key, sparsity float64, f *flight,
 	survivors, prunedNames := prune(cands, scores, p.pruneRatio,
 		recommendedNames(key.Spec, classifySparsity))
 
+	p.mu.Lock()
+	tr := p.tr
+	p.mu.Unlock()
+	measureStart := time.Now()
 	sel := measure(survivors)
 	winner := sel.Chosen.Strategy().Name
+	tr.SpanDetail("plan", "plan/"+key.Phase+"/measure", winner, sel.Best().Seconds,
+		measureStart, time.Since(measureStart))
 
 	entry := &Entry{
 		Key:      key,

@@ -25,11 +25,12 @@ import (
 // every engine through a shared, deliberately dirtied arena to catch
 // violations.
 type Arena struct {
-	mu      sync.Mutex
-	f32     [arenaClasses][][]float32
-	c128    [arenaClasses][][]complex128
-	headers []*Tensor // recycled tensor headers for GetTensor/PutTensor
-	stats   ArenaStats
+	mu       sync.Mutex
+	f32      [arenaClasses][][]float32
+	c128     [arenaClasses][][]complex128
+	headers  []*Tensor // recycled tensor headers for GetTensor/PutTensor
+	stats    ArenaStats
+	growHook func(bytes int64)
 }
 
 // MinArenaClass is the smallest buffer granted, in float32 elements: one
@@ -55,6 +56,16 @@ type ArenaStats struct {
 
 // NewArena returns an empty arena.
 func NewArena() *Arena { return &Arena{} }
+
+// SetGrowHook installs a callback invoked (outside the arena lock) each
+// time a Get misses the free lists and allocates fresh memory, with the
+// allocation's size-class capacity in bytes. Observability taps use it to
+// put arena growth on the training timeline; nil removes the hook.
+func (a *Arena) SetGrowHook(fn func(bytes int64)) {
+	a.mu.Lock()
+	a.growHook = fn
+	a.mu.Unlock()
+}
 
 // class returns the size class holding buffers of capacity >= n: the
 // smallest power of two >= max(n, MinArenaClass).
@@ -84,7 +95,11 @@ func (a *Arena) Get(n int) []float32 {
 		a.mu.Unlock()
 		return buf[:n]
 	}
+	hook := a.growHook
 	a.mu.Unlock()
+	if hook != nil {
+		hook(4 << k)
+	}
 	return make([]float32, 1<<k)[:n]
 }
 
@@ -123,7 +138,11 @@ func (a *Arena) GetComplex(n int) []complex128 {
 		a.mu.Unlock()
 		return buf[:n]
 	}
+	hook := a.growHook
 	a.mu.Unlock()
+	if hook != nil {
+		hook(16 << k)
+	}
 	return make([]complex128, 1<<k)[:n]
 }
 

@@ -109,3 +109,30 @@ func TestArenaConcurrent(t *testing.T) {
 		t.Fatalf("Gets = %d, want %d", st.Gets, 8*200)
 	}
 }
+
+func TestArenaGrowHookFiresOnMissOnly(t *testing.T) {
+	a := NewArena()
+	var grown []int64
+	a.SetGrowHook(func(bytes int64) { grown = append(grown, bytes) })
+
+	buf := a.Get(100) // miss: class 128 floats = 512 bytes
+	a.Put(buf)
+	if len(grown) != 1 || grown[0] != 512 {
+		t.Fatalf("grow events = %v, want [512]", grown)
+	}
+	buf = a.Get(100) // hit: no growth
+	a.Put(buf)
+	if len(grown) != 1 {
+		t.Fatalf("hit fired grow hook: %v", grown)
+	}
+	cb := a.GetComplex(100) // miss: class 128 complex128 = 2048 bytes
+	a.PutComplex(cb)
+	if len(grown) != 2 || grown[1] != 2048 {
+		t.Fatalf("complex grow events = %v, want [512 2048]", grown)
+	}
+	a.SetGrowHook(nil)
+	_ = a.Get(1 << 12)
+	if len(grown) != 2 {
+		t.Fatal("nil hook still fired")
+	}
+}

@@ -1,8 +1,9 @@
 #!/bin/sh
 # CI gate: formatting, vet, build, the race-instrumented short test suite,
-# the quick-scale benchmark baseline check, and the plan-cache round-trip
+# the quick-scale benchmark baseline check, the plan-cache round-trip
 # check (warm starts must deploy cached strategy verdicts with zero
-# measurement passes).
+# measurement passes), and the execution-trace capture/attribution check
+# (2-replica capture must validate and attribute stragglers and waste).
 # Run from the repository root.
 set -eux
 
@@ -12,3 +13,4 @@ go build ./...
 go test -race -short ./...
 scripts/bench_check.sh
 scripts/plan_check.sh
+scripts/trace_check.sh

@@ -1,0 +1,71 @@
+#!/bin/sh
+# trace_check: end-to-end gate for the execution-tracing subsystem.
+# Trains a tiny conv+fc network across two data-parallel replicas with the
+# flight recorder attached, then:
+#
+#   - validates the capture with spg-trace -check (Perfetto/Chrome
+#     trace-event JSON that round-trips through the reader);
+#   - asserts the summarizer attributes stragglers (per-replica barrier
+#     table) and goodput waste (per-layer Eq. 9 split) from the capture;
+#   - runs the spg-trace golden-output test, which pins the report
+#     rendering and the deterministic exporter byte-for-byte.
+#
+# Usage: scripts/trace_check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+cat > "$tmp/net.prototxt" <<'EOF'
+name: "tracecheck"
+input { channels: 1 height: 28 width: 28 }
+layer { name: "conv0" type: "conv" features: 4 kernel: 5 stride: 2 }
+layer { name: "fc0" type: "fc" outputs: 10 }
+EOF
+
+go build -o "$tmp/spg-train" ./cmd/spg-train
+go build -o "$tmp/spg-trace" ./cmd/spg-trace
+
+out="$("$tmp/spg-train" -file "$tmp/net.prototxt" -dataset mnist -epochs 1 \
+	-examples 16 -batch 8 -workers 2 -replicas 2 \
+	-trace "$tmp/trace.json" -trace-mode ring)"
+echo "$out" | grep -q "^trace: wrote" || {
+	echo "trace_check: traced run did not report writing a capture:" >&2
+	echo "$out" >&2
+	exit 1
+}
+echo "$out" | grep -q "barrier wait" || {
+	echo "trace_check: traced run did not print the per-replica step table:" >&2
+	echo "$out" >&2
+	exit 1
+}
+
+"$tmp/spg-trace" -check "$tmp/trace.json" | grep -q "^trace OK:" || {
+	echo "trace_check: capture failed validation" >&2
+	exit 1
+}
+
+report="$("$tmp/spg-trace" "$tmp/trace.json")"
+for section in "top spans" "straggler attribution" "goodput-waste attribution"; do
+	echo "$report" | grep -q "$section" || {
+		echo "trace_check: report missing '$section' section:" >&2
+		echo "$report" >&2
+		exit 1
+	}
+done
+echo "$report" | grep -q "slowest replica overall:" || {
+	echo "trace_check: straggler attribution found no step groups:" >&2
+	echo "$report" >&2
+	exit 1
+}
+echo "$report" | grep -q "conv0" || {
+	echo "trace_check: goodput-waste attribution missing the conv layer row:" >&2
+	echo "$report" >&2
+	exit 1
+}
+
+go test -run 'TestRunGolden|TestSampleTraceInSync' ./cmd/spg-trace
+
+echo "trace_check: 2-replica capture validated; straggler and waste attribution present"

@@ -51,6 +51,7 @@ import (
 	"spgcnn/internal/spkernel"
 	"spgcnn/internal/stencil"
 	"spgcnn/internal/tensor"
+	"spgcnn/internal/trace"
 	"spgcnn/internal/unfoldgemm"
 	"spgcnn/internal/winograd"
 )
@@ -413,3 +414,96 @@ type HostFingerprint = machine.Host
 
 // HostInfo fingerprints this host.
 func HostInfo() HostFingerprint { return machine.HostInfo() }
+
+// Execution tracing (per-step timelines, Perfetto export, straggler and
+// goodput-waste attribution).
+
+// TraceRecorder is the low-overhead per-worker event recorder: every
+// layer/phase/strategy execution, planner decision, arena growth and
+// all-reduce lands on a timeline stamped with step, replica, worker and
+// sparsity band. Export with its WriteFile method (Chrome/Perfetto
+// trace-event JSON) and analyze with cmd/spg-trace.
+type TraceRecorder = trace.Recorder
+
+// TraceEmitter stamps events for one (replica, worker) identity; obtain
+// one from TraceRecorder.Emitter. All methods are nil-safe, so call sites
+// stay wired when tracing is off.
+type TraceEmitter = trace.Emitter
+
+// TraceOptions configures a recorder; the zero value is full capture with
+// default bounds.
+type TraceOptions = trace.Options
+
+// TraceMode selects full capture or the bounded flight-recorder ring.
+type TraceMode = trace.Mode
+
+// The capture modes.
+const (
+	TraceFull = trace.Full
+	TraceRing = trace.Ring
+)
+
+// TraceCapture is a recorder's exported snapshot: events, layer flop
+// metadata and buffer accounting.
+type TraceCapture = trace.Capture
+
+// TraceStats is a recorder's buffer accounting (emitted, buffered,
+// overwritten, dropped).
+type TraceStats = trace.Stats
+
+// NewTraceRecorder builds a recorder.
+func NewTraceRecorder(opts TraceOptions) *TraceRecorder { return trace.New(opts) }
+
+// ParseTraceMode parses "full" or "ring".
+func ParseTraceMode(s string) (TraceMode, error) { return trace.ParseMode(s) }
+
+// AttachTraceCtx streams an execution context's probe (layer, kernel and
+// tune spans, scheduler choices) and arena growth onto the timeline under
+// the given replica identity. The metrics bridge, if bound, keeps
+// observing — sinks fan out.
+func AttachTraceCtx(rec *TraceRecorder, c *Ctx, replica int) *TraceEmitter {
+	e := rec.Emitter(replica, 0)
+	if rec == nil || c == nil {
+		return e
+	}
+	c.Probe().AddSink(trace.NewProbeSink(e))
+	c.Arena().SetGrowHook(func(bytes int64) {
+		e.Instant("arena", "grow", "", float64(bytes))
+	})
+	return e
+}
+
+// BindTraceMetrics exports a recorder's buffer accounting (emitted,
+// buffered, overwritten, dropped, used ratio) as live gauges.
+func BindTraceMetrics(rec *TraceRecorder, r *MetricsRegistry) { metrics.BindTrace(rec, r) }
+
+// TraceLayerMeta is one layer's per-image flop metadata — what the
+// goodput-waste analyzer multiplies sparsity samples against.
+type TraceLayerMeta = trace.LayerMeta
+
+// RegisterTraceLayers records every conv layer's flop metadata with the
+// recorder, so exported captures carry what waste attribution needs.
+func RegisterTraceLayers(rec *TraceRecorder, net *Network) {
+	if rec == nil || net == nil {
+		return
+	}
+	for _, c := range net.ConvLayers() {
+		spec := c.Spec()
+		rec.AddLayerMeta(trace.LayerMeta{
+			Name:    c.Name(),
+			FPFlops: spec.FlopsFP(),
+			BPFlops: spec.FlopsBPInput() + spec.FlopsBPWeights(),
+		})
+	}
+}
+
+// SparsityBand maps a gradient sparsity to its quarter band (0..3) — the
+// stamp trace events and plan-cache keys carry.
+func SparsityBand(sparsity float64) int { return plan.Band(sparsity) }
+
+// DataParallelStats reports one data-parallel epoch, including the
+// per-replica step-time min/max/mean and barrier-wait attribution.
+type DataParallelStats = dataparallel.Stats
+
+// DataParallelReplicaStats is one replica's step-time summary.
+type DataParallelReplicaStats = dataparallel.ReplicaStats
