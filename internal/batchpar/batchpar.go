@@ -51,32 +51,32 @@ func (e *Executor) Spec() conv.Spec { return e.spec }
 // Inner returns the wrapped per-input kernel.
 func (e *Executor) Inner() engine.Kernel { return e.k }
 
-// ForwardBatch computes outs[i] = conv(ins[i], w) for the whole batch, one
-// worker per contiguous chunk of inputs, each chunk running the kernel
-// single-threaded.
+// ForwardBatch computes outs[i] = conv(ins[i], w) for the whole batch.
+// Inputs are claimed in dynamically-sized contiguous chunks (guided
+// self-scheduling) rather than one static chunk per worker: per-input cost
+// is ragged — sparse back-ends especially so — and dynamic claiming lets
+// fast workers absorb the tail. Each item's result is computed
+// independently by the stateless inner kernel, so chunk boundaries cannot
+// affect the bits.
 func (e *Executor) ForwardBatch(c *exec.Ctx, outs, ins []*tensor.Tensor, w *tensor.Tensor) {
 	if len(outs) != len(ins) {
 		panic("batchpar: ForwardBatch batch length mismatch")
 	}
 	serial := c.Serial()
-	par.ForWorkers(len(ins), c.Workers(), func(worker, lo, hi int) {
-		if lo >= hi {
-			return // uneven chunking can leave trailing workers empty
-		}
+	par.ForDynamic(len(ins), c.Workers(), 1, func(lo, hi int) {
 		e.k.ForwardBatch(serial, outs[lo:hi], ins[lo:hi], w)
 	})
 }
 
-// BackwardInputBatch computes eis[i] = corr(eos[i], w) for the whole batch.
+// BackwardInputBatch computes eis[i] = corr(eos[i], w) for the whole batch,
+// with the same dynamic chunking as ForwardBatch (error-gradient sparsity
+// makes per-input BP cost the most ragged of the three phases).
 func (e *Executor) BackwardInputBatch(c *exec.Ctx, eis, eos []*tensor.Tensor, w *tensor.Tensor) {
 	if len(eis) != len(eos) {
 		panic("batchpar: BackwardInputBatch batch length mismatch")
 	}
 	serial := c.Serial()
-	par.ForWorkers(len(eos), c.Workers(), func(worker, lo, hi int) {
-		if lo >= hi {
-			return
-		}
+	par.ForDynamic(len(eos), c.Workers(), 1, func(lo, hi int) {
 		e.k.BackwardInputBatch(serial, eis[lo:hi], eos[lo:hi], w)
 	})
 }
@@ -85,6 +85,10 @@ func (e *Executor) BackwardInputBatch(c *exec.Ctx, eis, eos []*tensor.Tensor, w 
 // sums its chunk's gradients into an arena-backed private accumulator (the
 // inner kernel's batch-sum semantics do the per-chunk reduction), then the
 // per-worker partials are reduced into dw. dw is overwritten.
+//
+// Unlike FP/BPI this keeps the STATIC partition: the grouping of partial
+// sums follows the chunk boundaries, so dynamic chunking would change the
+// floating-point reduction order run to run.
 func (e *Executor) BackwardWeightsBatch(c *exec.Ctx, dw *tensor.Tensor, eos, ins []*tensor.Tensor) {
 	if len(eos) != len(ins) {
 		panic("batchpar: BackwardWeightsBatch batch length mismatch")

@@ -105,6 +105,7 @@ func Experiments() []Experiment {
 		{"ablation-machine", "Ablation: machine-model sensitivity study (modeled)", KindModeled, RunAblationMachine},
 		{"ablation-fft", "Ablation: FFT vs direct convolution vs kernel size (measured)", KindMeasured, RunAblationFFT},
 		{"goodput", "Goodput across training: dense vs sparse BP (measured)", KindMeasured, RunGoodputTrain},
+		{"microkernel", "Micro-kernel layer: packed-panel GEMM, pack amortization, prepacked engine (measured)", KindMeasured, RunMicrokernel},
 	}
 }
 

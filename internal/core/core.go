@@ -42,6 +42,9 @@ func FPStrategies(workers int) []Strategy {
 		{Name: "parallel-gemm", Gen: unfoldgemm.Generator(workers)},
 		{Name: "gemm-in-parallel", Gen: unfoldgemm.Generator(1), BatchParallel: true},
 		{Name: "stencil", Gen: stencil.Generator(), BatchParallel: true},
+		// Appended after the paper's three so existing positional
+		// references ([1] gemm-in-parallel, [2] stencil) stay stable.
+		{Name: "gemm-packed", Gen: unfoldgemm.PackedGenerator(workers)},
 	}
 }
 
@@ -52,6 +55,8 @@ func BPStrategies(workers int) []Strategy {
 		{Name: "parallel-gemm", Gen: unfoldgemm.Generator(workers)},
 		{Name: "gemm-in-parallel", Gen: unfoldgemm.Generator(1), BatchParallel: true},
 		{Name: "sparse", Gen: spkernel.Generator(), BatchParallel: true},
+		// Appended after the paper's three (see FPStrategies).
+		{Name: "gemm-packed", Gen: unfoldgemm.PackedGenerator(workers)},
 	}
 }
 

@@ -19,15 +19,17 @@ func sampleBatch(r *rng.RNG, s conv.Spec, n int, sparsity float64) (ins, eos []*
 
 func TestStrategySetsMatchPaper(t *testing.T) {
 	fp := FPStrategies(4)
-	if len(fp) != 3 || fp[0].Name != "parallel-gemm" || fp[1].Name != "gemm-in-parallel" || fp[2].Name != "stencil" {
+	if len(fp) != 4 || fp[0].Name != "parallel-gemm" || fp[1].Name != "gemm-in-parallel" ||
+		fp[2].Name != "stencil" || fp[3].Name != "gemm-packed" {
 		t.Fatalf("FP candidates = %v", names(fp))
 	}
 	bp := BPStrategies(4)
-	if len(bp) != 3 || bp[2].Name != "sparse" {
+	if len(bp) != 4 || bp[2].Name != "sparse" || bp[3].Name != "gemm-packed" {
 		t.Fatalf("BP candidates = %v", names(bp))
 	}
-	// Parallel-GEMM is the only non-batch-parallel strategy.
-	if fp[0].BatchParallel || !fp[1].BatchParallel || !fp[2].BatchParallel {
+	// The paper's three keep their positions; internally-parallel GEMM
+	// strategies are not batch-parallel.
+	if fp[0].BatchParallel || !fp[1].BatchParallel || !fp[2].BatchParallel || fp[3].BatchParallel {
 		t.Fatal("batch-parallel flags wrong")
 	}
 }
@@ -103,8 +105,8 @@ func TestChooseFPPicksMeasuredMinimum(t *testing.T) {
 	if _, ok := ctx.Probe().SpanStats("tune/fp/stencil"); !ok {
 		t.Fatal("tuning spans not recorded in probe")
 	}
-	if len(sel.Timings) != 3 {
-		t.Fatalf("timings = %d entries, want 3", len(sel.Timings))
+	if len(sel.Timings) != 4 {
+		t.Fatalf("timings = %d entries, want 4", len(sel.Timings))
 	}
 	best := sel.Best()
 	if sel.Chosen.Strategy().Name != best.Strategy.Name {
@@ -124,7 +126,7 @@ func TestChooseBPPicksMeasuredMinimum(t *testing.T) {
 	w := conv.RandWeights(r, s)
 	ins, eos := sampleBatch(r, s, 2, 0.9)
 	sel := ChooseBP(BPStrategies(2), s, exec.New(2), eos, ins, w, TuneOptions{Reps: 2})
-	if sel.Chosen == nil || len(sel.Timings) != 3 {
+	if sel.Chosen == nil || len(sel.Timings) != 4 {
 		t.Fatal("ChooseBP incomplete")
 	}
 	if sel.Chosen.Strategy().Name != sel.Best().Strategy.Name {

@@ -37,6 +37,10 @@ type DiffOptions struct {
 	// Sparsities are the EO sparsity levels swept in BP comparisons
 	// (default 0, 0.25, 0.5, 0.75, 0.9, 0.99).
 	Sparsities []float64
+	// ExtraSpecs are always swept in addition to the built-in and random
+	// geometries (e.g. shapes known to cross a kernel's dispatch
+	// thresholds).
+	ExtraSpecs []conv.Spec
 }
 
 func (o *DiffOptions) fill() {
@@ -147,7 +151,13 @@ func RunDifferential(t *testing.T, gen, ref engine.Generator, opts DiffOptions) 
 		conv.Square(4, 1, 1, 1, 1),
 		conv.Square(9, 3, 2, 3, 3),
 		conv.Spec{Nx: 11, Ny: 5, Nc: 2, Nf: 3, Fx: 3, Fy: 2, Sx: 2, Sy: 1},
+		// Odd prime dims and stride > 1 on both axes: geometries whose
+		// GEMM shapes hit every remainder path of the register kernels
+		// (partial panels, M/N/K not multiples of the tile widths).
+		conv.Spec{Nx: 13, Ny: 7, Nc: 3, Nf: 5, Fx: 3, Fy: 3, Sx: 2, Sy: 2},
+		conv.Spec{Nx: 17, Ny: 17, Nc: 1, Nf: 7, Fx: 5, Fy: 1, Sx: 3, Sy: 1},
 	}
+	specs = append(specs, opts.ExtraSpecs...)
 	for i := 0; i < opts.Trials; i++ {
 		specs = append(specs, conv.RandSpec(r, opts.MaxDim))
 	}

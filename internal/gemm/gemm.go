@@ -116,31 +116,61 @@ const (
 	blockNC = 512 // N-dimension block
 )
 
-// packedThreshold selects the Goto-style packed path (packed.go) once the
-// B operand footprint outgrows the L2-friendly regime where the pack-free
-// kernel's strided B walk is still cheap.
-const packedThreshold = 150_000 // K·N elements
+// usePacked reports whether a GEMM of these dimensions should take the
+// packed-panel path (packed.go): enough output rows to amortize the pack,
+// and a B footprint past the cache-resident regime where the pack-free
+// blocked kernel holds its own.
+func usePacked(m, k, n int) bool {
+	return m >= minPackedRows && k*n >= minPackedArea
+}
+
+// Dispatch limits behind usePacked; variables only so ForcePackedForTest
+// can drive small shapes through the packed kernels.
+var (
+	minPackedRows = packedMinRows
+	minPackedArea = packedThreshold
+)
+
+// ForcePackedForTest drops the packed-path dispatch limits to 1 so that
+// differential tests sweep the packed kernels at every geometry, including
+// the small odd shapes that exercise remainder handling. It returns a
+// restore function; not for use outside tests.
+func ForcePackedForTest() (restore func()) {
+	oldRows, oldArea := minPackedRows, minPackedArea
+	minPackedRows, minPackedArea = 1, 1
+	return func() { minPackedRows, minPackedArea = oldRows, oldArea }
+}
+
+// DisablePackedForTest raises the packed-path dispatch limits above any
+// realistic size so Serial/SerialAccum run the blocked baseline kernel —
+// used by benchmarks that measure the packed path's advantage. It returns
+// a restore function; not for use outside tests and benchmarks.
+func DisablePackedForTest() (restore func()) {
+	oldRows, oldArea := minPackedRows, minPackedArea
+	minPackedRows, minPackedArea = 1<<30, 1<<62
+	return func() { minPackedRows, minPackedArea = oldRows, oldArea }
+}
 
 // Serial computes C = A·B with a single thread: cache blocking with a 4x4
-// register-tiled micro-kernel, switching to the packed Goto-style kernel
-// for large operands. C is overwritten.
+// register-tiled micro-kernel, switching to the packed-panel kernel for
+// large operands. C is overwritten.
 func Serial(c, a, b *Matrix) {
 	checkMul(c, a, b)
-	c.Zero()
-	if a.Cols*b.Cols >= packedThreshold {
-		var buf packBuf
-		PackedAccumWith(&buf, c, a, b)
+	if usePacked(a.Rows, a.Cols, b.Cols) {
+		PackedSerial(c, a, b)
 		return
 	}
+	c.Zero()
 	serialRange(c, a, b, 0, a.Rows)
 }
 
 // SerialAccum computes C += A·B (no zeroing) with a single thread.
 func SerialAccum(c, a, b *Matrix) {
 	checkMul(c, a, b)
-	if a.Cols*b.Cols >= packedThreshold {
-		var buf packBuf
-		PackedAccumWith(&buf, c, a, b)
+	if usePacked(a.Rows, a.Cols, b.Cols) {
+		buf := bufPool.Get().(*packBuf)
+		packedAccum(buf, c, a, b)
+		bufPool.Put(buf)
 		return
 	}
 	serialRange(c, a, b, 0, a.Rows)
@@ -163,55 +193,18 @@ func serialRange(c, a, b *Matrix, mlo, mhi int) {
 
 // microPanel runs the register-tiled kernel over an (M-block, K-block,
 // N-block) panel: 4 rows of C at a time, 4 columns at a time, accumulators
-// held in 16 scalar locals that the compiler keeps in registers.
+// held in 16 scalar locals that the compiler keeps in registers. The tile
+// body lives in panelTile4x4 (microkernel.go), which is bounds-check-free.
 func microPanel(c, a, b *Matrix, mlo, mhi, klo, khi, nlo, nhi int) {
 	i := mlo
 	for ; i+4 <= mhi; i += 4 {
 		a0, a1, a2, a3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
 		c0, c1, c2, c3 := c.Row(i), c.Row(i+1), c.Row(i+2), c.Row(i+3)
+		x0, x1, x2, x3 := a0[klo:khi], a1[klo:khi], a2[klo:khi], a3[klo:khi]
 		j := nlo
 		for ; j+4 <= nhi; j += 4 {
-			var s00, s01, s02, s03 float32
-			var s10, s11, s12, s13 float32
-			var s20, s21, s22, s23 float32
-			var s30, s31, s32, s33 float32
-			for k := klo; k < khi; k++ {
-				brow := b.Row(k)
-				b0, b1, b2, b3 := brow[j], brow[j+1], brow[j+2], brow[j+3]
-				v0, v1, v2, v3 := a0[k], a1[k], a2[k], a3[k]
-				s00 += v0 * b0
-				s01 += v0 * b1
-				s02 += v0 * b2
-				s03 += v0 * b3
-				s10 += v1 * b0
-				s11 += v1 * b1
-				s12 += v1 * b2
-				s13 += v1 * b3
-				s20 += v2 * b0
-				s21 += v2 * b1
-				s22 += v2 * b2
-				s23 += v2 * b3
-				s30 += v3 * b0
-				s31 += v3 * b1
-				s32 += v3 * b2
-				s33 += v3 * b3
-			}
-			c0[j] += s00
-			c0[j+1] += s01
-			c0[j+2] += s02
-			c0[j+3] += s03
-			c1[j] += s10
-			c1[j+1] += s11
-			c1[j+2] += s12
-			c1[j+3] += s13
-			c2[j] += s20
-			c2[j+1] += s21
-			c2[j+2] += s22
-			c2[j+3] += s23
-			c3[j] += s30
-			c3[j+1] += s31
-			c3[j+2] += s32
-			c3[j+3] += s33
+			bp := b.Data[klo*b.Cols+j:]
+			panelTile4x4(c0[j:], c1[j:], c2[j:], c3[j:], x0, x1, x2, x3, bp, b.Cols)
 		}
 		// N remainder for this 4-row strip.
 		for ; j < nhi; j++ {

@@ -1,55 +1,84 @@
 package gemm
 
-// Packed (Goto-style) SGEMM: for matrices beyond cache-resident sizes, the
-// dominant cost of the plain blocked kernel is strided access to B and
-// repeated TLB pressure on A. The classical remedy (Goto & van de Geijn,
-// "Anatomy of High-Performance Matrix Multiplication" — the paper's [26])
-// is to copy blocks of A and panels of B into contiguous buffers laid out
-// exactly in the order the micro-kernel consumes them, then run the
-// register-tiled kernel over the packed data. The packing cost is O(n²)
-// against O(n³) arithmetic, so it amortizes for large enough K and N.
+import "sync"
+
+// Packed-operand SGEMM: the B operand is copied once into column panels of
+// panelW columns, interleaved along K (panel element 8k+c holds B[k][j+c]),
+// and the inner kernel (microDot8, microkernel.go) streams ONE packed panel
+// against one A row — two slice advances per K step feeding eight
+// register-resident accumulators. Classical packing (Goto & van de Geijn,
+// the paper's [26]) buys contiguity; the interleaved layout additionally
+// collapses the eight B-row streams of the dot-orientation kernel into a
+// single stream, which is what pushes the pure-Go kernel past the blocked
+// RMW tile on this machine.
 //
-// PackedSerial mirrors Serial's contract (C = A·B overwritten) and is what
-// Serial dispatches to above a size threshold.
+// The pack costs O(K·N) moves against O(M·K·N) arithmetic, so it amortizes
+// across the M output rows of a single call — and across an entire batch
+// (and training steps) when the packed operand is a constant weight matrix
+// reused via PackedB (packedplan.go).
+//
+// Accumulation order: every output element is one full-K dot product with a
+// single accumulator walking k in increasing order — the same order as
+// Naive's inner loop and the same order dotRows8 uses, so the packed path
+// is bit-identical to the MulTransB row kernel it accelerates.
 
-const (
-	// packKC × packNC floats of packed B (~192 KiB) target L2; packMC ×
-	// packKC of packed A (~96 KiB) sits alongside it.
-	packKC = 384
-	packMC = 64
-	packNC = 512
-	// Micro-tile: MR rows × NR columns of C in registers.
-	packMR = 4
-	packNR = 4
-)
+// panelW is the packed panel width: eight C columns computed per A-row pass,
+// matching the eight accumulator chains microDot8 keeps in registers.
+const panelW = 8
 
-// packBuf holds reusable packing storage; a zero value is ready to use.
+// packedThreshold selects the packed path in Serial/SerialAccum/Parallel
+// once the B footprint (K·N elements) outgrows the regime where the
+// pack-free blocked kernel's strided B walk is still cheap. Below it the
+// O(K·N) pack is a poor trade for cache-resident operands; above it the
+// single-stream panels win decisively (see BenchmarkGemmMicrokernel).
+const packedThreshold = 24_576 // K·N elements
+
+// packedMinRows gates the packed path on output height: with fewer rows the
+// pack cost is not amortized and the blocked kernel stays ahead.
+const packedMinRows = 4
+
+// packBuf holds reusable panel storage for the pack-per-call entry points; a
+// zero value is ready to use and grows on demand.
 type packBuf struct {
-	a []float32 // packMC × packKC, MR-interleaved
-	b []float32 // packKC × packNC, NR-interleaved
+	b []float32
 }
 
-func (p *packBuf) ensure() {
-	if p.a == nil {
-		p.a = make([]float32, packMC*packKC)
-		p.b = make([]float32, packKC*packNC)
+// panels returns a buffer of at least n floats, reusing prior storage.
+func (p *packBuf) panels(n int) []float32 {
+	if cap(p.b) < n {
+		p.b = make([]float32, n)
 	}
+	return p.b[:n]
 }
 
-// packA copies the A block rows [m0, m0+mc) × cols [k0, k0+kc) into buf in
-// MR-row interleaved order: for each strip of MR rows, column-major within
-// the strip, so the micro-kernel reads MR values per k with stride MR.
-// Rows past A's edge are zero-filled.
-func packA(buf []float32, a *Matrix, m0, mc, k0, kc int) {
+// bufPool recycles packBufs for the pack-per-call paths so steady-state
+// training steps do not allocate (Batch runs many Serial instances
+// concurrently; sync.Pool keeps them race-free).
+var bufPool = sync.Pool{New: func() any { return new(packBuf) }}
+
+// padUp rounds n up to a multiple of panelW.
+func padUp(n int) int { return (n + panelW - 1) / panelW * panelW }
+
+// packPanels copies B (K×N row-major) into k-interleaved panels of panelW
+// columns: dst[(j/panelW)*K*panelW + k*panelW + c] = B[k][j+c]. Columns past
+// N pack as zeros so the kernel needs no column-edge variant. dst must have
+// K*padUp(N) elements.
+func packPanels(dst []float32, b *Matrix) {
+	K, N := b.Rows, b.Cols
 	idx := 0
-	for i := 0; i < mc; i += packMR {
-		for k := 0; k < kc; k++ {
-			for r := 0; r < packMR; r++ {
-				row := m0 + i + r
-				if row < m0+mc && row < a.Rows {
-					buf[idx] = a.Data[row*a.Cols+k0+k]
+	j := 0
+	for ; j+panelW <= N; j += panelW {
+		copyStrip8(dst[idx:idx+K*panelW], b.Data[j:], N)
+		idx += K * panelW
+	}
+	if j < N {
+		for k := 0; k < K; k++ {
+			brow := b.Data[k*N : (k+1)*N]
+			for c := 0; c < panelW; c++ {
+				if j+c < N {
+					dst[idx] = brow[j+c]
 				} else {
-					buf[idx] = 0
+					dst[idx] = 0
 				}
 				idx++
 			}
@@ -57,19 +86,28 @@ func packA(buf []float32, a *Matrix, m0, mc, k0, kc int) {
 	}
 }
 
-// packB copies the B panel rows [k0, k0+kc) × cols [n0, n0+nc) into buf in
-// NR-column interleaved order. Columns past B's edge are zero-filled.
-func packB(buf []float32, b *Matrix, k0, kc, n0, nc int) {
+// packPanelsTrans packs the TRANSPOSE of src (N×K row-major) into the same
+// panel layout — the B operand of C = A·srcᵀ without materializing the
+// transpose: dst[...] = src[j+c][k]. Each panel gathers eight consecutive
+// src rows walked along k (gatherStrip8). Rows past src.Rows pack as zeros.
+// dst must have K*padUp(src.Rows) elements.
+func packPanelsTrans(dst []float32, src *Matrix) {
+	K, N := src.Cols, src.Rows
 	idx := 0
-	for j := 0; j < nc; j += packNR {
-		for k := 0; k < kc; k++ {
-			brow := b.Data[(k0+k)*b.Cols:]
-			for c := 0; c < packNR; c++ {
-				col := n0 + j + c
-				if col < n0+nc && col < b.Cols {
-					buf[idx] = brow[col]
+	j := 0
+	for ; j+panelW <= N; j += panelW {
+		gatherStrip8(dst[idx:idx+K*panelW],
+			src.Row(j), src.Row(j+1), src.Row(j+2), src.Row(j+3),
+			src.Row(j+4), src.Row(j+5), src.Row(j+6), src.Row(j+7))
+		idx += K * panelW
+	}
+	if j < N {
+		for k := 0; k < K; k++ {
+			for c := 0; c < panelW; c++ {
+				if j+c < N {
+					dst[idx] = src.Data[(j+c)*K+k]
 				} else {
-					buf[idx] = 0
+					dst[idx] = 0
 				}
 				idx++
 			}
@@ -77,91 +115,74 @@ func packB(buf []float32, b *Matrix, k0, kc, n0, nc int) {
 	}
 }
 
-// microPacked computes one MR×NR tile of C += packed-A-strip · packed-B-strip.
-// ap walks MR values per k; bp walks NR values per k.
-func microPacked(c *Matrix, m0, n0, mEdge, nEdge int, ap, bp []float32, kc int) {
-	var s00, s01, s02, s03 float32
-	var s10, s11, s12, s13 float32
-	var s20, s21, s22, s23 float32
-	var s30, s31, s32, s33 float32
-	ia, ib := 0, 0
-	for k := 0; k < kc; k++ {
-		a0, a1, a2, a3 := ap[ia], ap[ia+1], ap[ia+2], ap[ia+3]
-		b0, b1, b2, b3 := bp[ib], bp[ib+1], bp[ib+2], bp[ib+3]
-		ia += packMR
-		ib += packNR
-		s00 += a0 * b0
-		s01 += a0 * b1
-		s02 += a0 * b2
-		s03 += a0 * b3
-		s10 += a1 * b0
-		s11 += a1 * b1
-		s12 += a1 * b2
-		s13 += a1 * b3
-		s20 += a2 * b0
-		s21 += a2 * b1
-		s22 += a2 * b2
-		s23 += a2 * b3
-		s30 += a3 * b0
-		s31 += a3 * b1
-		s32 += a3 * b2
-		s33 += a3 * b3
-	}
-	sums := [packMR][packNR]float32{
-		{s00, s01, s02, s03},
-		{s10, s11, s12, s13},
-		{s20, s21, s22, s23},
-		{s30, s31, s32, s33},
-	}
-	for r := 0; r < mEdge; r++ {
-		crow := c.Row(m0 + r)
-		for cc := 0; cc < nEdge; cc++ {
-			crow[n0+cc] += sums[r][cc]
+// packedMulRange computes rows [lo, hi) of C = A·B (accum=false overwrites,
+// accum=true adds) from pre-packed panels covering all padUp(n) columns.
+// n is the live column count (c.Cols).
+func packedMulRange(c, a *Matrix, panels []float32, n int, lo, hi int, accum bool) {
+	K := a.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		j := 0
+		for ; j+panelW <= n; j += panelW {
+			s0, s1, s2, s3, s4, s5, s6, s7 := microDot8(arow, panels[j*K:(j+panelW)*K])
+			if accum {
+				crow[j] += s0
+				crow[j+1] += s1
+				crow[j+2] += s2
+				crow[j+3] += s3
+				crow[j+4] += s4
+				crow[j+5] += s5
+				crow[j+6] += s6
+				crow[j+7] += s7
+			} else {
+				crow[j] = s0
+				crow[j+1] = s1
+				crow[j+2] = s2
+				crow[j+3] = s3
+				crow[j+4] = s4
+				crow[j+5] = s5
+				crow[j+6] = s6
+				crow[j+7] = s7
+			}
+		}
+		if j < n {
+			// Final partial panel: zero-padded columns yield dots that are
+			// simply not stored.
+			s := [panelW]float32{}
+			s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7] = microDot8(arow, panels[j*K:(j+panelW)*K])
+			for c2 := 0; j+c2 < n; c2++ {
+				if accum {
+					crow[j+c2] += s[c2]
+				} else {
+					crow[j+c2] = s[c2]
+				}
+			}
 		}
 	}
 }
 
-// PackedSerial computes C = A·B with Goto-style packing, single-threaded.
-// C is overwritten.
+// packedAccum computes C += A·B, packing B's panels into buf for the call.
+func packedAccum(buf *packBuf, c, a, b *Matrix) {
+	panels := buf.panels(b.Rows * padUp(b.Cols))
+	packPanels(panels, b)
+	packedMulRange(c, a, panels, b.Cols, 0, a.Rows, true)
+}
+
+// PackedSerial computes C = A·B through the packed-panel kernel,
+// single-threaded. C is overwritten.
 func PackedSerial(c, a, b *Matrix) {
 	checkMul(c, a, b)
-	c.Zero()
-	var buf packBuf
-	PackedAccumWith(&buf, c, a, b)
+	buf := bufPool.Get().(*packBuf)
+	panels := buf.panels(b.Rows * padUp(b.Cols))
+	packPanels(panels, b)
+	packedMulRange(c, a, panels, b.Cols, 0, a.Rows, false)
+	bufPool.Put(buf)
 }
 
-// PackedAccumWith computes C += A·B using caller-owned packing buffers
+// PackedAccumWith computes C += A·B using caller-owned packing storage
 // (reusable across calls, e.g. by a conv kernel invoked per image).
 func PackedAccumWith(buf *packBuf, c, a, b *Matrix) {
 	checkMul(c, a, b)
-	buf.ensure()
-	M, K, N := a.Rows, a.Cols, b.Cols
-	for k0 := 0; k0 < K; k0 += packKC {
-		kc := min(packKC, K-k0)
-		for n0 := 0; n0 < N; n0 += packNC {
-			nc := min(packNC, N-n0)
-			ncPad := (nc + packNR - 1) / packNR * packNR
-			packB(buf.b, b, k0, kc, n0, ncPad)
-			for m0 := 0; m0 < M; m0 += packMC {
-				mc := min(packMC, M-m0)
-				mcPad := (mc + packMR - 1) / packMR * packMR
-				packA(buf.a, a, m0, mcPad, k0, kc)
-				for i := 0; i < mcPad; i += packMR {
-					mEdge := min(packMR, mc-i)
-					if mEdge <= 0 {
-						break
-					}
-					ap := buf.a[i*kc:]
-					for j := 0; j < ncPad; j += packNR {
-						nEdge := min(packNR, nc-j)
-						if nEdge <= 0 {
-							break
-						}
-						bp := buf.b[j*kc:]
-						microPacked(c, m0+i, n0+j, mEdge, nEdge, ap, bp, kc)
-					}
-				}
-			}
-		}
-	}
+	packedAccum(buf, c, a, b)
 }

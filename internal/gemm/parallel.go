@@ -20,18 +20,21 @@ func Parallel(c, a, b *Matrix, workers int) {
 	ParallelAccum(c, a, b, workers)
 }
 
-// ParallelAccum computes C += A·B with row partitioning across workers.
-// Large operands take the packed Goto-style path per worker (each worker
-// owns packing buffers and its contiguous row slice of A and C).
+// ParallelAccum computes C += A·B with rows of C divided across workers.
+// Large operands pack B's panels ONCE (read-only, shared by every worker)
+// and claim rows through par.ForDynamic's guided chunking, so the pack cost
+// is paid once per call instead of once per worker and ragged tails cannot
+// idle a core.
 func ParallelAccum(c, a, b *Matrix, workers int) {
 	checkMul(c, a, b)
-	if a.Cols*b.Cols >= packedThreshold {
-		par.ForChunked(a.Rows, workers, func(lo, hi int) {
-			aView := FromSlice(a.Data[lo*a.Cols:hi*a.Cols], hi-lo, a.Cols)
-			cView := FromSlice(c.Data[lo*c.Cols:hi*c.Cols], hi-lo, c.Cols)
-			var buf packBuf
-			PackedAccumWith(&buf, cView, aView, b)
+	if usePacked(a.Rows, a.Cols, b.Cols) {
+		buf := bufPool.Get().(*packBuf)
+		panels := buf.panels(b.Rows * padUp(b.Cols))
+		packPanels(panels, b)
+		par.ForDynamic(a.Rows, workers, 1, func(lo, hi int) {
+			packedMulRange(c, a, panels, b.Cols, lo, hi, true)
 		})
+		bufPool.Put(buf)
 		return
 	}
 	par.ForChunked(a.Rows, workers, func(lo, hi int) {
@@ -61,7 +64,8 @@ func Batch(cs, as, bs []*Matrix, workers int) {
 
 // MulTransA computes C = Aᵀ·B without materializing the transpose:
 // C[i][j] = Σ_k A[k][i]·B[k][j]. Used by the backward-weights GEMM where
-// the unfolded input appears transposed.
+// the unfolded input appears transposed. The scatter structure skips
+// zero A entries, so sparse error gradients cost only their non-zeros.
 func MulTransA(c, a, b *Matrix) {
 	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
 		panic("gemm: MulTransA dimension mismatch")
@@ -74,49 +78,28 @@ func MulTransA(c, a, b *Matrix) {
 			if aki == 0 {
 				continue
 			}
-			crow := c.Row(i)
-			for j, bkj := range brow {
-				crow[j] += aki * bkj
-			}
+			axpyAcc(c.Row(i), brow, aki)
 		}
 	}
 }
 
 // MulTransB computes C = A·Bᵀ without materializing the transpose:
 // C[i][j] = Σ_k A[i][k]·B[j][k]. The inner loop is a dot product of two
-// contiguous rows, which the register blocking exploits four rows of B at
-// a time.
+// contiguous rows — eight B rows at a time (dotRows8) — and large operands
+// first pack Bᵀ into interleaved panels so the eight row streams collapse
+// into one (microDot8). Both forms keep one k-ordered accumulator per
+// element, so they are bit-identical.
 func MulTransB(c, a, b *Matrix) {
 	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
 		panic("gemm: MulTransB dimension mismatch")
 	}
-	K := a.Cols
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		crow := c.Row(i)
-		j := 0
-		for ; j+4 <= b.Rows; j += 4 {
-			b0, b1, b2, b3 := b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3)
-			var s0, s1, s2, s3 float32
-			for k := 0; k < K; k++ {
-				av := arow[k]
-				s0 += av * b0[k]
-				s1 += av * b1[k]
-				s2 += av * b2[k]
-				s3 += av * b3[k]
-			}
-			crow[j] = s0
-			crow[j+1] = s1
-			crow[j+2] = s2
-			crow[j+3] = s3
-		}
-		for ; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var s float32
-			for k := 0; k < K; k++ {
-				s += arow[k] * brow[k]
-			}
-			crow[j] = s
-		}
+	if usePacked(a.Rows, a.Cols, b.Rows) {
+		buf := bufPool.Get().(*packBuf)
+		panels := buf.panels(b.Cols * padUp(b.Rows))
+		packPanelsTrans(panels, b)
+		packedMulRange(c, a, panels, b.Rows, 0, a.Rows, false)
+		bufPool.Put(buf)
+		return
 	}
+	mulTransBRange(c, a, b, 0, a.Rows)
 }

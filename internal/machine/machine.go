@@ -175,6 +175,36 @@ func (m Machine) trainingAggregate(s conv.Spec, p int, rate func(conv.Spec, ait.
 	return totalFlops / totalTime / 1e9 / float64(p)
 }
 
+// PackedGEMM predicts GFlops/core for the prepacked-operand engine
+// (unfold-packed-gemm) on p cores. The engine runs the weight-consuming
+// GEMMs in the orientation that makes the constant weight matrix the
+// packable operand, so per §3.2 accounting each core reads only its row
+// slice of the VARYING operand (the unfolded image or transposed error)
+// plus the packed weights — no operand the size of the unfolded matrix is
+// read in full per core — and the O(Nf·taps) pack itself is charged once
+// per packAmortBatch images instead of per image. BP-dW has no constant
+// operand and keeps the Parallel-GEMM rate.
+func (m Machine) PackedGEMM(s conv.Spec, phase ait.Phase, p int) float64 {
+	if phase == ait.BPWeights {
+		return m.ParallelGEMM(s, phase, p)
+	}
+	// Nominal images sharing one weight pack: a pack survives a whole
+	// batch (and across steps until the optimizer writes the weights).
+	const packAmortBatch = 8
+	mm := ait.MMOf(s, phase)
+	fp := float64(p)
+	flops := 2 * float64(mm.M) * float64(mm.N) * float64(mm.K)
+	taps := float64(s.Nc * s.Fy * s.Fx)
+	nf := float64(s.Nf)
+	wElems := nf * taps
+	pix := flops / (2 * wElems)
+	memPerCore := pix*(taps+nf)/fp + wElems*(1+2/(packAmortBatch*fp))
+	a := (flops / fp) / memPerCore
+	rate := m.shareBandwidth(m.EffPerCore(a), a, p)
+	t := m.unfoldSeconds(s) + flops/(rate*1e9*fp)
+	return flops / t / 1e9 / fp
+}
+
 // Stencil predicts GFlops/core for the Stencil-Kernel (FP) on p cores:
 // throughput is peak discounted by the generated basic block's
 // loads-per-MAC (register/L1 traffic), with shared bandwidth charged only

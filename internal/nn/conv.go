@@ -182,6 +182,10 @@ func newConvCommon(name string, s conv.Spec, ctx *exec.Ctx, r *rng.RNG) *Conv {
 	// He initialization: stddev = sqrt(2 / fan-in).
 	fanIn := float64(s.Nc * s.Fy * s.Fx)
 	c.W.FillNormal(r, 0, float32(math.Sqrt(2/fanIn)))
+	// Track weight versions from the start so engines that cache packed
+	// operands (unfoldgemm.PackedKernel) reuse them across batches and
+	// steps, invalidating only on ApplyGrads.
+	c.W.Bump()
 	return c
 }
 
@@ -265,6 +269,8 @@ func (c *Conv) Backward(eis, eos, ins []*tensor.Tensor) {
 func (c *Conv) ApplyGrads(lr float32, batch int) {
 	c.opt.step(c.W, c.dW, lr, batch)
 	c.opt.step(c.B, c.dB, lr, batch)
+	// The in-place weight update invalidates any cached packed operands.
+	c.W.Bump()
 }
 
 // EpochEnd implements Layer: forwards to the scheduler (BP re-check). The

@@ -67,6 +67,17 @@ func modelRate(m machine.Machine, s conv.Spec, phase string, sparsity float64,
 		return bpAggregate(s, workers, func(ph ait.Phase) float64 {
 			return m.GEMMInParallel(s, ph, workers)
 		}), true
+	case "gemm-packed":
+		// Prepacked weight operand: the model carries the pack-amortization
+		// term (machine.PackedGEMM) so the candidate ranks above
+		// parallel-gemm exactly where hoisting the pack pays — many output
+		// pixels per weight element — and not on degenerate geometries.
+		if phase == "fp" {
+			return m.PackedGEMM(s, ait.FP, workers), true
+		}
+		return bpAggregate(s, workers, func(ph ait.Phase) float64 {
+			return m.PackedGEMM(s, ph, workers)
+		}), true
 	case "stencil":
 		if phase == "fp" {
 			return m.Stencil(s, workers), true

@@ -22,7 +22,20 @@ import (
 type Tensor struct {
 	Dims []int
 	Data []float32
+
+	// Ver is an opt-in version counter for caches of artifacts derived
+	// from Data (packed GEMM operands, layout transforms). Zero means
+	// untracked: consumers must re-derive on every use. Code that mutates
+	// Data in place and wants such caches to engage calls Bump after each
+	// mutation (the first Bump moves the tensor from untracked to
+	// tracked).
+	Ver uint64
 }
+
+// Bump advances the version counter after an in-place mutation of Data, so
+// version-keyed caches of derived artifacts invalidate. A fresh (Ver == 0)
+// tensor becomes tracked on its first Bump.
+func (t *Tensor) Bump() { t.Ver++ }
 
 // New allocates a zero-filled tensor with the given dimensions.
 // It panics on negative dimensions.

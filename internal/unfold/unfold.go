@@ -75,12 +75,34 @@ func Col2im(s conv.Spec, in *tensor.Tensor, u *gemm.Matrix) {
 				base := c * fxy
 				for ky := 0; ky < s.Fy; ky++ {
 					dst := in.Row3(c, y*s.Sy+ky)[x*s.Sx : x*s.Sx+s.Fx]
-					for kx := 0; kx < s.Fx; kx++ {
-						dst[kx] += src[base+ky*s.Fx+kx]
-					}
+					addTo(dst, src[base+ky*s.Fx:])
 				}
 			}
 		}
+	}
+}
+
+// addTo accumulates dst[i] += src[i] over len(dst) elements in streaming
+// form, so the element loop compiles with no bounds checks (src must be at
+// least as long as dst).
+func addTo(dst, src []float32) {
+	n := len(dst)
+	if n > len(src) {
+		panic("unfold: addTo source too short")
+	}
+	src = src[:n]
+	for len(dst) >= 4 && len(src) >= 4 {
+		dst[0] += src[0]
+		dst[1] += src[1]
+		dst[2] += src[2]
+		dst[3] += src[3]
+		dst = dst[4:]
+		src = src[4:]
+	}
+	for len(dst) >= 1 && len(src) >= 1 {
+		dst[0] += src[0]
+		dst = dst[1:]
+		src = src[1:]
 	}
 }
 

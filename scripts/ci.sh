@@ -1,9 +1,10 @@
 #!/bin/sh
 # CI gate: formatting, vet, build, the race-instrumented short test suite,
-# the quick-scale benchmark baseline check, the plan-cache round-trip
-# check (warm starts must deploy cached strategy verdicts with zero
-# measurement passes), and the execution-trace capture/attribution check
-# (2-replica capture must validate and attribute stragglers and waste).
+# the bounds-check-elimination gate on the hot micro-kernel files, the
+# quick-scale benchmark baseline check, the plan-cache round-trip check
+# (warm starts must deploy cached strategy verdicts with zero measurement
+# passes), and the execution-trace capture/attribution check (2-replica
+# capture must validate and attribute stragglers and waste).
 # Run from the repository root.
 set -eux
 
@@ -11,6 +12,7 @@ test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test -race -short ./...
+scripts/bce_check.sh
 scripts/bench_check.sh
 scripts/plan_check.sh
 scripts/trace_check.sh
