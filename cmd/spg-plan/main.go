@@ -25,6 +25,7 @@ import (
 	"spgcnn/internal/machine"
 	"spgcnn/internal/plan"
 	"spgcnn/internal/stencil"
+	"spgcnn/internal/tensor"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func run(args []string, stdout io.Writer) error {
 		f         = fs.Int("f", 5, "kernel size (Fx = Fy)")
 		s         = fs.Int("s", 1, "stride")
 		sparsity  = fs.Float64("sparsity", 0.85, "assumed BP error sparsity")
+		wsparsity = fs.Float64("wsparsity", 0, "assumed FP weight sparsity (fraction of pruned weights)")
 		tune      = fs.Bool("tune", false, "also run the planner's measurement pass on this host")
 		workers   = fs.Int("workers", 0, "worker cores for the model ranking and -tune (0 = GOMAXPROCS)")
 		reps      = fs.Int("reps", 0, "measurement repetitions per candidate for -tune (0 = default)")
@@ -87,8 +89,10 @@ func run(args []string, stdout io.Writer) error {
 	// dense-equivalent axis, with the prune verdicts the planner would
 	// apply before measuring.
 	fmt.Fprintf(stdout, "planner model ranking (dense-equivalent GFlops/core at p=%d):\n", w)
-	printModelRank(stdout, "fp", modelRanking(m, spec, "fp", 0, w))
-	printModelRank(stdout, "bp", modelRanking(m, spec, "bp", *sparsity, w))
+	fmt.Fprintf(stdout, "  fp keyed on weight band %d (%.0f%% weight sparsity), bp on gradient band %d (%.0f%% error sparsity)\n",
+		plan.Band(*wsparsity), *wsparsity*100, plan.Band(*sparsity), *sparsity*100)
+	printModelRank(stdout, "fp", w, modelRanking(m, spec, "fp", *wsparsity, w))
+	printModelRank(stdout, "bp", w, modelRanking(m, spec, "bp", *sparsity, w))
 
 	if !*tune {
 		return nil
@@ -112,12 +116,16 @@ func run(args []string, stdout io.Writer) error {
 		eos = append(eos, conv.RandOutputError(r, spec, *sparsity))
 	}
 	wts := conv.RandWeights(r, spec)
+	if *wsparsity > 0 {
+		wts.Sparsify(r, *wsparsity)
+		wts.Bump()
+	}
 	topts := core.TuneOptions{Reps: *reps}
 
 	fpPlan := planner.PlanFP(spec, ctx, ins, wts, topts)
-	printMeasured(stdout, "FP", fpPlan)
+	printMeasured(stdout, "FP", fpPlan, plan.Band(wts.Sparsity()))
 	bpPlan := planner.PlanBP(spec, ctx, eos, ins, wts, topts)
-	printMeasured(stdout, "BP", bpPlan)
+	printMeasured(stdout, "BP", bpPlan, plan.Band(*sparsity))
 
 	pst := planner.Stats()
 	fmt.Fprintf(stdout, "planner: %d hits, %d misses, %d measurement passes, %d candidates model-pruned\n",
@@ -149,7 +157,7 @@ func modelRanking(m machine.Machine, spec conv.Spec, phase string, sparsity floa
 	return scores
 }
 
-func printModelRank(stdout io.Writer, phase string, scores []plan.ModelScore) {
+func printModelRank(stdout io.Writer, phase string, w int, scores []plan.ModelScore) {
 	for i, sc := range scores {
 		head := "  "
 		if i == 0 {
@@ -161,11 +169,22 @@ func printModelRank(stdout io.Writer, phase string, scores []plan.ModelScore) {
 		} else if sc.Pruned {
 			note = "  (pruned before measurement)"
 		}
-		fmt.Fprintf(stdout, "  %-3s %d. %-18s %8.1f%s\n", head, i+1, sc.Strategy, sc.GFlopsPerCore, note)
+		fmt.Fprintf(stdout, "  %-3s %d. %-18s %-6s %8.1f%s\n",
+			head, i+1, sc.Strategy, strategyLayout(sc.Strategy, w), sc.GFlopsPerCore, note)
 	}
 }
 
-func printMeasured(stdout io.Writer, phase string, pd core.Planned) {
+// strategyLayout reports the compute layout a built-in strategy runs in —
+// the column spg-plan prints next to each candidate so a blocked pick is
+// visible as a layout change, not just a name.
+func strategyLayout(name string, w int) tensor.Layout {
+	if st, ok := core.StrategyByName(name, w); ok {
+		return st.Layout
+	}
+	return tensor.NCHW
+}
+
+func printMeasured(stdout io.Writer, phase string, pd core.Planned, band int) {
 	for _, tm := range pd.Timings {
 		fmt.Fprintf(stdout, "  %s %-18s %8.3f ms\n", phase, tm.Strategy.Name, tm.Seconds*1e3)
 	}
@@ -173,5 +192,7 @@ func printMeasured(stdout io.Writer, phase string, pd core.Planned) {
 	if pd.FromCache {
 		provenance = "deployed from plan cache, no measurement"
 	}
-	fmt.Fprintf(stdout, "  %s chosen: %s (%s)\n", phase, pd.Best().Strategy.Name, provenance)
+	best := pd.Best().Strategy
+	fmt.Fprintf(stdout, "  %s chosen: %s (layout %s, band %d, %s)\n",
+		phase, best.Name, best.Layout, band, provenance)
 }

@@ -106,6 +106,7 @@ func Experiments() []Experiment {
 		{"ablation-fft", "Ablation: FFT vs direct convolution vs kernel size (measured)", KindMeasured, RunAblationFFT},
 		{"goodput", "Goodput across training: dense vs sparse BP (measured)", KindMeasured, RunGoodputTrain},
 		{"microkernel", "Micro-kernel layer: packed-panel GEMM, pack amortization, prepacked engine (measured)", KindMeasured, RunMicrokernel},
+		{"blockedconv", "Blocked (NCHW8) engine vs packed unfold+GEMM, conversion tax, sparse-weight goodput (measured)", KindMeasured, RunBlockedConv},
 	}
 }
 

@@ -1,0 +1,50 @@
+package conv
+
+import (
+	"fmt"
+
+	"spgcnn/internal/tensor"
+)
+
+// Blocked-layout shapes for a convolution spec s (tensor.NCHW8):
+//
+//	input  I  : [ceil(Nc/8)][Ny][Nx][8]
+//	output O  : [ceil(Nf/8)][OutY][OutX][8]
+//	weights W : [ceil(Nf/8)][ceil(Nc/8)][Fy][Fx][8c][8f]
+//
+// Tail lanes (channel or feature index past Nc/Nf) are zero-filled by the
+// tensor-level transforms, so blocked engines need no masking.
+
+// CheckBlockedInput panics unless t has the blocked input shape and
+// layout tag for s.
+func CheckBlockedInput(s Spec, t *tensor.Tensor) {
+	if t.Rank() != 4 || t.Dim(0) != tensor.Blocks(s.Nc) || t.Dim(1) != s.Ny ||
+		t.Dim(2) != s.Nx || t.Dim(3) != tensor.Block || t.Layout != tensor.NCHW8 {
+		panic(fmt.Sprintf("conv: blocked input shape %v/%v does not match spec %v (want [%d %d %d %d] nchw8)",
+			t.Dims, t.Layout, s, tensor.Blocks(s.Nc), s.Ny, s.Nx, tensor.Block))
+	}
+}
+
+// CheckBlockedOutput panics unless t has the blocked output shape and
+// layout tag for s.
+func CheckBlockedOutput(s Spec, t *tensor.Tensor) {
+	if t.Rank() != 4 || t.Dim(0) != tensor.Blocks(s.Nf) || t.Dim(1) != s.OutY() ||
+		t.Dim(2) != s.OutX() || t.Dim(3) != tensor.Block || t.Layout != tensor.NCHW8 {
+		panic(fmt.Sprintf("conv: blocked output shape %v/%v does not match spec %v (want [%d %d %d %d] nchw8)",
+			t.Dims, t.Layout, s, tensor.Blocks(s.Nf), s.OutY(), s.OutX(), tensor.Block))
+	}
+}
+
+// NewBlockedInput allocates a zero blocked input tensor for s.
+func NewBlockedInput(s Spec) *tensor.Tensor {
+	t := tensor.New(tensor.Blocks(s.Nc), s.Ny, s.Nx, tensor.Block)
+	t.Layout = tensor.NCHW8
+	return t
+}
+
+// NewBlockedOutput allocates a zero blocked output tensor for s.
+func NewBlockedOutput(s Spec) *tensor.Tensor {
+	t := tensor.New(tensor.Blocks(s.Nf), s.OutY(), s.OutX(), tensor.Block)
+	t.Layout = tensor.NCHW8
+	return t
+}

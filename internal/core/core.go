@@ -4,10 +4,12 @@
 // back-propagation — then re-checks the BP choice periodically because
 // error-gradient sparsity drifts as training converges (Fig. 3b).
 //
-// The candidate set matches the paper:
+// The candidate set matches the paper, plus the engines this repo has
+// grown since (prepacked GEMM, the channel-blocked direct kernel, and the
+// sparse-weight kernel for pruned layers):
 //
-//	FP: Parallel-GEMM, GEMM-in-Parallel, Stencil-Kernel
-//	BP: Parallel-GEMM, GEMM-in-Parallel, Sparse-Kernel
+//	FP: Parallel-GEMM, GEMM-in-Parallel, Stencil-Kernel, Packed, Blocked, Sparse-Weight
+//	BP: Parallel-GEMM, GEMM-in-Parallel, Sparse-Kernel, Packed
 package core
 
 import (
@@ -15,10 +17,12 @@ import (
 	"time"
 
 	"spgcnn/internal/batchpar"
+	"spgcnn/internal/blockedconv"
 	"spgcnn/internal/conv"
 	"spgcnn/internal/engine"
 	"spgcnn/internal/exec"
 	"spgcnn/internal/spkernel"
+	"spgcnn/internal/spweight"
 	"spgcnn/internal/stencil"
 	"spgcnn/internal/tensor"
 	"spgcnn/internal/unfoldgemm"
@@ -33,6 +37,11 @@ type Strategy struct {
 	Name          string
 	Gen           engine.Generator
 	BatchParallel bool
+	// Layout is the activation layout the strategy's kernel computes in.
+	// Strategies that run natively on channel-blocked activations report
+	// tensor.NCHW8; the zero value is the canonical NCHW. Reported by the
+	// planner so layer layout is a planned property, not an engine detail.
+	Layout tensor.Layout
 }
 
 // FPStrategies returns the paper's forward-propagation candidates for the
@@ -45,6 +54,8 @@ func FPStrategies(workers int) []Strategy {
 		// Appended after the paper's three so existing positional
 		// references ([1] gemm-in-parallel, [2] stencil) stay stable.
 		{Name: "gemm-packed", Gen: unfoldgemm.PackedGenerator(workers)},
+		{Name: "blocked", Gen: blockedconv.Generator(), BatchParallel: true, Layout: tensor.NCHW8},
+		{Name: "sparse-weight", Gen: spweight.Generator(), BatchParallel: true},
 	}
 }
 

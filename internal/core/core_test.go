@@ -19,8 +19,9 @@ func sampleBatch(r *rng.RNG, s conv.Spec, n int, sparsity float64) (ins, eos []*
 
 func TestStrategySetsMatchPaper(t *testing.T) {
 	fp := FPStrategies(4)
-	if len(fp) != 4 || fp[0].Name != "parallel-gemm" || fp[1].Name != "gemm-in-parallel" ||
-		fp[2].Name != "stencil" || fp[3].Name != "gemm-packed" {
+	if len(fp) != 6 || fp[0].Name != "parallel-gemm" || fp[1].Name != "gemm-in-parallel" ||
+		fp[2].Name != "stencil" || fp[3].Name != "gemm-packed" ||
+		fp[4].Name != "blocked" || fp[5].Name != "sparse-weight" {
 		t.Fatalf("FP candidates = %v", names(fp))
 	}
 	bp := BPStrategies(4)
@@ -31,6 +32,17 @@ func TestStrategySetsMatchPaper(t *testing.T) {
 	// strategies are not batch-parallel.
 	if fp[0].BatchParallel || !fp[1].BatchParallel || !fp[2].BatchParallel || fp[3].BatchParallel {
 		t.Fatal("batch-parallel flags wrong")
+	}
+	// Only the blocked engine computes in NCHW8; everything else reports
+	// the canonical layout.
+	for _, st := range append(fp, bp...) {
+		want := tensor.NCHW
+		if st.Name == "blocked" {
+			want = tensor.NCHW8
+		}
+		if st.Layout != want {
+			t.Fatalf("%s: layout %v, want %v", st.Name, st.Layout, want)
+		}
 	}
 }
 
@@ -105,8 +117,8 @@ func TestChooseFPPicksMeasuredMinimum(t *testing.T) {
 	if _, ok := ctx.Probe().SpanStats("tune/fp/stencil"); !ok {
 		t.Fatal("tuning spans not recorded in probe")
 	}
-	if len(sel.Timings) != 4 {
-		t.Fatalf("timings = %d entries, want 4", len(sel.Timings))
+	if want := len(FPStrategies(2)); len(sel.Timings) != want {
+		t.Fatalf("timings = %d entries, want %d", len(sel.Timings), want)
 	}
 	best := sel.Best()
 	if sel.Chosen.Strategy().Name != best.Strategy.Name {

@@ -52,6 +52,20 @@ type Kernel interface {
 	BackwardWeightsBatch(c *exec.Ctx, dw *tensor.Tensor, eos, ins []*tensor.Tensor)
 }
 
+// BlockedKernel is implemented by kernels whose forward pass can consume
+// and produce channel-blocked (tensor.NCHW8) activations natively — no
+// per-call layout conversion. A net whose layers all expose this seam runs
+// end-to-end blocked, converting only at ingest and egress.
+type BlockedKernel interface {
+	Kernel
+
+	// ForwardBlockedBatch computes outs[i] = conv(ins[i], w) where ins and
+	// outs have the blocked shapes of conv.CheckBlockedInput/Output. w stays
+	// in the canonical [Nf][Nc][Fy][Fx] layout (blocked engines cache their
+	// own weight form per tensor.Ver).
+	ForwardBlockedBatch(c *exec.Ctx, outs, ins []*tensor.Tensor, w *tensor.Tensor)
+}
+
 // SingleKernel is the legacy per-sample seam. Every engine still provides
 // it (through SingleOps) for callers that step one sample at a time.
 // Unlike the batch entry points, these methods are NOT safe for concurrent

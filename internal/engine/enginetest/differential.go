@@ -37,6 +37,11 @@ type DiffOptions struct {
 	// Sparsities are the EO sparsity levels swept in BP comparisons
 	// (default 0, 0.25, 0.5, 0.75, 0.9, 0.99).
 	Sparsities []float64
+	// WeightSparsities, when non-nil, adds FP comparisons with the weight
+	// tensor pruned to each level — the sweep weight-sparse engines use to
+	// pin their zero-skipping against the dense reference. nil (the
+	// default) runs no weight-sparse FP passes.
+	WeightSparsities []float64
 	// ExtraSpecs are always swept in addition to the built-in and random
 	// geometries (e.g. shapes known to cross a kernel's dispatch
 	// thresholds).
@@ -175,6 +180,17 @@ func RunDifferential(t *testing.T, gen, ref engine.Generator, opts DiffOptions) 
 		kRef.ForwardBatch(c, wantOuts, ins, w)
 		for i := range outs {
 			diffCompare(t, gen.Name+" vs "+ref.Name+" FP", s, 0, outs[i], wantOuts[i], opts)
+		}
+
+		for _, ws := range opts.WeightSparsities {
+			sw := conv.RandWeights(r, s)
+			sw.Sparsify(r, ws)
+			sw.Bump()
+			k.ForwardBatch(c, outs, ins, sw)
+			kRef.ForwardBatch(c, wantOuts, ins, sw)
+			for i := range outs {
+				diffCompare(t, gen.Name+" vs "+ref.Name+" FP(wsparse)", s, ws, outs[i], wantOuts[i], opts)
+			}
 		}
 
 		if opts.SkipBackward {

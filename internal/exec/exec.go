@@ -84,6 +84,15 @@ func (c *Ctx) Put(buf []float32) { c.arena.Put(buf) }
 // arena.
 func (c *Ctx) GetTensor(dims ...int) *tensor.Tensor { return c.arena.GetTensor(dims...) }
 
+// GetTensorLayout acquires an uninitialized tensor of the given shape
+// tagged with the given layout — how blocked engines draw NCHW8 scratch
+// from the shared arena (the arena itself hands out NCHW-tagged headers).
+func (c *Ctx) GetTensorLayout(l tensor.Layout, dims ...int) *tensor.Tensor {
+	t := c.arena.GetTensor(dims...)
+	t.Layout = l
+	return t
+}
+
 // PutTensor releases a tensor obtained from GetTensor.
 func (c *Ctx) PutTensor(t *tensor.Tensor) { c.arena.PutTensor(t) }
 

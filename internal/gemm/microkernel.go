@@ -86,6 +86,15 @@ func microDot8(a, bp []float32) (s0, s1, s2, s3, s4, s5, s6, s7 float32) {
 	return
 }
 
+// MicroDot8 exposes the packed-panel micro-kernel to engines whose data
+// layout manufactures panels without packing (the blocked NCHW8
+// convolution reads bp directly out of its weight layout). The wrapper
+// carries no indexing of its own, so the BCE gate on this file is
+// unaffected.
+func MicroDot8(a, bp []float32) (s0, s1, s2, s3, s4, s5, s6, s7 float32) {
+	return microDot8(a, bp)
+}
+
 // panelTile4x4 computes a 4x4 tile of C += A-rows · B directly from the
 // unpacked operands (the pack-free blocked path for cache-resident sizes):
 // x0..x3 are the four A rows already sliced to the K block, bp points at

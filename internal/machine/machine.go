@@ -251,6 +251,60 @@ func channelEfficiency(nc int) float64 {
 	return float64(nc) / (float64(nc) + 4)
 }
 
+// BlockedConvFP predicts GFlops/core for the channel-blocked direct FP
+// engine on p cores (GEMM-in-Parallel schedule: each core runs whole
+// images). The layout removes the unfold entirely — the micro-kernel
+// panels exist in the weight layout and the input is read in place — so
+// traffic per image is the input re-read once per output-feature block,
+// plus the output and weights once. The only transform cost left is the
+// NCHW boundary conversion of I and O (absent in an end-to-end blocked
+// net, charged here to keep the model honest for a single layer).
+func (m Machine) BlockedConvFP(s conv.Spec, p int) float64 {
+	flops := float64(s.FlopsFP())
+	fBlocks := float64((s.Nf + 7) / 8)
+	mem := float64(s.InputSize())*fBlocks + float64(s.OutputSize()) + float64(s.WeightSize())
+	a := flops / mem
+	rate := m.shareBandwidth(m.EffPerCore(a), a, p)
+	if rate <= 0 {
+		return 0
+	}
+	convertBytes := 4 * float64(2*s.InputSize()+2*s.OutputSize())
+	t := convertBytes/(m.TransformGBsPerCore*1e9) + flops/(rate*1e9)
+	return flops / t / 1e9
+}
+
+// SparseWeightFP predicts the sparse-weight engine's FP goodput in
+// GFlops/core on p cores at the given weight sparsity: useful flops over
+// compression time plus non-zero work time, the FP dual of SparseGoodput.
+// Compression streams W once per tensor.Ver and survives a whole batch,
+// so it is amortized like the packed engine's weight packs.
+func (m Machine) SparseWeightFP(s conv.Spec, wSparsity float64, p int) float64 {
+	if wSparsity < 0 {
+		wSparsity = 0
+	}
+	if wSparsity > 1 {
+		wSparsity = 1
+	}
+	useful := float64(s.FlopsFP()) * (1 - wSparsity)
+	// Weights are read and the CSR plan written once per version, shared
+	// across compressAmort images of the batch.
+	const compressAmort = 8
+	compressBytes := 4 * 2 * float64(s.WeightSize())
+	tCompress := compressBytes / (m.TransformGBsPerCore * 1e9 * compressAmort)
+	// Each surviving tap is a row-long axpy: the saxpy rate discounted for
+	// short output rows (per-tap setup amortizes over OutX) and for the
+	// 1-load-1-store-per-MAC balance of axpy versus the 8-wide dot kernels.
+	rowEff := float64(s.OutX()) / (float64(s.OutX()) + 8)
+	workRate := m.PeakGFlopsPerCore * m.SparseAxpyEfficiency * rowEff * 0.5
+	tWork := useful / (workRate * 1e9)
+	total := tCompress + tWork
+	if total <= 0 {
+		return 0
+	}
+	goodput := useful / total / 1e9
+	return m.shareBandwidth(goodput, ait.Intrinsic(s), p)
+}
+
 // UnfoldGEMMBP predicts the dense baseline's BP throughput (GFlops/core,
 // GEMM-in-Parallel schedule) used as the Fig. 4f denominator: its time is
 // sparsity-independent, so its goodput is throughput × (1 − sparsity)

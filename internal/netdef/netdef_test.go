@@ -281,3 +281,41 @@ func TestRoundTripTable2Geometry(t *testing.T) {
 		t.Fatalf("conv1 spec = %v", s1)
 	}
 }
+
+func TestBuildBlockedAndSparseWeightStrategies(t *testing.T) {
+	// The grown FP engines resolve through the same name registry as the
+	// paper's strategies, both as a net-wide FixedStrategy and as a saved
+	// per-layer tuning choice, and the layer reports the planned layout.
+	for _, name := range []string{"blocked", "sparse-weight"} {
+		st, ok := core.StrategyByName(name, 1)
+		if !ok {
+			t.Fatalf("StrategyByName(%q) unknown", name)
+		}
+		net := MustBuild(MNISTNet, BuildOptions{Workers: 1, FixedStrategy: &st, Seed: 2})
+		in := tensor.New(net.InDims()...)
+		r := rng.New(3)
+		in.FillNormal(r, 0, 1)
+		logits := net.Forward([]*tensor.Tensor{in})
+		d := tensor.New(net.OutDims()...)
+		nn.SoftmaxXent{}.Loss(logits[0], 3, d)
+		net.Backward([]*tensor.Tensor{d}, []*tensor.Tensor{in})
+		net.ApplyGrads(0.01, 1)
+	}
+
+	choices := core.Choices{"conv0": {FP: "blocked", BP: "gemm-in-parallel"}}
+	net := MustBuild(MNISTNet, BuildOptions{Workers: 1, Choices: choices, Seed: 2})
+	var cl *nn.Conv
+	for _, l := range net.Layers() {
+		if c, ok := l.(*nn.Conv); ok {
+			cl = c
+			break
+		}
+	}
+	if cl == nil {
+		t.Fatal("no conv layer built")
+	}
+	fpL, bpL := cl.Layouts()
+	if fpL != tensor.NCHW8 || bpL != tensor.NCHW {
+		t.Fatalf("conv0 layouts fp=%v bp=%v, want nchw8/nchw", fpL, bpL)
+	}
+}

@@ -36,6 +36,10 @@ func (f fixedExec) strategyNames() (fp, bp string) {
 	n := f.e.Strategy().Name
 	return n, n
 }
+func (f fixedExec) strategyLayouts() (fp, bp tensor.Layout) {
+	l := f.e.Strategy().Layout
+	return l, l
+}
 
 // splitExec runs different fixed strategies for FP and BP — how the
 // paper's composed configurations (e.g. Stencil-Kernel FP + Sparse-Kernel
@@ -52,6 +56,9 @@ func (s splitExec) backward(eis []*tensor.Tensor, dw *tensor.Tensor, eos, ins []
 func (s splitExec) EpochEnd() {}
 func (s splitExec) strategyNames() (fp, bp string) {
 	return s.fp.Strategy().Name, s.bp.Strategy().Name
+}
+func (s splitExec) strategyLayouts() (fp, bp tensor.Layout) {
+	return s.fp.Strategy().Layout, s.bp.Strategy().Layout
 }
 
 // autoExec adapts core.AutoConv.
@@ -74,6 +81,15 @@ func (x autoExec) strategyNames() (fp, bp string) {
 	}
 	return fp, bp
 }
+func (x autoExec) strategyLayouts() (fp, bp tensor.Layout) {
+	if sel := x.a.FPSelection(); sel.Chosen != nil {
+		fp = sel.Chosen.Strategy().Layout
+	}
+	if sel := x.a.BPSelection(); sel.Chosen != nil {
+		bp = sel.Chosen.Strategy().Layout
+	}
+	return fp, bp
+}
 
 type convBackend interface {
 	ConvExecutor
@@ -81,6 +97,9 @@ type convBackend interface {
 	// strategyNames reports the currently deployed FP and BP strategy
 	// names — the third level of the layer/phase/strategy span tree.
 	strategyNames() (fp, bp string)
+	// strategyLayouts reports the activation layouts those strategies
+	// compute in (tensor.NCHW until a blocked strategy is deployed).
+	strategyLayouts() (fp, bp tensor.Layout)
 }
 
 // Conv is a convolution layer with per-feature bias. The execution
@@ -290,6 +309,13 @@ func (c *Conv) TakeSparsity() (float64, bool) {
 	s := c.eoSparsitySum / float64(c.eoBatches)
 	c.eoSparsitySum, c.eoBatches = 0, 0
 	return s, true
+}
+
+// Layouts reports the activation layouts of the currently deployed FP and
+// BP strategies — the planner's layout verdict surfaced at the layer
+// level. Until the scheduler deploys, both report the canonical NCHW.
+func (c *Conv) Layouts() (fp, bp tensor.Layout) {
+	return c.exec.strategyLayouts()
 }
 
 // Selections returns the spg-CNN scheduler's FP and BP measurement tables

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"spgcnn/internal/conv"
+	"spgcnn/internal/core"
 	"spgcnn/internal/rng"
 	"spgcnn/internal/tensor"
 )
@@ -63,8 +64,14 @@ func TestTuningChoicesHarvestAfterAutoTune(t *testing.T) {
 	if !ok {
 		t.Fatalf("conv0 missing from harvested choices: %v", choices)
 	}
-	validFP := map[string]bool{"parallel-gemm": true, "gemm-in-parallel": true, "stencil": true}
-	validBP := map[string]bool{"parallel-gemm": true, "gemm-in-parallel": true, "sparse": true}
+	validFP := map[string]bool{}
+	for _, st := range core.FPStrategies(1) {
+		validFP[st.Name] = true
+	}
+	validBP := map[string]bool{}
+	for _, st := range core.BPStrategies(1) {
+		validBP[st.Name] = true
+	}
 	if !validFP[ch.FP] || !validBP[ch.BP] {
 		t.Fatalf("harvested invalid strategies: %+v", ch)
 	}

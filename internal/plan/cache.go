@@ -48,7 +48,7 @@ type Key struct {
 	Spec    conv.Spec `json:"spec"`
 	Workers int       `json:"workers"`
 	Phase   string    `json:"phase"` // "fp" or "bp"
-	Band    int       `json:"band"`  // sparsity band; always 0 for FP
+	Band    int       `json:"band"`  // sparsity band: gradient sparsity for BP, weight sparsity for FP (0 when dense)
 }
 
 func (k Key) String() string {

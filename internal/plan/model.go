@@ -83,6 +83,27 @@ func modelRate(m machine.Machine, s conv.Spec, phase string, sparsity float64,
 			return m.Stencil(s, workers), true
 		}
 		return 0, false
+	case "blocked":
+		// Channel-blocked direct FP: unfold-free micro-kernel panels
+		// (machine.BlockedConvFP). FP-only — its BP delegates to the serial
+		// GEMM, so as a BP candidate it is never the model's pick.
+		if phase == "fp" {
+			return m.BlockedConvFP(s, workers), true
+		}
+		return 0, false
+	case "sparse-weight":
+		// Weight-density-scaled FP goodput, converted to the dense-
+		// equivalent rate exactly like the sparse BP kernel below. For this
+		// candidate `sparsity` carries the WEIGHT sparsity (plan passes
+		// w.Sparsity() to the FP phase).
+		if phase != "fp" {
+			return 0, false
+		}
+		dense := 1 - sparsity
+		if dense < 0.01 {
+			dense = 0.01
+		}
+		return m.SparseWeightFP(s, sparsity, workers) / dense, true
 	case "sparse":
 		if phase != "bp" {
 			return 0, false

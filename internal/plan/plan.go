@@ -176,10 +176,17 @@ func (p *Planner) Stats() Stats {
 }
 
 // PlanFP implements core.Planner: forward-propagation selection. FP
-// activations are dense, so the key's sparsity band is always 0.
+// activations are dense, but the WEIGHTS may be pruned — the sparse-weight
+// engine's rate scales with weight density — so the key's sparsity band
+// carries w.Sparsity(). Dense weights band to 0, which keeps keys (and
+// saved caches) from before weight-density keying valid.
 func (p *Planner) PlanFP(s conv.Spec, c *exec.Ctx, ins []*tensor.Tensor,
 	w *tensor.Tensor, opts core.TuneOptions) core.Planned {
-	return p.plan("fp", s, 0, c, func(survivors []core.Strategy) core.Selection {
+	wSparsity := 0.0
+	if w != nil {
+		wSparsity = w.Sparsity()
+	}
+	return p.plan("fp", s, wSparsity, c, func(survivors []core.Strategy) core.Selection {
 		return core.ChooseFP(survivors, s, c, ins, w, p.tuneOpts(opts))
 	})
 }
@@ -226,10 +233,9 @@ func (p *Planner) plan(phase string, s conv.Spec, sparsity float64, c *exec.Ctx,
 	if c == nil {
 		c = exec.New(1)
 	}
-	band := 0
-	if phase == "bp" {
-		band = Band(sparsity)
-	}
+	// Both phases band on their driving sparsity: gradient sparsity for BP,
+	// weight sparsity for FP (dense weights band to 0).
+	band := Band(sparsity)
 	key := Key{Host: p.host, Spec: s, Workers: c.Workers(), Phase: phase, Band: band}
 	for {
 		p.mu.Lock()

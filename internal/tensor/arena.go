@@ -186,6 +186,7 @@ func (a *Arena) GetTensor(dims ...int) *Tensor {
 	}
 	t.Dims = append(t.Dims[:0], dims...)
 	t.Data = a.Get(n)
+	t.Layout = NCHW // recycled headers may carry a stale layout tag
 	return t
 }
 

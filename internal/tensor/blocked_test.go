@@ -1,0 +1,173 @@
+package tensor
+
+import (
+	"testing"
+
+	"spgcnn/internal/rng"
+)
+
+// blockedShapes covers channel counts below, at, straddling and well past
+// the block factor — tail-block handling is where blocked layouts break.
+var blockedShapes = [][3]int{
+	{1, 1, 1},
+	{3, 4, 5},
+	{7, 2, 9},
+	{8, 3, 3},
+	{9, 5, 2},
+	{16, 4, 4},
+	{17, 3, 7},
+	{24, 1, 11},
+}
+
+func TestBlockedRoundTrip(t *testing.T) {
+	r := rng.New(0xB10C)
+	for _, sh := range blockedShapes {
+		c, h, w := sh[0], sh[1], sh[2]
+		x := New(c, h, w)
+		x.FillUniform(r, -3, 3)
+		b := ToBlocked(x)
+		if b.Layout != NCHW8 {
+			t.Fatalf("ToBlocked(%v) layout = %v, want nchw8", sh, b.Layout)
+		}
+		if b.Dim(0) != Blocks(c) || b.Dim(3) != Block {
+			t.Fatalf("ToBlocked(%v) shape = %v", sh, b.Dims)
+		}
+		back := FromBlocked(b, c)
+		if back.Layout != NCHW {
+			t.Fatalf("FromBlocked layout = %v, want nchw", back.Layout)
+		}
+		if !Identical(back, x) {
+			t.Fatalf("round trip not bit-identical for %v", sh)
+		}
+	}
+}
+
+func TestBlockedRoundTripRandom(t *testing.T) {
+	r := rng.New(0x5EED)
+	for trial := 0; trial < 50; trial++ {
+		c := 1 + int(r.Uint64()%20)
+		h := 1 + int(r.Uint64()%8)
+		w := 1 + int(r.Uint64()%12)
+		x := New(c, h, w)
+		x.FillUniform(r, -9, 9)
+		if got := FromBlocked(ToBlocked(x), c); !Identical(got, x) {
+			t.Fatalf("trial %d: round trip differs for [%d %d %d]", trial, c, h, w)
+		}
+	}
+}
+
+func TestToBlockedTailLanesZero(t *testing.T) {
+	r := rng.New(7)
+	x := New(5, 3, 4) // 3 tail lanes in the single block
+	x.FillUniform(r, 1, 2)
+	b := ToBlocked(x)
+	for y := 0; y < 3; y++ {
+		for xx := 0; xx < 4; xx++ {
+			for lane := 5; lane < Block; lane++ {
+				if v := b.Data[((0*3+y)*4+xx)*Block+lane]; v != 0 {
+					t.Fatalf("tail lane (%d,%d,%d) = %v, want 0", y, xx, lane, v)
+				}
+			}
+		}
+	}
+}
+
+func TestToBlockedPlacement(t *testing.T) {
+	// Element (c, y, x) must land at block c/8, lane c%8.
+	x := New(10, 2, 3)
+	x.Set3(9, 1, 2, 42)
+	b := ToBlocked(x)
+	if got := b.Data[(((1*2)+1)*3+2)*Block+1]; got != 42 {
+		t.Fatalf("blocked placement = %v, want 42", got)
+	}
+}
+
+func TestBlockWeightsRoundTrip(t *testing.T) {
+	r := rng.New(0xBEEF)
+	shapes := [][4]int{
+		{1, 1, 1, 1},
+		{3, 5, 2, 2},
+		{8, 8, 3, 3},
+		{9, 3, 1, 5},
+		{16, 11, 3, 3},
+		{20, 17, 2, 4},
+	}
+	for _, sh := range shapes {
+		f, c, ky, kx := sh[0], sh[1], sh[2], sh[3]
+		w := New(f, c, ky, kx)
+		w.FillUniform(r, -2, 2)
+		wb := BlockWeights(w)
+		if wb.Layout != NCHW8 {
+			t.Fatalf("BlockWeights layout = %v", wb.Layout)
+		}
+		if back := UnblockWeights(wb, f, c); !Identical(back, w) {
+			t.Fatalf("weight round trip differs for %v", sh)
+		}
+	}
+}
+
+func TestBlockWeightsPanelOrder(t *testing.T) {
+	// For fixed (fo, cb, ky) the sub-block must be a contiguous
+	// micro-kernel panel: bp[(kx*Block+cLane)*Block + fLane] = W[f][c][ky][kx].
+	w := New(9, 10, 2, 3)
+	w.Set4(8, 9, 1, 2, 7) // f=8 -> fo=1,fl=0; c=9 -> cb=1,cl=1
+	wb := BlockWeights(w)
+	cbN := Blocks(10)
+	base := (((1*cbN+1)*2+1)*3)*Block*Block + (2*Block+1)*Block + 0
+	if wb.Data[base] != 7 {
+		t.Fatalf("panel slot = %v, want 7", wb.Data[base])
+	}
+}
+
+func TestClonePreservesLayout(t *testing.T) {
+	x := New(3, 2, 2)
+	b := ToBlocked(x)
+	if c := b.Clone(); c.Layout != NCHW8 {
+		t.Fatalf("Clone dropped layout tag: %v", c.Layout)
+	}
+}
+
+func TestArenaGetTensorResetsLayout(t *testing.T) {
+	a := NewArena()
+	b := a.GetTensor(1, 2, 2, Block)
+	b.Layout = NCHW8
+	a.PutTensor(b)
+	if got := a.GetTensor(1, 2, 2, Block); got.Layout != NCHW {
+		t.Fatalf("recycled tensor kept layout %v", got.Layout)
+	}
+}
+
+func TestBlockedTransformsZeroAlloc(t *testing.T) {
+	r := rng.New(1)
+	src := New(11, 6, 7)
+	src.FillUniform(r, -1, 1)
+	dst := New(Blocks(11), 6, 7, Block)
+	back := New(11, 6, 7)
+	w := New(9, 11, 3, 3)
+	w.FillUniform(r, -1, 1)
+	wb := New(Blocks(9), Blocks(11), 3, 3, Block, Block)
+	if n := testing.AllocsPerRun(10, func() {
+		ToBlockedInto(dst, src)
+		FromBlockedInto(back, dst)
+		BlockWeightsInto(wb, w)
+	}); n != 0 {
+		t.Fatalf("blocked transforms allocate %v times per run, want 0", n)
+	}
+}
+
+func TestFromSliceNegativeDims(t *testing.T) {
+	// Satellite regression: (-2)·(-2) == 4 passes the product-vs-length
+	// check, so FromSlice used to accept a shape New rejects.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice with negative dims did not panic")
+		}
+	}()
+	FromSlice(make([]float32, 4), -2, -2)
+}
+
+func TestLayoutString(t *testing.T) {
+	if NCHW.String() != "nchw" || NCHW8.String() != "nchw8" {
+		t.Fatalf("layout names: %v %v", NCHW, NCHW8)
+	}
+}

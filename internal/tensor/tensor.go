@@ -23,6 +23,13 @@ type Tensor struct {
 	Dims []int
 	Data []float32
 
+	// Layout tags how Data is arranged (blocked.go). The zero value is
+	// the canonical NCHW row-major layout, so code that never opts into
+	// blocking is unaffected. The tag is advisory shape metadata: the
+	// layout transforms set it, engines with blocked entry points check
+	// it, and it travels with Clone.
+	Layout Layout
+
 	// Ver is an opt-in version counter for caches of artifacts derived
 	// from Data (packed GEMM operands, layout transforms). Zero means
 	// untracked: consumers must re-derive on every use. Code that mutates
@@ -55,6 +62,12 @@ func New(dims ...int) *Tensor {
 func FromSlice(data []float32, dims ...int) *Tensor {
 	n := 1
 	for _, d := range dims {
+		// Validate like New: a pair of negative dimensions multiplies
+		// back to a positive product, so the length check alone can
+		// coincidentally pass a nonsense shape.
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in %v", d, dims))
+		}
 		n *= d
 	}
 	if n != len(data) {
@@ -72,9 +85,10 @@ func (t *Tensor) Dim(i int) int { return t.Dims[i] }
 // Rank returns the number of dimensions.
 func (t *Tensor) Rank() int { return len(t.Dims) }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy (layout tag included).
 func (t *Tensor) Clone() *Tensor {
 	c := New(t.Dims...)
+	c.Layout = t.Layout
 	copy(c.Data, t.Data)
 	return c
 }

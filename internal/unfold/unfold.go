@@ -55,6 +55,50 @@ func Im2col(s conv.Spec, u *gemm.Matrix, in *tensor.Tensor) {
 // NewU allocates the unfolded matrix for s.
 func NewU(s conv.Spec) *gemm.Matrix { return gemm.NewMatrix(Rows(s), Cols(s)) }
 
+// Im2colBlocked unfolds a channel-blocked input ([ceil(Nc/8)][Ny][Nx][8],
+// tensor.NCHW8) into the same canonical U matrix Im2col produces from an
+// NCHW input — the gather-at-boundary adapter that lets the unfold+GEMM
+// engines consume blocked activations without a separate layout round
+// trip through input space. Column order stays (c, ky, kx), so downstream
+// GEMM results are bit-identical to the NCHW path.
+func Im2colBlocked(s conv.Spec, u *gemm.Matrix, in *tensor.Tensor) {
+	s.MustValidate()
+	conv.CheckBlockedInput(s, in)
+	if u.Rows != Rows(s) || u.Cols != Cols(s) {
+		panic(fmt.Sprintf("unfold: U is %dx%d, want %dx%d", u.Rows, u.Cols, Rows(s), Cols(s)))
+	}
+	oy, ox := s.OutY(), s.OutX()
+	fxy := s.Fy * s.Fx
+	rowN := s.Nx * tensor.Block
+	for y := 0; y < oy; y++ {
+		for x := 0; x < ox; x++ {
+			dst := u.Row(y*ox + x)
+			for c := 0; c < s.Nc; c++ {
+				cb, cl := c/tensor.Block, c%tensor.Block
+				base := c * fxy
+				for ky := 0; ky < s.Fy; ky++ {
+					iOff := (cb*s.Ny+y*s.Sy+ky)*rowN + x*s.Sx*tensor.Block + cl
+					gatherLane(dst[base+ky*s.Fx:base+(ky+1)*s.Fx], in.Data[iOff:])
+				}
+			}
+		}
+	}
+}
+
+// gatherLane copies one channel lane out of blocked storage: dst[i] =
+// src[i·Block], for len(dst) elements.
+func gatherLane(dst, src []float32) {
+	for len(dst) >= 1 && len(src) >= 1 {
+		dst[0] = src[0]
+		dst = dst[1:]
+		if uint(tensor.Block) <= uint(len(src)) {
+			src = src[tensor.Block:]
+		} else {
+			src = src[:0]
+		}
+	}
+}
+
 // Col2im folds the matrix U back into input space, ACCUMULATING overlapping
 // windows: in[c, y·sy+ky, x·sx+kx] += U[(y,x), (c,ky,kx)]. It is the exact
 // adjoint of Im2col, which is what makes Unfold+GEMM back-propagation

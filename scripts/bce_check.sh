@@ -7,8 +7,13 @@
 # or once per streamed element, where a single reintroduced bounds check
 # costs double-digit percent throughput:
 #
-#   internal/gemm/microkernel.go   microDot8, dotRows8/4, axpyAcc, strips
-#   internal/stencil/kernels.go    saxpy1-4, gatherDot, scatterAxpy
+#   internal/gemm/microkernel.go      microDot8, dotRows8/4, axpyAcc, strips
+#   internal/stencil/kernels.go       saxpy1-4, gatherDot, scatterAxpy
+#   internal/blockedconv/kernels.go   accRow, zeroRow (NCHW8 direct FP)
+#   internal/spweight/kernels.go      axpyRow(Stride), zeroBuf (CSR FP)
+#
+# (blockedconv/forward.go and spweight/forward.go are the drivers feeding
+# those loops — per-row slicing, excluded like the GEMM drivers.)
 #
 # Pack/driver code (packed.go, gemm.go, ...) is deliberately NOT protected:
 # its checks execute O(M·N/8) times, not in the inner loops.
@@ -19,9 +24,11 @@ set -eu
 cd "$(dirname "$0")/.."
 
 protected="internal/gemm/microkernel.go
-internal/stencil/kernels.go"
+internal/stencil/kernels.go
+internal/blockedconv/kernels.go
+internal/spweight/kernels.go"
 
-pkgs="./internal/gemm/ ./internal/stencil/ ./internal/unfoldgemm/ ./internal/unfold/ ./internal/spkernel/ ./internal/par/"
+pkgs="./internal/gemm/ ./internal/stencil/ ./internal/unfoldgemm/ ./internal/unfold/ ./internal/spkernel/ ./internal/par/ ./internal/blockedconv/ ./internal/spweight/"
 
 out="$(go build -gcflags='-d=ssa/check_bce' $pkgs 2>&1)" || {
 	echo "$out"
