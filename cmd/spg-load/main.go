@@ -1,0 +1,106 @@
+// spg-load drives an spg-serve endpoint with synthetic inference traffic
+// and reports throughput and tail latency (p50/p95/p99), plus the
+// server-side batch-size mix the dynamic batcher actually formed.
+//
+// Two load models:
+//
+//	spg-load -url http://127.0.0.1:8080 -c 8 -n 1000          # closed loop
+//	spg-load -url http://127.0.0.1:8080 -c 8 -n 500 -rate 200 # open loop, 200 req/s
+//
+// With -scrape the tool also fetches /metrics after the run and prints
+// the serving series, so scripts validate the server without curl.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"spgcnn"
+)
+
+// loadCfgHook, when non-nil, edits the assembled load configuration
+// before the run — the test seam for deterministic clients and clocks.
+var loadCfgHook func(*spgcnn.LoadConfig)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "spg-load: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("spg-load", flag.ContinueOnError)
+	var (
+		url      = fs.String("url", "http://127.0.0.1:8080", "spg-serve base URL")
+		conc     = fs.Int("c", 4, "concurrent clients (closed loop) / in-flight cap (open loop)")
+		n        = fs.Int("n", 200, "total requests")
+		rate     = fs.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+		inputLen = fs.Int("input-len", 0, "flat input length (0 = fetch from /v1/spec)")
+		seed     = fs.Uint64("seed", 1, "synthetic input seed")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-request timeout")
+		scrape   = fs.Bool("scrape", false, "fetch /metrics after the run and print the spg_serve series")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := spgcnn.LoadConfig{
+		URL:         strings.TrimRight(*url, "/"),
+		Concurrency: *conc,
+		Requests:    *n,
+		RateHz:      *rate,
+		InputLen:    *inputLen,
+		Seed:        *seed,
+		Timeout:     *timeout,
+	}
+	if loadCfgHook != nil {
+		loadCfgHook(&cfg)
+	}
+
+	res, err := spgcnn.RunLoad(cfg)
+	if err != nil {
+		return err
+	}
+	res.WriteReport(stdout)
+
+	if *scrape {
+		if err := scrapeMetrics(cfg, stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scrapeMetrics prints the serving series of the target's /metrics
+// endpoint (filtered to spg_serve_ so the output stays readable).
+func scrapeMetrics(cfg spgcnn.LoadConfig, stdout io.Writer) error {
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+	resp, err := client.Get(cfg.URL + "/metrics")
+	if err != nil {
+		return fmt.Errorf("scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape: status %d", resp.StatusCode)
+	}
+	fmt.Fprintf(stdout, "\nserver metrics (spg_serve_*)\n")
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "spg_serve_") {
+			fmt.Fprintf(stdout, "  %s\n", line)
+		}
+	}
+	return sc.Err()
+}

@@ -107,6 +107,7 @@ func Experiments() []Experiment {
 		{"goodput", "Goodput across training: dense vs sparse BP (measured)", KindMeasured, RunGoodputTrain},
 		{"microkernel", "Micro-kernel layer: packed-panel GEMM, pack amortization, prepacked engine (measured)", KindMeasured, RunMicrokernel},
 		{"blockedconv", "Blocked (NCHW8) engine vs packed unfold+GEMM, conversion tax, sparse-weight goodput (measured)", KindMeasured, RunBlockedConv},
+		{"serve", "Serving: dynamic batching vs batch=1 dispatch, batch-size vs goodput curve (measured)", KindMeasured, RunServe},
 	}
 }
 

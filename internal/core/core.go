@@ -173,6 +173,12 @@ func (s Selection) Best() Timing {
 type TuneOptions struct {
 	// Reps is the number of timed repetitions per candidate (default 3).
 	Reps int
+	// Batch, when positive, names the batch-size bucket this selection is
+	// for. It does not change how the measurement runs (the sample batch
+	// already has the bucket's size) — it is the extra cache-key component
+	// plan.Planner stores the verdict under, so inference deployments keyed
+	// per batch-size bucket never collide with training verdicts (Batch 0).
+	Batch int
 }
 
 func (o TuneOptions) reps() int {

@@ -35,6 +35,13 @@ type Planned struct {
 	FromCache bool
 }
 
+// NewMeasurePlanner returns the fallback planner for the given worker
+// count: measure every candidate on every request, no cache — exactly the
+// behavior of calling ChooseFP/ChooseBP directly.
+func NewMeasurePlanner(workers int) Planner {
+	return measurePlanner{fp: FPStrategies(workers), bp: BPStrategies(workers)}
+}
+
 // measurePlanner is the planner AutoConv falls back to when none is
 // injected: measure every candidate on every request, no cache — exactly
 // the behavior of calling ChooseFP/ChooseBP directly.

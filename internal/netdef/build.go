@@ -37,6 +37,16 @@ type BuildOptions struct {
 	Planner core.Planner
 	// Seed seeds weight initialization.
 	Seed uint64
+	// Inference builds a forward-only network (the serving path): conv
+	// layers plan one strategy per batch-size bucket instead of carrying
+	// the training scheduler, dropout layers run as identity, and the
+	// returned network allocates no gradient storage (Backward panics).
+	// FixedStrategy and Choices still take precedence per layer.
+	Inference bool
+	// InferBuckets are the batch-size buckets inference conv layers plan
+	// for (sorted internally). Empty plans each observed batch size on
+	// first sight. Ignored unless Inference is set.
+	InferBuckets []int
 }
 
 // Build constructs the network, inferring each layer's input shape from
@@ -88,6 +98,8 @@ func Build(def *NetDef, opts BuildOptions) (*nn.Network, error) {
 				cl = nn.NewConvSplitCtx(name, s, fp, bp, ctx, r)
 			} else if opts.FixedStrategy != nil {
 				cl = nn.NewConvFixedCtx(name, s, *opts.FixedStrategy, ctx, r)
+			} else if opts.Inference {
+				cl = nn.NewConvInferCtx(name, s, planner, opts.InferBuckets, ctx, r)
 			} else {
 				cl = nn.NewConvPlannedCtx(name, s, planner, ctx, r)
 			}
@@ -138,6 +150,9 @@ func Build(def *NetDef, opts BuildOptions) (*nn.Network, error) {
 				return nil, fmt.Errorf("netdef: layer %q: dropout rate %v outside [0, 1)", l.Name, rate)
 			}
 			dl := nn.NewDropout(nameOr(l, i), dims, rate, workers, r.Split())
+			if opts.Inference {
+				dl.SetTraining(false)
+			}
 			layers = append(layers, dl)
 		case "fc":
 			out, err := l.MustField("outputs")
@@ -151,7 +166,11 @@ func Build(def *NetDef, opts BuildOptions) (*nn.Network, error) {
 			return nil, fmt.Errorf("netdef: layer %q has unknown type %q", l.Name, l.Type)
 		}
 	}
-	return nn.NewNetwork(layers...), nil
+	net := nn.NewNetwork(layers...)
+	if opts.Inference {
+		net.SetInference()
+	}
+	return net, nil
 }
 
 func nameOr(l LayerDef, i int) string {

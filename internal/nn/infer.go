@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/core"
+	"spgcnn/internal/exec"
+	"spgcnn/internal/rng"
+	"spgcnn/internal/tensor"
+)
+
+// Forward-only execution: the serving path's counterpart to the training
+// scheduler. A bucketExec plans one strategy per batch-size BUCKET instead
+// of one per layer, because strategy ranking shifts with batch size (the
+// batch-parallel schedules starve below the worker count; per-call
+// overheads amortize differently), and a serving process sees every batch
+// size its admission queue produces. Verdicts are keyed through the shared
+// planner with TuneOptions.Batch, so replicas — and future processes via
+// the plan cache file — deploy each bucket with zero measurement.
+
+// bucketExec is the inference convBackend: per-bucket planned forward
+// execs, no backward pass.
+type bucketExec struct {
+	spec    conv.Spec
+	ctx     *exec.Ctx
+	planner core.Planner
+	buckets []int // ascending; empty plans each observed batch size as-is
+
+	mu     sync.Mutex
+	execs  map[int]*core.Exec
+	lastFP string // most recently deployed FP strategy name, for spans
+}
+
+func newBucketExec(s conv.Spec, pl core.Planner, buckets []int, c *exec.Ctx) *bucketExec {
+	if pl == nil {
+		pl = core.NewMeasurePlanner(c.Workers())
+	}
+	bs := append([]int(nil), buckets...)
+	sort.Ints(bs)
+	return &bucketExec{
+		spec:    s,
+		ctx:     c,
+		planner: pl,
+		buckets: bs,
+		execs:   make(map[int]*core.Exec),
+		lastFP:  "tuning",
+	}
+}
+
+// bucketFor returns the smallest configured bucket that fits n, or n
+// itself when none does (including the no-buckets default).
+func (b *bucketExec) bucketFor(n int) int {
+	for _, bk := range b.buckets {
+		if bk >= n {
+			return bk
+		}
+	}
+	return n
+}
+
+func (b *bucketExec) Forward(outs, ins []*tensor.Tensor, w *tensor.Tensor) {
+	bucket := b.bucketFor(len(ins))
+	b.mu.Lock()
+	e := b.execs[bucket]
+	b.mu.Unlock()
+	if e == nil {
+		pd := b.planner.PlanFP(b.spec, b.ctx, ins, w, core.TuneOptions{Batch: bucket})
+		b.mu.Lock()
+		if prev := b.execs[bucket]; prev != nil {
+			e = prev
+		} else {
+			e = pd.Chosen
+			b.execs[bucket] = e
+		}
+		b.mu.Unlock()
+	}
+	e.Forward(outs, ins, w)
+	b.mu.Lock()
+	b.lastFP = e.Strategy().Name
+	b.mu.Unlock()
+}
+
+func (b *bucketExec) backward(eis []*tensor.Tensor, dw *tensor.Tensor, eos, ins []*tensor.Tensor, w *tensor.Tensor) {
+	panic(fmt.Sprintf("nn: Backward on inference-only conv layer (spec %v)", b.spec))
+}
+
+func (b *bucketExec) EpochEnd() {}
+
+func (b *bucketExec) strategyNames() (fp, bp string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastFP, "inference"
+}
+
+func (b *bucketExec) strategyLayouts() (fp, bp tensor.Layout) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, e := range b.execs {
+		fp = e.Strategy().Layout
+	}
+	return fp, tensor.NCHW
+}
+
+// PlannedBuckets reports which batch-size buckets have a deployed strategy
+// and the strategy each runs — the serving analogue of Selections().
+func (c *Conv) PlannedBuckets() map[int]string {
+	b, ok := c.exec.(*bucketExec)
+	if !ok {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[int]string, len(b.execs))
+	for bk, e := range b.execs {
+		out[bk] = e.Strategy().Name
+	}
+	return out
+}
+
+// NewConvInferCtx builds a forward-only convolution layer that plans one
+// strategy per batch-size bucket through pl (nil: measure-every-time).
+// Backward panics — inference layers carry no gradient state.
+func NewConvInferCtx(name string, s conv.Spec, pl core.Planner, buckets []int, c *exec.Ctx, r *rng.RNG) *Conv {
+	l := newConvCommon(name, s, c, r)
+	l.exec = newBucketExec(s, pl, buckets, l.ctx)
+	return l
+}

@@ -19,6 +19,10 @@ type Network struct {
 	grads [][]*tensor.Tensor
 	cap   int
 
+	// inference marks a forward-only network: EnsureBatch allocates no
+	// gradient storage and Backward panics (serve.go's replicas).
+	inference bool
+
 	// profiling state (profile.go).
 	profiling bool
 	profile   []LayerProfile
@@ -52,8 +56,16 @@ func (n *Network) InDims() []int { return n.layers[0].InDims() }
 // OutDims returns the per-image output (logits) shape.
 func (n *Network) OutDims() []int { return n.layers[len(n.layers)-1].OutDims() }
 
+// SetInference marks the network forward-only: no gradient storage is
+// allocated and Backward panics. Meant for freshly built networks (the
+// netdef inference build); gradient slots already allocated stay put.
+func (n *Network) SetInference() { n.inference = true }
+
+// Inference reports whether the network is forward-only.
+func (n *Network) Inference() bool { return n.inference }
+
 // EnsureBatch grows the preallocated activation/gradient storage to hold
-// at least `size` batch slots.
+// at least `size` batch slots (activations only on inference networks).
 func (n *Network) EnsureBatch(size int) {
 	if size <= n.cap {
 		return
@@ -62,6 +74,11 @@ func (n *Network) EnsureBatch(size int) {
 		dims := layer.OutDims()
 		for len(n.acts[l]) < size {
 			n.acts[l] = append(n.acts[l], tensor.New(dims...))
+		}
+		if n.inference {
+			continue
+		}
+		for len(n.grads[l]) < size {
 			n.grads[l] = append(n.grads[l], tensor.New(layer.InDims()...))
 		}
 	}
@@ -99,6 +116,9 @@ func (n *Network) Forward(ins []*tensor.Tensor) []*tensor.Tensor {
 // Backward runs back-propagation from the logits gradients, given the
 // original batch inputs, accumulating parameter gradients in each layer.
 func (n *Network) Backward(dlogits, ins []*tensor.Tensor) {
+	if n.inference {
+		panic("nn: Backward on an inference-only network")
+	}
 	batch := len(dlogits)
 	cur := dlogits
 	for l := len(n.layers) - 1; l >= 0; l-- {

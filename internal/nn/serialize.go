@@ -23,12 +23,91 @@ type paramOwner interface {
 	params() map[string]*tensor.Tensor
 }
 
+// paramSetter is implemented by layers whose parameter tensors can be
+// replaced wholesale — the aliasing hook ShareParameters builds on.
+type paramSetter interface {
+	paramOwner
+	// setParam points the named parameter at t. Reports false for an
+	// unknown name.
+	setParam(name string, t *tensor.Tensor) bool
+}
+
 func (c *Conv) params() map[string]*tensor.Tensor {
 	return map[string]*tensor.Tensor{"W": c.W, "B": c.B}
 }
 
+func (c *Conv) setParam(name string, t *tensor.Tensor) bool {
+	switch name {
+	case "W":
+		c.W = t
+	case "B":
+		c.B = t
+	default:
+		return false
+	}
+	return true
+}
+
 func (l *FC) params() map[string]*tensor.Tensor {
 	return map[string]*tensor.Tensor{"W": l.W, "B": l.B}
+}
+
+func (l *FC) setParam(name string, t *tensor.Tensor) bool {
+	switch name {
+	case "W":
+		l.W = t
+	case "B":
+		l.B = t
+	default:
+		return false
+	}
+	return true
+}
+
+// ShareParameters points every parameter of this network at the SAME
+// tensors as src — not a copy. The networks must have been built from the
+// same description (same layer names, same shapes). Afterwards the two
+// networks see identical weights forever, which is exactly what a serving
+// replica wants: N forward-only replicas share one read-only parameter
+// set, and because a shared tensor keeps one data pointer and one version,
+// every replica's packed/blocked weight caches key to the same entry.
+// Mutating parameters through either network affects both — inference
+// replicas never do (Backward panics; ApplyGrads is never called).
+func (n *Network) ShareParameters(src *Network) error {
+	srcParams := map[string]*tensor.Tensor{}
+	for _, p := range src.Parameters() {
+		srcParams[p.Name] = p.Tensor
+	}
+	shared := 0
+	for _, layer := range n.layers {
+		ps, ok := layer.(paramSetter)
+		if !ok {
+			if _, owns := layer.(paramOwner); owns {
+				return fmt.Errorf("nn: ShareParameters: layer %q owns parameters but cannot alias them", layer.Name())
+			}
+			continue
+		}
+		for name, t := range ps.params() {
+			key := layer.Name() + "/" + name
+			st, ok := srcParams[key]
+			if !ok {
+				return fmt.Errorf("nn: ShareParameters: source network has no parameter %q", key)
+			}
+			if !dimsEqual(st.Dims, t.Dims) {
+				return fmt.Errorf("nn: ShareParameters: parameter %q shape %v does not match source shape %v",
+					key, t.Dims, st.Dims)
+			}
+			if !ps.setParam(name, st) {
+				return fmt.Errorf("nn: ShareParameters: layer %q rejected parameter %q", layer.Name(), name)
+			}
+			shared++
+		}
+	}
+	if shared != len(srcParams) {
+		return fmt.Errorf("nn: ShareParameters: source has %d parameters, this network aliased %d",
+			len(srcParams), shared)
+	}
+	return nil
 }
 
 // NamedParam is one learnable parameter tensor with its stable

@@ -49,10 +49,21 @@ type Key struct {
 	Workers int       `json:"workers"`
 	Phase   string    `json:"phase"` // "fp" or "bp"
 	Band    int       `json:"band"`  // sparsity band: gradient sparsity for BP, weight sparsity for FP (0 when dense)
+	// Batch is the batch-size bucket the verdict was measured for. Strategy
+	// ranking shifts with batch size (batch-parallel schedules starve below
+	// the worker count; per-call overheads amortize differently), so serving
+	// deployments key verdicts per bucket. Zero means unkeyed — every
+	// training-path verdict, and every cache file written before batch
+	// keying existed, which therefore stays valid under this schema.
+	Batch int `json:"batch,omitempty"`
 }
 
 func (k Key) String() string {
-	return fmt.Sprintf("%s/%s/p%d/band%d on %s", k.Phase, k.Spec, k.Workers, k.Band, k.Host)
+	batch := ""
+	if k.Batch > 0 {
+		batch = fmt.Sprintf("/batch%d", k.Batch)
+	}
+	return fmt.Sprintf("%s/%s/p%d/band%d%s on %s", k.Phase, k.Spec, k.Workers, k.Band, batch, k.Host)
 }
 
 // EntryTiming is one measured candidate in a cached verdict.
@@ -117,7 +128,7 @@ func (p *Planner) Load(r io.Reader) (int, error) {
 	for _, e := range f.Entries {
 		if e == nil || e.Strategy == "" || e.Spec.Validate() != nil ||
 			(e.Phase != "fp" && e.Phase != "bp") || e.Workers < 1 ||
-			e.Band < 0 || e.Band >= BandCount {
+			e.Band < 0 || e.Band >= BandCount || e.Batch < 0 {
 			continue
 		}
 		p.entries[e.Key] = e

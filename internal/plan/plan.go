@@ -186,7 +186,7 @@ func (p *Planner) PlanFP(s conv.Spec, c *exec.Ctx, ins []*tensor.Tensor,
 	if w != nil {
 		wSparsity = w.Sparsity()
 	}
-	return p.plan("fp", s, wSparsity, c, func(survivors []core.Strategy) core.Selection {
+	return p.plan("fp", s, wSparsity, opts.Batch, c, func(survivors []core.Strategy) core.Selection {
 		return core.ChooseFP(survivors, s, c, ins, w, p.tuneOpts(opts))
 	})
 }
@@ -195,16 +195,19 @@ func (p *Planner) PlanFP(s conv.Spec, c *exec.Ctx, ins []*tensor.Tensor,
 // the sample gradients' sparsity band.
 func (p *Planner) PlanBP(s conv.Spec, c *exec.Ctx, eos, ins []*tensor.Tensor,
 	w *tensor.Tensor, opts core.TuneOptions) core.Planned {
-	return p.plan("bp", s, meanSparsity(eos), c, func(survivors []core.Strategy) core.Selection {
+	return p.plan("bp", s, meanSparsity(eos), opts.Batch, c, func(survivors []core.Strategy) core.Selection {
 		return core.ChooseBP(survivors, s, c, eos, ins, w, p.tuneOpts(opts))
 	})
 }
 
+// tuneOpts merges the request's options with the planner defaults
+// field-wise: an unset Reps inherits the planner's, while the request's
+// batch-bucket key always passes through.
 func (p *Planner) tuneOpts(req core.TuneOptions) core.TuneOptions {
-	if req.Reps > 0 {
-		return req
+	if req.Reps <= 0 {
+		req.Reps = p.tune.Reps
 	}
-	return p.tune
+	return req
 }
 
 func meanSparsity(eos []*tensor.Tensor) float64 {
@@ -227,16 +230,19 @@ func (p *Planner) candidates(phase string, workers int) []core.Strategy {
 
 // plan is the shared request path: cache lookup, single-flight dedup, and
 // on a genuine miss the model-prune + measure pipeline.
-func (p *Planner) plan(phase string, s conv.Spec, sparsity float64, c *exec.Ctx,
+func (p *Planner) plan(phase string, s conv.Spec, sparsity float64, batch int, c *exec.Ctx,
 	measure func([]core.Strategy) core.Selection) core.Planned {
 	s.MustValidate()
 	if c == nil {
 		c = exec.New(1)
 	}
+	if batch < 0 {
+		batch = 0
+	}
 	// Both phases band on their driving sparsity: gradient sparsity for BP,
 	// weight sparsity for FP (dense weights band to 0).
 	band := Band(sparsity)
-	key := Key{Host: p.host, Spec: s, Workers: c.Workers(), Phase: phase, Band: band}
+	key := Key{Host: p.host, Spec: s, Workers: c.Workers(), Phase: phase, Band: band, Batch: batch}
 	for {
 		p.mu.Lock()
 		if e := p.entries[key]; e != nil {

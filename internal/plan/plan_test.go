@@ -558,3 +558,90 @@ func TestPlannerSelectsSparseWeightForPrunedLayer(t *testing.T) {
 		t.Fatal("dense-weight request reused the pruned-weight verdict")
 	}
 }
+
+// TestBatchBucketsKeySeparately pins the serving-path keying: requests
+// carrying a TuneOptions.Batch bucket measure and cache independently of
+// the unkeyed (training) verdict and of other buckets, while repeated
+// requests for the same bucket deploy from cache.
+func TestBatchBucketsKeySeparately(t *testing.T) {
+	ins, _, w := sampleTensors(t, testSpec, 2, 0)
+	p := fakePlanner()
+	ctx := exec.New(2)
+
+	p.PlanFP(testSpec, ctx, ins, w, core.TuneOptions{})         // unkeyed (training)
+	p.PlanFP(testSpec, ctx, ins, w, core.TuneOptions{Batch: 4}) // bucket 4
+	p.PlanFP(testSpec, ctx, ins, w, core.TuneOptions{Batch: 8}) // bucket 8
+	if st := p.Stats(); st.Misses != 3 || st.Measurements != 3 {
+		t.Fatalf("distinct buckets must measure separately: %d misses, %d measurements, want 3 each",
+			st.Misses, st.Measurements)
+	}
+
+	warm := p.PlanFP(testSpec, ctx, ins, w, core.TuneOptions{Batch: 4})
+	if !warm.FromCache {
+		t.Fatal("repeated bucket request should deploy from cache")
+	}
+	if st := p.Stats(); st.Hits != 1 || st.Measurements != 3 {
+		t.Fatalf("warm bucket request re-measured: %+v", st)
+	}
+
+	// Negative buckets clamp to the unkeyed verdict instead of minting keys.
+	if got := p.PlanFP(testSpec, ctx, ins, w, core.TuneOptions{Batch: -3}); !got.FromCache {
+		t.Fatal("negative batch should hit the unkeyed (Batch 0) entry")
+	}
+}
+
+// TestBatchKeyPersistence round-trips batch-keyed verdicts through
+// Save/Load and checks that pre-batch-keying cache files (no "batch"
+// field) still load as unkeyed entries — no schema bump.
+func TestBatchKeyPersistence(t *testing.T) {
+	ins, _, w := sampleTensors(t, testSpec, 2, 0)
+	host := machine.Host{OS: "linux", Arch: "amd64", CPUs: 4, GoVersion: "go-test", Hostname: "h1"}
+	mk := func() *Planner {
+		return New(Options{
+			Host: host,
+			FP:   func(int) []core.Strategy { return fakeFP() },
+			BP:   func(int) []core.Strategy { return fakeBP() },
+			Tune: core.TuneOptions{Reps: 1},
+		})
+	}
+
+	a := mk()
+	ctx := exec.New(2)
+	a.PlanFP(testSpec, ctx, ins, w, core.TuneOptions{})
+	a.PlanFP(testSpec, ctx, ins, w, core.TuneOptions{Batch: 4})
+
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The unkeyed entry must serialize without a batch field at all.
+	if bytes.Contains(buf.Bytes(), []byte(`"batch": 0`)) {
+		t.Error("unkeyed entries must omit the batch field (old caches stay byte-compatible)")
+	}
+
+	b := mk()
+	if n, err := b.Load(bytes.NewReader(buf.Bytes())); err != nil || n != 2 {
+		t.Fatalf("Load = %d, %v; want 2 entries", n, err)
+	}
+	if got := b.PlanFP(testSpec, exec.New(2), ins, w, core.TuneOptions{Batch: 4}); !got.FromCache {
+		t.Fatal("batch-keyed verdict did not survive the round trip")
+	}
+	if got := b.PlanFP(testSpec, exec.New(2), ins, w, core.TuneOptions{}); !got.FromCache {
+		t.Fatal("unkeyed verdict did not survive the round trip")
+	}
+	if st := b.Stats(); st.Measurements != 0 {
+		t.Errorf("loaded planner ran %d measurement passes, want 0", st.Measurements)
+	}
+
+	// A negative batch in a hand-edited file is malformed, not adoptable.
+	var f File
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	f.Entries[0].Batch = -1
+	raw, _ := json.Marshal(f)
+	c := mk()
+	if n, _ := c.Load(bytes.NewReader(raw)); n != 1 {
+		t.Errorf("Load adopted %d entries, want 1 (negative batch dropped)", n)
+	}
+}

@@ -3,8 +3,9 @@
 # the bounds-check-elimination gate on the hot micro-kernel files, the
 # quick-scale benchmark baseline check, the plan-cache round-trip check
 # (warm starts must deploy cached strategy verdicts with zero measurement
-# passes), and the execution-trace capture/attribution check (2-replica
-# capture must validate and attribute stragglers and waste).
+# passes), the execution-trace capture/attribution check (2-replica
+# capture must validate and attribute stragglers and waste), and the
+# serving check (train -> serve -> load -> validate metrics and drain).
 # Run from the repository root.
 set -eux
 
@@ -16,3 +17,4 @@ scripts/bce_check.sh
 scripts/bench_check.sh
 scripts/plan_check.sh
 scripts/trace_check.sh
+scripts/serve_check.sh

@@ -1,0 +1,122 @@
+#!/bin/sh
+# serve_check: end-to-end gate for the inference serving path.
+# Trains a tiny conv+fc network for one epoch, serves its checkpoint with
+# spg-serve (dynamic batching, 2 replicas sharing one weight set), drives
+# it with spg-load in both loop modes, then:
+#
+#   - asserts the load report shows every request succeeding with sane
+#     latency percentiles and a coalesced (>1) mean server batch;
+#   - scrapes /metrics through spg-load -scrape and asserts the serving
+#     series (queue depth, batch histogram, goodput ratio) exported;
+#   - asserts the server's shutdown epilogue agrees on the request count
+#     and prints the goodput line;
+#   - runs the spg-load golden-output test, which pins the report
+#     rendering byte-for-byte against a deterministic fake server.
+#
+# Usage: scripts/serve_check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"; [ -n "${server_pid:-}" ] && kill "$server_pid" 2>/dev/null || true' EXIT INT TERM
+
+cat > "$tmp/net.prototxt" <<'EOF'
+name: "servecheck"
+input { channels: 1 height: 28 width: 28 }
+layer { name: "conv0" type: "conv" features: 4 kernel: 5 stride: 2 }
+layer { name: "fc0" type: "fc" outputs: 10 }
+EOF
+
+go build -o "$tmp/spg-train" ./cmd/spg-train
+go build -o "$tmp/spg-serve" ./cmd/spg-serve
+go build -o "$tmp/spg-load" ./cmd/spg-load
+
+"$tmp/spg-train" -file "$tmp/net.prototxt" -dataset mnist -epochs 1 \
+	-examples 16 -batch 8 -workers 1 -save "$tmp/w.ckpt" | grep -q "saved checkpoint" || {
+	echo "serve_check: training did not save a checkpoint" >&2
+	exit 1
+}
+
+"$tmp/spg-serve" -file "$tmp/net.prototxt" -load "$tmp/w.ckpt" \
+	-addr 127.0.0.1:0 -addr-file "$tmp/addr" -replicas 2 \
+	-max-batch 4 -max-delay 2ms > "$tmp/serve.out" 2>&1 &
+server_pid=$!
+
+# Wait for the bound address (spg-serve writes it once listening).
+for i in $(seq 1 100); do
+	[ -s "$tmp/addr" ] && break
+	kill -0 "$server_pid" 2>/dev/null || {
+		echo "serve_check: spg-serve exited before listening:" >&2
+		cat "$tmp/serve.out" >&2
+		exit 1
+	}
+	sleep 0.1
+done
+[ -s "$tmp/addr" ] || { echo "serve_check: server never wrote -addr-file" >&2; exit 1; }
+url="http://$(cat "$tmp/addr")"
+
+# Closed-loop slice with a mid-run metrics scrape.
+closed="$("$tmp/spg-load" -url "$url" -c 8 -n 120 -scrape)"
+echo "$closed" | grep -q "ok              120" || {
+	echo "serve_check: closed-loop run lost requests:" >&2
+	echo "$closed" >&2
+	exit 1
+}
+echo "$closed" | grep -q "latency p99" || {
+	echo "serve_check: report missing latency percentiles" >&2
+	exit 1
+}
+for series in spg_serve_queue_depth spg_serve_requests_total \
+	spg_serve_batches_total spg_serve_batch_size spg_serve_goodput_ratio; do
+	echo "$closed" | grep -q "$series" || {
+		echo "serve_check: /metrics scrape missing $series:" >&2
+		echo "$closed" >&2
+		exit 1
+	}
+done
+# Under 8 concurrent closed-loop clients the admission queue must have
+# coalesced at least some requests into multi-row batches.
+mean_batch="$(echo "$closed" | sed -n 's/^  mean batch      //p')"
+case "$mean_batch" in
+1.00|0.00|"")
+	echo "serve_check: no dynamic batching happened (mean batch '$mean_batch')" >&2
+	echo "$closed" >&2
+	exit 1
+	;;
+esac
+
+# Open-loop slice: paced arrivals against the same server.
+open="$("$tmp/spg-load" -url "$url" -c 8 -n 60 -rate 300)"
+echo "$open" | grep -q "(open loop)" || {
+	echo "serve_check: open-loop report mislabeled:" >&2
+	echo "$open" >&2
+	exit 1
+}
+echo "$open" | grep -q "ok              60" || {
+	echo "serve_check: open-loop run lost requests:" >&2
+	echo "$open" >&2
+	exit 1
+}
+
+# Graceful shutdown: SIGTERM drains and prints the epilogue.
+kill "$server_pid"
+for i in $(seq 1 100); do
+	kill -0 "$server_pid" 2>/dev/null || break
+	sleep 0.1
+done
+server_pid=""
+grep -q "served 180 requests" "$tmp/serve.out" || {
+	echo "serve_check: server epilogue disagrees on the request count:" >&2
+	cat "$tmp/serve.out" >&2
+	exit 1
+}
+grep -q "goodput:" "$tmp/serve.out" || {
+	echo "serve_check: server epilogue missing the goodput line:" >&2
+	cat "$tmp/serve.out" >&2
+	exit 1
+}
+
+go test -run TestRunGolden ./cmd/spg-load
+
+echo "serve_check: dynamic batching served both loop modes; metrics, drain and report validated"

@@ -48,6 +48,8 @@ import (
 	"spgcnn/internal/nn"
 	"spgcnn/internal/plan"
 	"spgcnn/internal/rng"
+	"spgcnn/internal/serve"
+	"spgcnn/internal/serve/loadgen"
 	"spgcnn/internal/spkernel"
 	"spgcnn/internal/stencil"
 	"spgcnn/internal/tensor"
@@ -500,6 +502,45 @@ func RegisterTraceLayers(rec *TraceRecorder, net *Network) {
 // SparsityBand maps a gradient sparsity to its quarter band (0..3) — the
 // stamp trace events and plan-cache keys carry.
 func SparsityBand(sparsity float64) int { return plan.Band(sparsity) }
+
+// Inference serving.
+
+// ServeModel is a loaded, forward-only network replicated across batch
+// workers with one shared read-only parameter set.
+type ServeModel = serve.Model
+
+// ServeModelConfig controls replica count, batch-size buckets and
+// per-bucket strategy planning of a serving model.
+type ServeModelConfig = serve.ModelConfig
+
+// ServeConfig configures the dynamic-batching server around a model.
+type ServeConfig = serve.Config
+
+// Server is the dynamic-batching inference server.
+type Server = serve.Server
+
+// ServeStats is a snapshot of the server's admission and goodput counters.
+type ServeStats = serve.Stats
+
+// NewServeModel builds the forward-only replica set for a description.
+func NewServeModel(def *NetDef, cfg ServeModelConfig) (*ServeModel, error) {
+	return serve.NewModel(def, cfg)
+}
+
+// NewServer starts batch workers over a model and returns the server.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// DefaultServeBuckets returns the power-of-two batch buckets up to maxBatch.
+func DefaultServeBuckets(maxBatch int) []int { return serve.DefaultBuckets(maxBatch) }
+
+// LoadConfig configures one load-generation run against a serving endpoint.
+type LoadConfig = loadgen.Config
+
+// LoadResult aggregates a load run: throughput, tail latency, batch mix.
+type LoadResult = loadgen.Result
+
+// RunLoad drives a serving endpoint with closed- or open-loop traffic.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) { return loadgen.Run(cfg) }
 
 // DataParallelStats reports one data-parallel epoch, including the
 // per-replica step-time min/max/mean and barrier-wait attribution.
