@@ -22,7 +22,9 @@ import (
 	"spgcnn/internal/ait"
 	"spgcnn/internal/conv"
 	"spgcnn/internal/core"
+	"spgcnn/internal/explore"
 	"spgcnn/internal/machine"
+	"spgcnn/internal/netdef"
 	"spgcnn/internal/plan"
 	"spgcnn/internal/stencil"
 	"spgcnn/internal/tensor"
@@ -49,9 +51,16 @@ func run(args []string, stdout io.Writer) error {
 		workers   = fs.Int("workers", 0, "worker cores for the model ranking and -tune (0 = GOMAXPROCS)")
 		reps      = fs.Int("reps", 0, "measurement repetitions per candidate for -tune (0 = default)")
 		planCache = fs.String("plan-cache", "", "plan cache file for -tune: deploy cached verdicts instead of re-measuring, save updated cache on exit")
+		exploreAt = fs.String("explore", "", "whole-net design-space report: a built-in net name, 'all' for the workload zoo, or a netdef file path (ignores the per-conv flags)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *exploreAt != "" {
+		return runExplore(stdout, *exploreAt, explore.Options{
+			Workers: *workers, Sparsity: *sparsity, WSparsity: *wsparsity,
+		})
 	}
 
 	spec := conv.Square(*n, *nf, *nc, *f, *s)
@@ -182,6 +191,55 @@ func strategyLayout(name string, w int) tensor.Layout {
 		return st.Layout
 	}
 	return tensor.NCHW
+}
+
+// runExplore renders the per-layer design-space report for one or more
+// whole networks: 'all' walks the workload zoo, a known name picks one
+// built-in description, anything else is read as a netdef file.
+func runExplore(stdout io.Writer, target string, opts explore.Options) error {
+	var nets []netdef.ZooNet
+	if target == "all" {
+		nets = netdef.Zoo()
+	} else if src, ok := builtinNet(target); ok {
+		nets = []netdef.ZooNet{{Name: target, Src: src}}
+	} else {
+		b, err := os.ReadFile(target)
+		if err != nil {
+			return fmt.Errorf("explore: %q is neither a built-in net nor a readable netdef file: %w", target, err)
+		}
+		nets = []netdef.ZooNet{{Name: target, Src: string(b)}}
+	}
+	for i, zn := range nets {
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		def, err := netdef.Parse(zn.Src)
+		if err != nil {
+			return err
+		}
+		if err := explore.Report(stdout, def, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// builtinNet resolves a name onto one of the compiled-in descriptions.
+func builtinNet(name string) (string, bool) {
+	switch name {
+	case "mnist":
+		return netdef.MNISTNet, true
+	case "cifar10":
+		return netdef.CIFARNet, true
+	case "imagenet100":
+		return netdef.ImageNet100Net, true
+	}
+	for _, z := range netdef.Zoo() {
+		if z.Name == name {
+			return z.Src, true
+		}
+	}
+	return "", false
 }
 
 func printMeasured(stdout io.Writer, phase string, pd core.Planned, band int) {

@@ -33,6 +33,46 @@ func TestRunGolden(t *testing.T) {
 	}
 }
 
+// TestRunExploreGolden pins the -explore design-space report over the
+// workload zoo: every line is a pure function of the netdefs and the
+// paper machine model, compared byte-for-byte. Regenerate after an
+// intentional change with:
+//
+//	scripts/explore_check.sh -update
+func TestRunExploreGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "explore_golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-explore", "all", "-workers", "16"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("explore output diverged from testdata/explore_golden.txt\n--- got ---\n%s\n--- want ---\n%s",
+			out.String(), want)
+	}
+}
+
+// TestRunExploreBuiltinsAndErrors covers name resolution: every built-in
+// resolves, a bogus name surfaces as an error, and the single-net path
+// renders that net alone.
+func TestRunExploreBuiltinsAndErrors(t *testing.T) {
+	for _, name := range []string{"mnist", "cifar10", "imagenet100",
+		"zoo-depthwise", "zoo-dilated", "zoo-bottleneck", "zoo-residual"} {
+		var out strings.Builder
+		if err := run([]string{"-explore", name}, &out); err != nil {
+			t.Errorf("explore %q: %v", name, err)
+		} else if !strings.Contains(out.String(), "net "+name) {
+			t.Errorf("explore %q output missing its net header:\n%s", name, out.String())
+		}
+	}
+	var out strings.Builder
+	if err := run([]string{"-explore", "no-such-net"}, &out); err == nil {
+		t.Error("explore accepted a bogus net name")
+	}
+}
+
 // TestRunWorkersZeroUsesGOMAXPROCS covers the -workers 0 default: the
 // model ranking must run at GOMAXPROCS, not clamp to one core.
 func TestRunWorkersZeroUsesGOMAXPROCS(t *testing.T) {

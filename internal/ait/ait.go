@@ -126,9 +126,14 @@ func (p Phase) String() string {
 //	FP:        O[Nf × pix]        = W[Nf × NcFyFx] · Uᵀ[NcFyFx × pix]
 //	BPInput:   U_E[NcFyFx × pix]  = Wᵀ[NcFyFx × Nf] · E_O[Nf × pix]
 //	BPWeights: dW[Nf × NcFyFx]    = E_O[Nf × pix] · U[pix × NcFyFx]
+//
+// Grouped convolutions shrink the tap dimension to (Nc/G)·Fy·Fx — each
+// output feature only reads its group's channel slab — so MM.Flops()
+// matches Spec.FlopsFP() for every spec. Padding and dilation enter
+// through OutX/OutY; the multiply shape is otherwise unchanged.
 func MMOf(s conv.Spec, p Phase) MM {
 	pix := s.OutX() * s.OutY()
-	taps := s.Nc * s.Fy * s.Fx
+	taps := s.GroupNc() * s.Fy * s.Fx
 	switch p {
 	case FP:
 		return MM{M: s.Nf, K: taps, N: pix}

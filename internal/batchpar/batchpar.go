@@ -116,7 +116,7 @@ func (e *Executor) BackwardWeightsBatch(c *exec.Ctx, dw *tensor.Tensor, eos, ins
 	// Worker 0 writes dw directly; the rest get arena accumulators.
 	accs = append(accs, dw)
 	for i := 1; i < used; i++ {
-		accs = append(accs, c.GetTensor(s.Nf, s.Nc, s.Fy, s.Fx))
+		accs = append(accs, c.GetTensor(s.WeightDims()...))
 	}
 	par.ForWorkers(len(eos), used, func(worker, lo, hi int) {
 		if lo > hi {

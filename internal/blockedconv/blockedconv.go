@@ -105,6 +105,13 @@ func (k *Kernel) ForwardBatch(c *exec.Ctx, outs, ins []*tensor.Tensor, w *tensor
 		panic("blockedconv: ForwardBatch length mismatch")
 	}
 	s := k.spec
+	if !s.Plain() {
+		// Generalized specs run the grouped/padded unfold path (the blocked
+		// weight panels and MicroDot8 schedule are generated for plain
+		// geometry only).
+		k.bp.ForwardBatch(c, outs, ins, w)
+		return
+	}
 	wb := k.blockedWeights(c, w)
 	inb := c.GetTensorLayout(tensor.NCHW8, tensor.Blocks(s.Nc), s.Ny, s.Nx, tensor.Block)
 	outb := c.GetTensorLayout(tensor.NCHW8, tensor.Blocks(s.Nf), s.OutY(), s.OutX(), tensor.Block)
@@ -127,6 +134,12 @@ func (k *Kernel) ForwardBlockedBatch(c *exec.Ctx, outs, ins []*tensor.Tensor, w 
 		panic("blockedconv: ForwardBlockedBatch length mismatch")
 	}
 	s := k.spec
+	if !s.Plain() {
+		// Generalized specs gather straight out of blocked storage through
+		// the grouped/padded Im2colBlocked path.
+		k.bp.ForwardBlockedBatch(c, outs, ins, w)
+		return
+	}
 	wb := k.blockedWeights(c, w)
 	for i := range ins {
 		conv.CheckBlockedInput(s, ins[i])

@@ -1,0 +1,203 @@
+package conv
+
+import (
+	"strings"
+	"testing"
+
+	"spgcnn/internal/rng"
+	"spgcnn/internal/tensor"
+)
+
+// Tests for the generalized spec: padding, dilation and groups through
+// the geometry helpers, the validators and the reference oracles.
+
+func TestGeneralGeometry(t *testing.T) {
+	cases := []struct {
+		s          Spec
+		outX, outY int
+		wLen       int
+	}{
+		// Same-padded 3×3: output extent preserved.
+		{Spec{Nx: 8, Ny: 8, Nc: 2, Nf: 3, Fx: 3, Fy: 3, Sx: 1, Sy: 1, Px: 1, Py: 1}, 8, 8, 3 * 2 * 9},
+		// Dilation 2 with pad 2: extent 5 kernel, output preserved.
+		{Spec{Nx: 8, Ny: 8, Nc: 1, Nf: 1, Fx: 3, Fy: 3, Sx: 1, Sy: 1, Px: 2, Py: 2, Dx: 2, Dy: 2}, 8, 8, 9},
+		// Grouped: weight tensor shrinks to Nc/G channels per feature.
+		{Spec{Nx: 8, Ny: 8, Nc: 4, Nf: 6, Fx: 3, Fy: 3, Sx: 1, Sy: 1, Groups: 2}, 6, 6, 6 * 2 * 9},
+		// Depthwise.
+		{Spec{Nx: 5, Ny: 5, Nc: 3, Nf: 3, Fx: 3, Fy: 3, Sx: 1, Sy: 1, Px: 1, Py: 1, Groups: 3}, 5, 5, 3 * 9},
+		// Strided, padded, rectangular.
+		{Spec{Nx: 9, Ny: 7, Nc: 2, Nf: 4, Fx: 3, Fy: 3, Sx: 2, Sy: 2, Px: 2, Py: 1}, 6, 4, 4 * 2 * 9},
+	}
+	for _, tc := range cases {
+		s := tc.s
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%v: Validate: %v", s, err)
+		}
+		if got := s.OutX(); got != tc.outX {
+			t.Errorf("%v: OutX = %d, want %d", s, got, tc.outX)
+		}
+		if got := s.OutY(); got != tc.outY {
+			t.Errorf("%v: OutY = %d, want %d", s, got, tc.outY)
+		}
+		if got := s.WeightSize(); got != int64(tc.wLen) {
+			t.Errorf("%v: WeightSize = %d, want %d", s, got, tc.wLen)
+		}
+		w := NewWeights(s)
+		if w.Len() != tc.wLen {
+			t.Errorf("%v: NewWeights len %d, want %d", s, w.Len(), tc.wLen)
+		}
+	}
+}
+
+func TestValidateGeneral(t *testing.T) {
+	base := Spec{Nx: 8, Ny: 8, Nc: 4, Nf: 4, Fx: 3, Fy: 3, Sx: 1, Sy: 1}
+	cases := []struct {
+		mut     func(*Spec)
+		wantSub string
+	}{
+		{func(s *Spec) { s.Px = -1 }, "padding"},
+		{func(s *Spec) { s.Dx = -2 }, "dilation"},
+		{func(s *Spec) { s.Groups = 3 }, "groups"},            // 3 does not divide Nc=4
+		{func(s *Spec) { s.Nf = 6; s.Groups = 4 }, "groups"},  // 4 does not divide Nf=6
+		{func(s *Spec) { s.Dx = 4 }, "effective kernel"},      // extent 9 > Nx 8
+		{func(s *Spec) { s.Fx = 9; s.Px = 0 }, "larger than"}, // kernel > input, no pad
+	}
+	for _, tc := range cases {
+		s := base
+		tc.mut(&s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%+v: Validate = %v, want error containing %q", s, err, tc.wantSub)
+		}
+	}
+	// Padding can legalize a kernel larger than the raw input.
+	s := base
+	s.Fx, s.Px = 9, 1
+	if err := s.Validate(); err != nil {
+		t.Errorf("padded 9-wide kernel on 8-wide input should validate, got %v", err)
+	}
+}
+
+func TestCanonAndPlain(t *testing.T) {
+	spelled := Spec{Nx: 8, Ny: 8, Nc: 2, Nf: 2, Fx: 3, Fy: 3, Sx: 1, Sy: 1, Dx: 1, Dy: 1, Groups: 1}
+	zero := Spec{Nx: 8, Ny: 8, Nc: 2, Nf: 2, Fx: 3, Fy: 3, Sx: 1, Sy: 1}
+	if spelled.Canon() != zero {
+		t.Errorf("Canon(%+v) = %+v, want %+v", spelled, spelled.Canon(), zero)
+	}
+	if !zero.Plain() || !spelled.Plain() {
+		t.Error("default-general specs must be Plain")
+	}
+	general := zero
+	general.Px = 1
+	if general.Plain() {
+		t.Error("padded spec reported Plain")
+	}
+}
+
+func TestSpecStringGeneral(t *testing.T) {
+	plain := Spec{Nx: 8, Ny: 8, Nc: 2, Nf: 3, Fx: 3, Fy: 3, Sx: 1, Sy: 1}
+	if got := plain.String(); strings.ContainsAny(got, "pdg") {
+		t.Errorf("plain spec String %q carries general suffixes", got)
+	}
+	g := Spec{Nx: 8, Ny: 8, Nc: 4, Nf: 4, Fx: 3, Fy: 3, Sx: 1, Sy: 1, Px: 1, Py: 2, Dx: 2, Dy: 2, Groups: 2}
+	got := g.String()
+	for _, sub := range []string{"p1x2", "d2", "g2"} {
+		if !strings.Contains(got, sub) {
+			t.Errorf("String %q missing %q", got, sub)
+		}
+	}
+}
+
+func TestScatterMatchesGatherGeneral(t *testing.T) {
+	r := rng.New(21)
+	for trial := 0; trial < 40; trial++ {
+		s := RandSpecGeneral(r, 9)
+		w := RandWeights(r, s)
+		eo := NewOutput(s)
+		eo.FillNormal(r, 0, 1)
+		a, b := NewInput(s), NewInput(s)
+		BackwardInputRef(s, a, eo, w)
+		BackwardInputGatherRef(s, b, eo, w)
+		if !tensor.AlmostEqual(a, b, 1e-4) {
+			t.Fatalf("scatter/gather disagree for %v (max diff %g)", s, tensor.MaxAbsDiff(a, b))
+		}
+	}
+}
+
+// TestAdjointPropertyGeneral pins ⟨EO, Forward(I)⟩ = ⟨BackwardInput(EO), I⟩
+// and ⟨EO, Forward(I)⟩ = ⟨dW, W⟩ on padded/dilated/grouped geometry — the
+// generalized oracles must stay true adjoints.
+func TestAdjointPropertyGeneral(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 40; trial++ {
+		s := RandSpecGeneral(r, 9)
+		in := RandInput(r, s)
+		w := RandWeights(r, s)
+		eo := NewOutput(s)
+		eo.FillNormal(r, 0, 1)
+		out := NewOutput(s)
+		ForwardRef(s, out, in, w)
+		ei := NewInput(s)
+		BackwardInputRef(s, ei, eo, w)
+		dw := NewWeights(s)
+		BackwardWeightsRef(s, dw, eo, in)
+		var lhs, rhsI, rhsW float64
+		for i := range out.Data {
+			lhs += float64(eo.Data[i]) * float64(out.Data[i])
+		}
+		for i := range in.Data {
+			rhsI += float64(ei.Data[i]) * float64(in.Data[i])
+		}
+		for i := range w.Data {
+			rhsW += float64(dw.Data[i]) * float64(w.Data[i])
+		}
+		scale := 1.0
+		if l := lhs; l > scale {
+			scale = l
+		} else if -l > scale {
+			scale = -l
+		}
+		if d := lhs - rhsI; d > 1e-3*scale || d < -1e-3*scale {
+			t.Fatalf("%v: input adjoint broken: %v vs %v", s, lhs, rhsI)
+		}
+		if d := lhs - rhsW; d > 1e-3*scale || d < -1e-3*scale {
+			t.Fatalf("%v: weight adjoint broken: %v vs %v", s, lhs, rhsW)
+		}
+	}
+}
+
+// TestGroupedMatchesMaskedDense cross-checks the grouped forward against
+// an equivalent dense convolution whose weights are zero outside each
+// feature's group slab.
+func TestGroupedMatchesMaskedDense(t *testing.T) {
+	r := rng.New(41)
+	g := Spec{Nx: 6, Ny: 6, Nc: 4, Nf: 6, Fx: 3, Fy: 3, Sx: 1, Sy: 1, Px: 1, Py: 1, Groups: 2}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dense := g
+	dense.Groups = 0
+	in := RandInput(r, g)
+	wg := RandWeights(r, g)
+	// Expand grouped weights into the dense layout with zeros off-slab.
+	wd := NewWeights(dense)
+	gnc, gnf := g.GroupNc(), g.GroupNf()
+	for f := 0; f < g.Nf; f++ {
+		cbase := (f / gnf) * gnc
+		for cc := 0; cc < gnc; cc++ {
+			for ky := 0; ky < g.Fy; ky++ {
+				for kx := 0; kx < g.Fx; kx++ {
+					src := ((f*gnc+cc)*g.Fy+ky)*g.Fx + kx
+					dst := ((f*g.Nc+cbase+cc)*g.Fy+ky)*g.Fx + kx
+					wd.Data[dst] = wg.Data[src]
+				}
+			}
+		}
+	}
+	og, od := NewOutput(g), NewOutput(dense)
+	ForwardRef(g, og, in, wg)
+	ForwardRef(dense, od, in, wd)
+	if !tensor.AlmostEqual(og, od, 1e-5) {
+		t.Fatalf("grouped forward differs from masked dense (max diff %g)", tensor.MaxAbsDiff(og, od))
+	}
+}

@@ -33,6 +33,39 @@ func RandSpec(r *rng.RNG, max int) Spec {
 	}
 }
 
+// RandSpecGeneral draws a random valid spec exercising the generalized
+// attributes: padding in [0, 2], dilation in [1, 3], and a group count
+// drawn from the divisors the rounded-up channel/feature counts admit.
+// Used by the differential sweeps that pit every engine against the
+// reference oracle on non-plain geometry.
+func RandSpecGeneral(r *rng.RNG, max int) Spec {
+	if max < 2 {
+		max = 2
+	}
+	for {
+		g := r.Intn(4) + 1
+		s := Spec{
+			Nx:     r.Intn(max) + 2,
+			Ny:     r.Intn(max) + 2,
+			Nc:     (r.Intn(max/2+1) + 1) * g,
+			Nf:     (r.Intn(max/2+1) + 1) * g,
+			Fx:     r.Intn(4) + 1,
+			Fy:     r.Intn(4) + 1,
+			Sx:     r.Intn(3) + 1,
+			Sy:     r.Intn(3) + 1,
+			Px:     r.Intn(3),
+			Py:     r.Intn(3),
+			Dx:     r.Intn(3) + 1,
+			Dy:     r.Intn(3) + 1,
+			Groups: g,
+		}
+		s = s.Canon()
+		if s.Validate() == nil {
+			return s
+		}
+	}
+}
+
 // RandInput returns a normally-distributed random input tensor for s.
 func RandInput(r *rng.RNG, s Spec) *tensor.Tensor {
 	t := NewInput(s)

@@ -9,11 +9,17 @@ import (
 // Shapes used throughout spgcnn for a convolution spec s:
 //
 //	input  I  : [Nc][Ny][Nx]        (channel, y, x — x fastest)
-//	weights W : [Nf][Nc][Fy][Fx]
+//	weights W : [Nf][Nc/G][Fy][Fx]
 //	output O  : [Nf][OutY][OutX]
 //	EO        : same shape as O (output-error gradient)
 //	EI        : same shape as I (input-error gradient)
 //	dW        : same shape as W (delta-weights)
+//
+// For grouped convolution (G = s.G() > 1) feature f belongs to group
+// g = f/(Nf/G) and convolves only input channels [g·Nc/G, (g+1)·Nc/G);
+// its weight slab indexes those channels relative to the group. Padding
+// taps that fall outside the input read an implicit zero; dilated taps
+// read input offset (kx·Dx, ky·Dy).
 
 // CheckInput panics unless t has the input shape for s.
 func CheckInput(s Spec, t *tensor.Tensor) {
@@ -25,9 +31,9 @@ func CheckInput(s Spec, t *tensor.Tensor) {
 
 // CheckWeights panics unless t has the weight shape for s.
 func CheckWeights(s Spec, t *tensor.Tensor) {
-	if t.Rank() != 4 || t.Dim(0) != s.Nf || t.Dim(1) != s.Nc || t.Dim(2) != s.Fy || t.Dim(3) != s.Fx {
+	if t.Rank() != 4 || t.Dim(0) != s.Nf || t.Dim(1) != s.GroupNc() || t.Dim(2) != s.Fy || t.Dim(3) != s.Fx {
 		panic(fmt.Sprintf("conv: weight shape %v does not match spec %v (want [%d %d %d %d])",
-			t.Dims, s, s.Nf, s.Nc, s.Fy, s.Fx))
+			t.Dims, s, s.Nf, s.GroupNc(), s.Fy, s.Fx))
 	}
 }
 
@@ -43,30 +49,46 @@ func CheckOutput(s Spec, t *tensor.Tensor) {
 func NewInput(s Spec) *tensor.Tensor { return tensor.New(s.Nc, s.Ny, s.Nx) }
 
 // NewWeights allocates a zero weight tensor for s.
-func NewWeights(s Spec) *tensor.Tensor { return tensor.New(s.Nf, s.Nc, s.Fy, s.Fx) }
+func NewWeights(s Spec) *tensor.Tensor { return tensor.New(s.WeightDims()...) }
 
 // NewOutput allocates a zero output tensor for s.
 func NewOutput(s Spec) *tensor.Tensor { return tensor.New(s.Nf, s.OutY(), s.OutX()) }
 
-// ForwardRef computes Eq. 2 directly:
+// ForwardRef computes Eq. 2 directly (generalized with padding, dilation
+// and groups):
 //
-//	O[f,y,x] = Σ_{c,ky,kx} I[c, y·sy+ky, x·sx+kx] · W[f,c,ky,kx]
+//	O[f,y,x] = Σ_{cc,ky,kx} I[g·Nc/G+cc, y·sy+ky·dy−py, x·sx+kx·dx−px] · W[f,cc,ky,kx]
+//
+// where g = f/(Nf/G) and out-of-range input positions contribute zero.
+// For plain specs the accumulation order (c, ky, kx) is unchanged, so
+// results stay bit-identical to the pre-generalization oracle.
 func ForwardRef(s Spec, out, in, w *tensor.Tensor) {
 	s.MustValidate()
 	CheckInput(s, in)
 	CheckWeights(s, w)
 	CheckOutput(s, out)
 	oy, ox := s.OutY(), s.OutX()
+	gnc, gnf := s.GroupNc(), s.GroupNf()
+	dx, dy := s.DilX(), s.DilY()
 	for f := 0; f < s.Nf; f++ {
+		cbase := (f / gnf) * gnc
 		for y := 0; y < oy; y++ {
 			for x := 0; x < ox; x++ {
 				var sum float32
-				for c := 0; c < s.Nc; c++ {
+				for cc := 0; cc < gnc; cc++ {
 					for ky := 0; ky < s.Fy; ky++ {
-						irow := in.Row3(c, y*s.Sy+ky)
-						wrow := w.Data[((f*s.Nc+c)*s.Fy+ky)*s.Fx:]
+						iy := y*s.Sy + ky*dy - s.Py
+						if iy < 0 || iy >= s.Ny {
+							continue
+						}
+						irow := in.Row3(cbase+cc, iy)
+						wrow := w.Data[((f*gnc+cc)*s.Fy+ky)*s.Fx:]
 						for kx := 0; kx < s.Fx; kx++ {
-							sum += irow[x*s.Sx+kx] * wrow[kx]
+							ix := x*s.Sx + kx*dx - s.Px
+							if ix < 0 || ix >= s.Nx {
+								continue
+							}
+							sum += irow[ix] * wrow[kx]
 						}
 					}
 				}
@@ -79,7 +101,10 @@ func ForwardRef(s Spec, out, in, w *tensor.Tensor) {
 // BackwardInputRef computes Eq. 3 (as the adjoint scatter of Eq. 2, which
 // avoids the divisibility bookkeeping of the gather form):
 //
-//	EI[c, y·sy+ky, x·sx+kx] += EO[f,y,x] · W[f,c,ky,kx]
+//	EI[c, y·sy+ky·dy−py, x·sx+kx·dx−px] += EO[f,y,x] · W[f,cc,ky,kx]
+//
+// with out-of-range target positions (padding taps) dropped — the exact
+// adjoint of zero padding.
 func BackwardInputRef(s Spec, ei, eo, w *tensor.Tensor) {
 	s.MustValidate()
 	CheckInput(s, ei)
@@ -87,19 +112,30 @@ func BackwardInputRef(s Spec, ei, eo, w *tensor.Tensor) {
 	CheckOutput(s, eo)
 	ei.Zero()
 	oy, ox := s.OutY(), s.OutX()
+	gnc, gnf := s.GroupNc(), s.GroupNf()
+	dx, dy := s.DilX(), s.DilY()
 	for f := 0; f < s.Nf; f++ {
+		cbase := (f / gnf) * gnc
 		for y := 0; y < oy; y++ {
 			for x := 0; x < ox; x++ {
 				e := eo.At3(f, y, x)
 				if e == 0 {
 					continue
 				}
-				for c := 0; c < s.Nc; c++ {
+				for cc := 0; cc < gnc; cc++ {
 					for ky := 0; ky < s.Fy; ky++ {
-						erow := ei.Row3(c, y*s.Sy+ky)
-						wrow := w.Data[((f*s.Nc+c)*s.Fy+ky)*s.Fx:]
+						iy := y*s.Sy + ky*dy - s.Py
+						if iy < 0 || iy >= s.Ny {
+							continue
+						}
+						erow := ei.Row3(cbase+cc, iy)
+						wrow := w.Data[((f*gnc+cc)*s.Fy+ky)*s.Fx:]
 						for kx := 0; kx < s.Fx; kx++ {
-							erow[x*s.Sx+kx] += e * wrow[kx]
+							ix := x*s.Sx + kx*dx - s.Px
+							if ix < 0 || ix >= s.Nx {
+								continue
+							}
+							erow[ix] += e * wrow[kx]
 						}
 					}
 				}
@@ -112,31 +148,37 @@ func BackwardInputRef(s Spec, ei, eo, w *tensor.Tensor) {
 // the gather form with the (y−ky)/sy index arithmetic — as a second,
 // independently-derived oracle:
 //
-//	EI[c,y,x] = Σ_{f,ky,kx} EO[f, (y−ky)/sy, (x−kx)/sx] · W[f,c,ky,kx]
+//	EI[c,y,x] = Σ_{f,ky,kx} EO[f, (y+py−ky·dy)/sy, (x+px−kx·dx)/sx] · W[f,cc,ky,kx]
 //
-// where terms are included only when the divisions are exact and in range.
+// where terms are included only when the divisions are exact and in range
+// and f ranges over c's feature group.
 func BackwardInputGatherRef(s Spec, ei, eo, w *tensor.Tensor) {
 	s.MustValidate()
 	CheckInput(s, ei)
 	CheckWeights(s, w)
 	CheckOutput(s, eo)
 	oy, ox := s.OutY(), s.OutX()
+	gnc, gnf := s.GroupNc(), s.GroupNf()
+	dx, dy := s.DilX(), s.DilY()
 	for c := 0; c < s.Nc; c++ {
+		g := c / gnc
+		cc := c - g*gnc
 		for y := 0; y < s.Ny; y++ {
 			for x := 0; x < s.Nx; x++ {
 				var sum float32
-				for f := 0; f < s.Nf; f++ {
+				for ff := 0; ff < gnf; ff++ {
+					f := g*gnf + ff
 					for ky := 0; ky < s.Fy; ky++ {
-						ry := y - ky
+						ry := y + s.Py - ky*dy
 						if ry < 0 || ry%s.Sy != 0 || ry/s.Sy >= oy {
 							continue
 						}
 						for kx := 0; kx < s.Fx; kx++ {
-							rx := x - kx
+							rx := x + s.Px - kx*dx
 							if rx < 0 || rx%s.Sx != 0 || rx/s.Sx >= ox {
 								continue
 							}
-							sum += eo.At3(f, ry/s.Sy, rx/s.Sx) * w.At4(f, c, ky, kx)
+							sum += eo.At3(f, ry/s.Sy, rx/s.Sx) * w.At4(f, cc, ky, kx)
 						}
 					}
 				}
@@ -148,7 +190,9 @@ func BackwardInputGatherRef(s Spec, ei, eo, w *tensor.Tensor) {
 
 // BackwardWeightsRef computes Eq. 4 directly:
 //
-//	dW[f,c,ky,kx] = Σ_{y,x} EO[f,y,x] · I[c, y·sy+ky, x·sx+kx]
+//	dW[f,cc,ky,kx] = Σ_{y,x} EO[f,y,x] · I[g·Nc/G+cc, y·sy+ky·dy−py, x·sx+kx·dx−px]
+//
+// with out-of-range input positions contributing zero.
 func BackwardWeightsRef(s Spec, dw, eo, in *tensor.Tensor) {
 	s.MustValidate()
 	CheckWeights(s, dw)
@@ -156,7 +200,10 @@ func BackwardWeightsRef(s Spec, dw, eo, in *tensor.Tensor) {
 	CheckInput(s, in)
 	dw.Zero()
 	oy, ox := s.OutY(), s.OutX()
+	gnc, gnf := s.GroupNc(), s.GroupNf()
+	dx, dy := s.DilX(), s.DilY()
 	for f := 0; f < s.Nf; f++ {
+		cbase := (f / gnf) * gnc
 		for y := 0; y < oy; y++ {
 			erow := eo.Row3(f, y)
 			for x := 0; x < ox; x++ {
@@ -164,12 +211,20 @@ func BackwardWeightsRef(s Spec, dw, eo, in *tensor.Tensor) {
 				if e == 0 {
 					continue
 				}
-				for c := 0; c < s.Nc; c++ {
+				for cc := 0; cc < gnc; cc++ {
 					for ky := 0; ky < s.Fy; ky++ {
-						irow := in.Row3(c, y*s.Sy+ky)
-						drow := dw.Data[((f*s.Nc+c)*s.Fy+ky)*s.Fx:]
+						iy := y*s.Sy + ky*dy - s.Py
+						if iy < 0 || iy >= s.Ny {
+							continue
+						}
+						irow := in.Row3(cbase+cc, iy)
+						drow := dw.Data[((f*gnc+cc)*s.Fy+ky)*s.Fx:]
 						for kx := 0; kx < s.Fx; kx++ {
-							drow[kx] += e * irow[x*s.Sx+kx]
+							ix := x*s.Sx + kx*dx - s.Px
+							if ix < 0 || ix >= s.Nx {
+								continue
+							}
+							drow[kx] += e * irow[ix]
 						}
 					}
 				}

@@ -46,8 +46,8 @@ func LoadChoices(r io.Reader) (Choices, error) {
 	return c, nil
 }
 
-// StrategyByName resolves a strategy name (from either candidate set) at
-// the given worker count.
+// StrategyByName resolves a strategy name (from either candidate set, or
+// the reference fallback) at the given worker count.
 func StrategyByName(name string, workers int) (Strategy, bool) {
 	if workers < 1 {
 		workers = 1
@@ -56,6 +56,9 @@ func StrategyByName(name string, workers int) (Strategy, bool) {
 		if st.Name == name {
 			return st, true
 		}
+	}
+	if ref := ReferenceStrategy(); ref.Name == name {
+		return ref, true
 	}
 	return Strategy{}, false
 }

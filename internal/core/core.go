@@ -21,6 +21,7 @@ import (
 	"spgcnn/internal/conv"
 	"spgcnn/internal/engine"
 	"spgcnn/internal/exec"
+	"spgcnn/internal/refconv"
 	"spgcnn/internal/spkernel"
 	"spgcnn/internal/spweight"
 	"spgcnn/internal/stencil"
@@ -42,6 +43,34 @@ type Strategy struct {
 	// tensor.NCHW8; the zero value is the canonical NCHW. Reported by the
 	// planner so layer layout is a planned property, not an engine detail.
 	Layout tensor.Layout
+}
+
+// Supports reports whether the strategy's engine can execute the given
+// geometry (the engine.Supports capability seam).
+func (st Strategy) Supports(s conv.Spec) bool { return engine.Supports(st.Gen, s) }
+
+// ReferenceStrategy returns the last-resort candidate: the conv reference
+// oracle behind batch-parallel scheduling. It executes every valid spec —
+// including padded/dilated/grouped geometry no optimized engine claims —
+// so filtered candidate sets are never empty.
+func ReferenceStrategy() Strategy {
+	return Strategy{Name: refconv.Name, Gen: refconv.Generator(), BatchParallel: true}
+}
+
+// SupportedStrategies filters candidates down to those whose engines
+// support s. When no candidate survives, the reference strategy is
+// returned alone so every valid spec remains runnable.
+func SupportedStrategies(candidates []Strategy, s conv.Spec) []Strategy {
+	kept := make([]Strategy, 0, len(candidates))
+	for _, st := range candidates {
+		if st.Supports(s) {
+			kept = append(kept, st)
+		}
+	}
+	if len(kept) == 0 {
+		kept = append(kept, ReferenceStrategy())
+	}
+	return kept
 }
 
 // FPStrategies returns the paper's forward-propagation candidates for the

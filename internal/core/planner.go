@@ -49,10 +49,10 @@ type measurePlanner struct{ fp, bp []Strategy }
 
 func (m measurePlanner) PlanFP(s conv.Spec, c *exec.Ctx, ins []*tensor.Tensor,
 	w *tensor.Tensor, opts TuneOptions) Planned {
-	return Planned{Selection: ChooseFP(m.fp, s, c, ins, w, opts)}
+	return Planned{Selection: ChooseFP(SupportedStrategies(m.fp, s), s, c, ins, w, opts)}
 }
 
 func (m measurePlanner) PlanBP(s conv.Spec, c *exec.Ctx, eos, ins []*tensor.Tensor,
 	w *tensor.Tensor, opts TuneOptions) Planned {
-	return Planned{Selection: ChooseBP(m.bp, s, c, eos, ins, w, opts)}
+	return Planned{Selection: ChooseBP(SupportedStrategies(m.bp, s), s, c, eos, ins, w, opts)}
 }

@@ -142,7 +142,31 @@ type Generator struct {
 	// New generates a kernel for s. Generators must be safe for concurrent
 	// use.
 	New func(s conv.Spec) Kernel
+	// Supports reports whether the technique can execute the given
+	// geometry. nil means every valid spec is supported. Shape-restricted
+	// engines (Winograd's fixed 3×3/stride-1 form, FFT's plain geometry,
+	// the sparse kernels' ungrouped/undilated loop nests) set this so the
+	// planner prunes them from the candidate set instead of crashing at
+	// generation time.
+	Supports func(s conv.Spec) bool
 }
+
+// Supports reports whether generator g can execute s: its Supports
+// predicate when set, otherwise any valid spec.
+func Supports(g Generator, s conv.Spec) bool {
+	if s.Validate() != nil {
+		return false
+	}
+	if g.Supports == nil {
+		return true
+	}
+	return g.Supports(s)
+}
+
+// PlainOnly is the Supports predicate of engines that predate the
+// generalized spec: they handle exactly the unpadded, undilated,
+// ungrouped geometry.
+func PlainOnly(s conv.Spec) bool { return s.Plain() }
 
 // Registry is an ordered collection of kernel generators the scheduler
 // chooses among.

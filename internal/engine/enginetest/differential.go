@@ -7,6 +7,7 @@ import (
 	"spgcnn/internal/conv"
 	"spgcnn/internal/engine"
 	"spgcnn/internal/exec"
+	"spgcnn/internal/refconv"
 	"spgcnn/internal/rng"
 	"spgcnn/internal/tensor"
 )
@@ -215,5 +216,91 @@ func RunDifferential(t *testing.T, gen, ref engine.Generator, opts DiffOptions) 
 			kRef.BackwardWeightsBatch(c, wantDW, eos, ins)
 			diffCompare(t, gen.Name+" vs "+ref.Name+" BPW", s, sp, dw, wantDW, opts)
 		}
+	}
+
+	runGeneralSweep(t, c, gen, r, opts)
+}
+
+// generalSpecs is the built-in padded/dilated/grouped geometry sweep.
+// The Nc=12, Groups=2 entries exercise NCHW8 tail lanes (one full block
+// of 8 plus a 4-wide tail) with a group boundary mid-tensor.
+func generalSpecs() []conv.Spec {
+	return []conv.Spec{
+		// Same-padded 3×3, the workload zoo's bread and butter.
+		{Nx: 8, Ny: 8, Nc: 2, Nf: 3, Fx: 3, Fy: 3, Sx: 1, Sy: 1, Px: 1, Py: 1},
+		// Strided with asymmetric padding.
+		{Nx: 9, Ny: 7, Nc: 2, Nf: 4, Fx: 3, Fy: 3, Sx: 2, Sy: 2, Px: 2, Py: 1},
+		// Dilated, extent-preserving (pad = dilation).
+		{Nx: 10, Ny: 10, Nc: 2, Nf: 3, Fx: 3, Fy: 3, Sx: 1, Sy: 1, Px: 2, Py: 2, Dx: 2, Dy: 2},
+		// Grouped, no padding.
+		{Nx: 8, Ny: 8, Nc: 4, Nf: 6, Fx: 3, Fy: 3, Sx: 1, Sy: 1, Groups: 2},
+		// Depthwise (groups == channels) with padding.
+		{Nx: 7, Ny: 7, Nc: 5, Nf: 5, Fx: 3, Fy: 3, Sx: 1, Sy: 1, Px: 1, Py: 1, Groups: 5},
+		// NCHW8 tail lanes (Nc = 12 = 8 + 4) with a group split.
+		{Nx: 8, Ny: 8, Nc: 12, Nf: 12, Fx: 3, Fy: 3, Sx: 1, Sy: 1, Px: 1, Py: 1, Groups: 2},
+		// Everything at once: rectangular, strided, padded, dilated, grouped.
+		{Nx: 11, Ny: 9, Nc: 6, Nf: 9, Fx: 3, Fy: 2, Sx: 2, Sy: 1, Px: 1, Py: 2, Dx: 2, Dy: 1, Groups: 3},
+	}
+}
+
+// runGeneralSweep drives the generalized-spec battery: every padded/
+// dilated/grouped geometry the engine claims support for (via the
+// engine.Supports capability seam) is compared against the reference
+// oracle under the same ULP budget as the plain sweep. Shape-restricted
+// engines decline all of these and run none — exactly the planner's
+// pruning contract.
+func runGeneralSweep(t *testing.T, c *exec.Ctx, gen engine.Generator, r *rng.RNG, opts DiffOptions) {
+	t.Helper()
+	specs := generalSpecs()
+	for i := 0; i < opts.Trials; i++ {
+		specs = append(specs, conv.RandSpecGeneral(r, opts.MaxDim))
+	}
+	oracle := refconv.Generator()
+	ran := 0
+	for _, s := range specs {
+		s = s.Canon()
+		if s.Plain() {
+			continue // random generator occasionally draws a plain spec
+		}
+		if !engine.Supports(gen, s) {
+			continue
+		}
+		ran++
+		k, kRef := gen.New(s), oracle.New(s)
+		ins, outs, _, _ := batchFixtures(r, s, opts.Batch, 0)
+		w := conv.RandWeights(r, s)
+
+		k.ForwardBatch(c, outs, ins, w)
+		wantOut := conv.NewOutput(s)
+		for i := range outs {
+			kRef.ForwardBatch(c, []*tensor.Tensor{wantOut}, ins[i:i+1], w)
+			diffCompare(t, gen.Name+" vs oracle FP(general)", s, 0, outs[i], wantOut, opts)
+		}
+
+		if opts.SkipBackward {
+			continue
+		}
+		for _, sp := range opts.Sparsities {
+			_, _, eos, eis := batchFixtures(r, s, opts.Batch, sp)
+			for i := range eis {
+				eis[i].FillUniform(r, -9, 9)
+			}
+			k.BackwardInputBatch(c, eis, eos, w)
+			dw := conv.NewWeights(s)
+			dw.FillUniform(r, -9, 9)
+			k.BackwardWeightsBatch(c, dw, eos, ins)
+
+			wantEI := conv.NewInput(s)
+			for i := range eis {
+				kRef.BackwardInputBatch(c, []*tensor.Tensor{wantEI}, eos[i:i+1], w)
+				diffCompare(t, gen.Name+" vs oracle BPI(general)", s, sp, eis[i], wantEI, opts)
+			}
+			wantDW := conv.NewWeights(s)
+			kRef.BackwardWeightsBatch(c, wantDW, eos, ins)
+			diffCompare(t, gen.Name+" vs oracle BPW(general)", s, sp, dw, wantDW, opts)
+		}
+	}
+	if plain := engine.Supports(gen, conv.Square(8, 2, 3, 3, 1)); plain && gen.Supports == nil && ran == 0 {
+		t.Fatalf("%s: claims support for every spec but the general sweep ran none", gen.Name)
 	}
 }

@@ -1,0 +1,78 @@
+package explore_test
+
+import (
+	"strings"
+	"testing"
+
+	"spgcnn/internal/explore"
+	"spgcnn/internal/netdef"
+)
+
+// TestReportZooMarkers checks the structural content of the report for
+// every zoo net: header, one layer block per conv, the six-region table,
+// and the capability seam surfacing as a declined list on generalized
+// layers (the cmd/spg-plan golden test pins the exact bytes).
+func TestReportZooMarkers(t *testing.T) {
+	for _, z := range netdef.Zoo() {
+		def, err := netdef.Parse(z.Src)
+		if err != nil {
+			t.Fatalf("%s: %v", z.Name, err)
+		}
+		var out strings.Builder
+		if err := explore.Report(&out, def, explore.Options{}); err != nil {
+			t.Fatalf("%s: %v", z.Name, err)
+		}
+		got := out.String()
+		for _, want := range []string{
+			"net " + z.Name,
+			"modeled at p=16, 85% BP error sparsity",
+			"Fig. 1 placement",
+			"Region 5 (low AIT, sparse)",
+			"total conv flops",
+			"fp  1.",
+			"bp  1.",
+		} {
+			if !strings.Contains(got, want) {
+				t.Errorf("%s: report missing %q:\n%s", z.Name, want, got)
+			}
+		}
+	}
+}
+
+// TestReportShowsCapabilitySeam: a padded layer must list the plain-only
+// sparse candidates as declined rather than ranking them.
+func TestReportShowsCapabilitySeam(t *testing.T) {
+	def, err := netdef.Parse(netdef.ZooDepthwiseNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := explore.Report(&out, def, explore.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "declined: ") {
+		t.Fatalf("depthwise report shows no declined candidates:\n%s", got)
+	}
+	if !strings.Contains(got, "sparse-weight") || !strings.Contains(got, "gemm-packed") {
+		t.Errorf("expected sparse-weight (padded) and gemm-packed (grouped) among declines:\n%s", got)
+	}
+}
+
+// TestReportBuildErrorSurfaces: an invalid spec comes back as an error
+// from Report, positioned through netdef's validation.
+func TestReportBuildErrorSurfaces(t *testing.T) {
+	def, err := netdef.Parse(`
+input { channels: 3 height: 8 width: 8 }
+layer { name: "c" type: "conv" features: 4 kernel: 3 groups: 2 }
+layer { type: "fc" outputs: 2 }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := explore.Report(&out, def, explore.Options{}); err == nil ||
+		!strings.Contains(err.Error(), "groups") {
+		t.Fatalf("Report error = %v, want groups divisibility error", err)
+	}
+}

@@ -69,7 +69,7 @@ func (k *Kernel) ForwardBatch(c *exec.Ctx, outs, ins []*tensor.Tensor, w *tensor
 		panic("fftconv: ForwardBatch length mismatch")
 	}
 	s := k.spec
-	if s.Sx != 1 || s.Sy != 1 {
+	if s.Sx != 1 || s.Sy != 1 || !s.Plain() {
 		k.fallback.ForwardBatch(c, outs, ins, w)
 		return
 	}
@@ -175,5 +175,9 @@ func Generator() engine.Generator {
 	return engine.Generator{
 		Name: "fft-conv",
 		New:  func(s conv.Spec) engine.Kernel { return New(s) },
+		// The convolution-theorem plane layout assumes plain geometry;
+		// generalized specs would run the GEMM fallback anyway, so decline
+		// them cleanly instead.
+		Supports: engine.PlainOnly,
 	}
 }

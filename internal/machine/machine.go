@@ -194,7 +194,7 @@ func (m Machine) PackedGEMM(s conv.Spec, phase ait.Phase, p int) float64 {
 	mm := ait.MMOf(s, phase)
 	fp := float64(p)
 	flops := 2 * float64(mm.M) * float64(mm.N) * float64(mm.K)
-	taps := float64(s.Nc * s.Fy * s.Fx)
+	taps := float64(s.GroupNc() * s.Fy * s.Fx)
 	nf := float64(s.Nf)
 	wElems := nf * taps
 	pix := flops / (2 * wElems)

@@ -63,8 +63,21 @@ func Build(def *NetDef, opts BuildOptions) (*nn.Network, error) {
 	}
 	r := rng.New(opts.Seed ^ 0xB111D)
 	dims := []int{def.Input.Channels, def.Input.Height, def.Input.Width}
+	// Residual wiring: every layer an `add` node names via from= gets a
+	// hidden nn.Tap appended right after it; the add node becomes the
+	// nn.Add summing the tapped activations back in.
+	tapWanted := map[string]bool{}
+	for _, l := range def.Layers {
+		if l.Type == "add" {
+			if from := l.StringField("from", ""); from != "" {
+				tapWanted[from] = true
+			}
+		}
+	}
+	taps := map[string]*nn.Tap{}
 	var layers []nn.Layer
 	for i, l := range def.Layers {
+		name := nameOr(l, i)
 		switch l.Type {
 		case "conv":
 			if len(dims) != 3 {
@@ -79,15 +92,18 @@ func Build(def *NetDef, opts BuildOptions) (*nn.Network, error) {
 				return nil, err
 			}
 			stride := l.Field("stride", 1)
+			pad := l.Field("pad", 0)
 			s := conv.Spec{
 				Nx: dims[2], Ny: dims[1], Nc: dims[0],
 				Nf: nf, Fx: k, Fy: k, Sx: stride, Sy: stride,
-			}
+				Px: pad, Py: pad,
+				Dx: l.Field("dilation", 1), Dy: l.Field("dilation", 1),
+				Groups: l.Field("groups", 1),
+			}.Canon()
 			if err := s.Validate(); err != nil {
 				return nil, fmt.Errorf("netdef: layer %q: %w", l.Name, err)
 			}
 			var cl *nn.Conv
-			name := nameOr(l, i)
 			if ch, ok := opts.Choices[name]; ok {
 				fp, okFP := core.StrategyByName(ch.FP, workers)
 				bp, okBP := core.StrategyByName(ch.BP, workers)
@@ -95,8 +111,16 @@ func Build(def *NetDef, opts BuildOptions) (*nn.Network, error) {
 					return nil, fmt.Errorf("netdef: layer %q: tuning config names unknown strategy (%q/%q)",
 						name, ch.FP, ch.BP)
 				}
+				if !fp.Supports(s) || !bp.Supports(s) {
+					return nil, fmt.Errorf("netdef: layer %q: tuning config strategy (%q/%q) does not support spec %v",
+						name, ch.FP, ch.BP, s)
+				}
 				cl = nn.NewConvSplitCtx(name, s, fp, bp, ctx, r)
 			} else if opts.FixedStrategy != nil {
+				if !opts.FixedStrategy.Supports(s) {
+					return nil, fmt.Errorf("netdef: layer %q: fixed strategy %q does not support spec %v",
+						name, opts.FixedStrategy.Name, s)
+				}
 				cl = nn.NewConvFixedCtx(name, s, *opts.FixedStrategy, ctx, r)
 			} else if opts.Inference {
 				cl = nn.NewConvInferCtx(name, s, planner, opts.InferBuckets, ctx, r)
@@ -106,7 +130,7 @@ func Build(def *NetDef, opts BuildOptions) (*nn.Network, error) {
 			layers = append(layers, cl)
 			dims = cl.OutDims()
 		case "relu":
-			rl := nn.NewReLU(nameOr(l, i), dims, workers)
+			rl := nn.NewReLU(name, dims, workers)
 			layers = append(layers, rl)
 		case "maxpool":
 			if len(dims) != 3 {
@@ -117,7 +141,7 @@ func Build(def *NetDef, opts BuildOptions) (*nn.Network, error) {
 				return nil, err
 			}
 			stride := l.Field("stride", k)
-			pl := nn.NewMaxPool(nameOr(l, i), dims, k, stride, workers)
+			pl := nn.NewMaxPool(name, dims, k, stride, workers)
 			layers = append(layers, pl)
 			dims = pl.OutDims()
 		case "pad":
@@ -129,7 +153,7 @@ func Build(def *NetDef, opts BuildOptions) (*nn.Network, error) {
 			if py < 0 || px < 0 || (py == 0 && px == 0) {
 				return nil, fmt.Errorf("netdef: layer %q: pad needs a positive size (or rows/cols)", l.Name)
 			}
-			pl := nn.NewPad(nameOr(l, i), dims, py, px, workers)
+			pl := nn.NewPad(name, dims, py, px, workers)
 			layers = append(layers, pl)
 			dims = pl.OutDims()
 		case "avgpool":
@@ -141,7 +165,7 @@ func Build(def *NetDef, opts BuildOptions) (*nn.Network, error) {
 				return nil, err
 			}
 			stride := l.Field("stride", k)
-			pl := nn.NewAvgPool(nameOr(l, i), dims, k, stride, workers)
+			pl := nn.NewAvgPool(name, dims, k, stride, workers)
 			layers = append(layers, pl)
 			dims = pl.OutDims()
 		case "dropout":
@@ -149,7 +173,7 @@ func Build(def *NetDef, opts BuildOptions) (*nn.Network, error) {
 			if rate < 0 || rate >= 1 {
 				return nil, fmt.Errorf("netdef: layer %q: dropout rate %v outside [0, 1)", l.Name, rate)
 			}
-			dl := nn.NewDropout(nameOr(l, i), dims, rate, workers, r.Split())
+			dl := nn.NewDropout(name, dims, rate, workers, r.Split())
 			if opts.Inference {
 				dl.SetTraining(false)
 			}
@@ -159,11 +183,30 @@ func Build(def *NetDef, opts BuildOptions) (*nn.Network, error) {
 			if err != nil {
 				return nil, err
 			}
-			fl := nn.NewFCCtx(nameOr(l, i), dims, out, ctx, r)
+			fl := nn.NewFCCtx(name, dims, out, ctx, r)
 			layers = append(layers, fl)
 			dims = fl.OutDims()
+		case "add":
+			from := l.StringField("from", "")
+			if from == "" {
+				return nil, fmt.Errorf("netdef: layer %q: add needs from: \"<layer>\"", name)
+			}
+			tap, ok := taps[from]
+			if !ok {
+				return nil, fmt.Errorf("netdef: layer %q: add from %q does not name an earlier layer", name, from)
+			}
+			if elems(dims) != elems(tap.OutDims()) {
+				return nil, fmt.Errorf("netdef: layer %q: add input %v does not match %q output %v",
+					name, dims, from, tap.OutDims())
+			}
+			layers = append(layers, nn.NewAdd(name, dims, tap))
 		default:
 			return nil, fmt.Errorf("netdef: layer %q has unknown type %q", l.Name, l.Type)
+		}
+		if tapWanted[name] {
+			tap := nn.NewTap(name+".tap", dims)
+			layers = append(layers, tap)
+			taps[name] = tap
 		}
 	}
 	net := nn.NewNetwork(layers...)
@@ -178,6 +221,14 @@ func nameOr(l LayerDef, i int) string {
 		return l.Name
 	}
 	return fmt.Sprintf("%s%d", l.Type, i)
+}
+
+func elems(dims []int) int {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	return n
 }
 
 // The built-in runnable benchmark networks. Layer-0 conv geometries come
@@ -220,6 +271,100 @@ layer { name: "relu1" type: "relu" }
 layer { name: "pool1" type: "maxpool" kernel: 2 stride: 2 }
 layer { name: "fc0" type: "fc" outputs: 100 }
 `
+
+// The workload zoo: small CIFAR-scale topologies exercising the corners
+// of the generalized convolution space — depthwise-separable (grouped),
+// dilated, bottleneck (1×1-heavy) and residual (add nodes). Each trains
+// end-to-end under the planner; spg-plan -explore reports their per-layer
+// design-space placement.
+
+// ZooDepthwiseNet is a MobileNet-style depthwise-separable stack: each
+// depthwise conv has groups == channels (GroupNc 1), each pointwise conv
+// is a 1×1 dense mix.
+const ZooDepthwiseNet = `
+name: "zoo-depthwise"
+input { channels: 3 height: 32 width: 32 }
+layer { name: "conv0" type: "conv" features: 16 kernel: 3 pad: 1 }
+layer { name: "relu0" type: "relu" }
+layer { name: "dw1" type: "conv" features: 16 kernel: 3 pad: 1 groups: 16 }
+layer { name: "relu1" type: "relu" }
+layer { name: "pw1" type: "conv" features: 32 kernel: 1 }
+layer { name: "relu2" type: "relu" }
+layer { name: "pool0" type: "maxpool" kernel: 4 stride: 4 }
+layer { name: "dw2" type: "conv" features: 32 kernel: 3 pad: 1 groups: 32 }
+layer { name: "relu3" type: "relu" }
+layer { name: "pw2" type: "conv" features: 64 kernel: 1 }
+layer { name: "relu4" type: "relu" }
+layer { name: "pool1" type: "maxpool" kernel: 2 stride: 2 }
+layer { name: "fc0" type: "fc" outputs: 10 }
+`
+
+// ZooDilatedNet grows the receptive field with dilation instead of
+// pooling: each conv keeps the 32×32 extent via pad = dilation (3×3
+// kernels), doubling the dilation per stage.
+const ZooDilatedNet = `
+name: "zoo-dilated"
+input { channels: 3 height: 32 width: 32 }
+layer { name: "conv0" type: "conv" features: 16 kernel: 3 pad: 1 }
+layer { name: "relu0" type: "relu" }
+layer { name: "conv1" type: "conv" features: 16 kernel: 3 pad: 2 dilation: 2 }
+layer { name: "relu1" type: "relu" }
+layer { name: "conv2" type: "conv" features: 32 kernel: 3 pad: 4 dilation: 4 }
+layer { name: "relu2" type: "relu" }
+layer { name: "pool0" type: "maxpool" kernel: 4 stride: 4 }
+layer { name: "fc0" type: "fc" outputs: 10 }
+`
+
+// ZooBottleneckNet is a 1×1-heavy bottleneck stack: reduce, convolve at
+// reduced width, expand — the low-AIT 1×1 geometries that stress the
+// GEMM-shaped candidates.
+const ZooBottleneckNet = `
+name: "zoo-bottleneck"
+input { channels: 3 height: 32 width: 32 }
+layer { name: "conv0" type: "conv" features: 32 kernel: 3 pad: 1 }
+layer { name: "relu0" type: "relu" }
+layer { name: "pool0" type: "maxpool" kernel: 2 stride: 2 }
+layer { name: "reduce1" type: "conv" features: 16 kernel: 1 }
+layer { name: "relu1" type: "relu" }
+layer { name: "conv1" type: "conv" features: 16 kernel: 3 pad: 1 }
+layer { name: "relu2" type: "relu" }
+layer { name: "expand1" type: "conv" features: 64 kernel: 1 }
+layer { name: "relu3" type: "relu" }
+layer { name: "pool1" type: "maxpool" kernel: 4 stride: 4 }
+layer { name: "fc0" type: "fc" outputs: 10 }
+`
+
+// ZooResidualNet is a residual CIFAR variant: two padded 3×3 convs whose
+// output is summed with the block input via an add node (from: "relu0").
+const ZooResidualNet = `
+name: "zoo-residual"
+input { channels: 3 height: 32 width: 32 }
+layer { name: "conv0" type: "conv" features: 16 kernel: 3 pad: 1 }
+layer { name: "relu0" type: "relu" }
+layer { name: "conv1" type: "conv" features: 16 kernel: 3 pad: 1 }
+layer { name: "relu1" type: "relu" }
+layer { name: "conv2" type: "conv" features: 16 kernel: 3 pad: 1 }
+layer { name: "add1" type: "add" from: "relu0" }
+layer { name: "relu2" type: "relu" }
+layer { name: "pool0" type: "maxpool" kernel: 4 stride: 4 }
+layer { name: "fc0" type: "fc" outputs: 10 }
+`
+
+// ZooNet names one workload-zoo description.
+type ZooNet struct {
+	Name string
+	Src  string
+}
+
+// Zoo returns the workload-zoo networks in their canonical order.
+func Zoo() []ZooNet {
+	return []ZooNet{
+		{Name: "zoo-depthwise", Src: ZooDepthwiseNet},
+		{Name: "zoo-dilated", Src: ZooDilatedNet},
+		{Name: "zoo-bottleneck", Src: ZooBottleneckNet},
+		{Name: "zoo-residual", Src: ZooResidualNet},
+	}
+}
 
 // MustBuild parses and builds a built-in description; it panics on error
 // (the built-ins are compile-time constants).

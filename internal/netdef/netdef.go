@@ -41,6 +41,17 @@ type LayerDef struct {
 	Type   string
 	Fields map[string]int
 	Floats map[string]float64
+	// Strings holds the block's quoted-string fields beyond name/type —
+	// e.g. an add layer's "from" naming its skip-connection source.
+	Strings map[string]string
+}
+
+// StringField returns the named string field or def if absent.
+func (l LayerDef) StringField(name, def string) string {
+	if v, ok := l.Strings[name]; ok {
+		return v
+	}
+	return def
 }
 
 // Field returns the named integer field or def if absent.
@@ -75,14 +86,19 @@ func (l LayerDef) MustField(name string) (int, error) {
 type token struct {
 	kind string // "ident", "string", "number", "{", "}", ":"
 	text string
-	line int
+	line int // 0-based
+	col  int // 0-based byte column of the token's first character
 }
 
 type lexer struct {
-	src  string
-	pos  int
-	line int
+	src       string
+	pos       int
+	line      int
+	lineStart int // byte offset of the current line's first character
 }
+
+// col returns the 0-based column of byte offset pos on the current line.
+func (lx *lexer) col(pos int) int { return pos - lx.lineStart }
 
 func (lx *lexer) next() (token, error) {
 	for lx.pos < len(lx.src) {
@@ -91,6 +107,7 @@ func (lx *lexer) next() (token, error) {
 		case ch == '\n':
 			lx.line++
 			lx.pos++
+			lx.lineStart = lx.pos
 		case ch == ' ' || ch == '\t' || ch == '\r':
 			lx.pos++
 		case ch == '#': // comment to end of line
@@ -101,23 +118,23 @@ func (lx *lexer) next() (token, error) {
 			goto scan
 		}
 	}
-	return token{kind: "eof", line: lx.line}, nil
+	return token{kind: "eof", line: lx.line, col: lx.col(lx.pos)}, nil
 scan:
 	ch := lx.src[lx.pos]
+	start := lx.pos
 	switch {
 	case ch == '{' || ch == '}' || ch == ':':
 		lx.pos++
-		return token{kind: string(ch), text: string(ch), line: lx.line}, nil
+		return token{kind: string(ch), text: string(ch), line: lx.line, col: lx.col(start)}, nil
 	case ch == '"':
 		end := strings.IndexByte(lx.src[lx.pos+1:], '"')
 		if end < 0 {
-			return token{}, fmt.Errorf("netdef: line %d: unterminated string", lx.line+1)
+			return token{}, fmt.Errorf("netdef: line %d:%d: unterminated string", lx.line+1, lx.col(start)+1)
 		}
 		s := lx.src[lx.pos+1 : lx.pos+1+end]
 		lx.pos += end + 2
-		return token{kind: "string", text: s, line: lx.line}, nil
+		return token{kind: "string", text: s, line: lx.line, col: lx.col(start)}, nil
 	case unicode.IsDigit(rune(ch)) || ch == '-':
-		start := lx.pos
 		lx.pos++
 		seenDot := false
 		for lx.pos < len(lx.src) {
@@ -129,9 +146,8 @@ scan:
 			}
 			lx.pos++
 		}
-		return token{kind: "number", text: lx.src[start:lx.pos], line: lx.line}, nil
+		return token{kind: "number", text: lx.src[start:lx.pos], line: lx.line, col: lx.col(start)}, nil
 	case unicode.IsLetter(rune(ch)) || ch == '_':
-		start := lx.pos
 		for lx.pos < len(lx.src) {
 			c := rune(lx.src[lx.pos])
 			if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
@@ -139,9 +155,9 @@ scan:
 			}
 			lx.pos++
 		}
-		return token{kind: "ident", text: lx.src[start:lx.pos], line: lx.line}, nil
+		return token{kind: "ident", text: lx.src[start:lx.pos], line: lx.line, col: lx.col(start)}, nil
 	default:
-		return token{}, fmt.Errorf("netdef: line %d: unexpected character %q", lx.line+1, ch)
+		return token{}, fmt.Errorf("netdef: line %d:%d: unexpected character %q", lx.line+1, lx.col(start)+1, ch)
 	}
 }
 
@@ -162,8 +178,10 @@ func (p *parser) advance() token {
 	return t
 }
 
+// fail formats an error anchored at t's 1-based line:column position, so
+// a bad attribute deep inside a zoo file points at the offending token.
 func (p *parser) fail(t token, format string, args ...any) error {
-	return fmt.Errorf("netdef: line %d: %s", t.line+1, fmt.Sprintf(format, args...))
+	return fmt.Errorf("netdef: line %d:%d: %s", t.line+1, t.col+1, fmt.Sprintf(format, args...))
 }
 
 // Parse parses a network description.
@@ -209,9 +227,11 @@ func Parse(src string) (*NetDef, error) {
 			if err != nil {
 				return nil, err
 			}
-			l := LayerDef{Name: strs["name"], Type: strs["type"], Fields: fields, Floats: floats}
+			l := LayerDef{Name: strs["name"], Type: strs["type"], Fields: fields, Floats: floats, Strings: strs}
+			delete(strs, "name")
+			delete(strs, "type")
 			if l.Type == "" {
-				return nil, fmt.Errorf("netdef: layer %q has no type", l.Name)
+				return nil, p.fail(t, "layer %q has no type", l.Name)
 			}
 			def.Layers = append(def.Layers, l)
 		default:

@@ -198,8 +198,9 @@ func newConvCommon(name string, s conv.Spec, ctx *exec.Ctx, r *rng.RNG) *Conv {
 		dW:   conv.NewWeights(s),
 		dB:   tensor.New(s.Nf),
 	}
-	// He initialization: stddev = sqrt(2 / fan-in).
-	fanIn := float64(s.Nc * s.Fy * s.Fx)
+	// He initialization: stddev = sqrt(2 / fan-in). Grouped layers see only
+	// their group's channel slab, so fan-in is Nc/G taps.
+	fanIn := float64(s.GroupNc() * s.Fy * s.Fx)
 	c.W.FillNormal(r, 0, float32(math.Sqrt(2/fanIn)))
 	// Track weight versions from the start so engines that cache packed
 	// operands (unfoldgemm.PackedKernel) reuse them across batches and
@@ -263,7 +264,7 @@ func (c *Conv) Backward(eis, eos, ins []*tensor.Tensor) {
 		c.eoSparsitySum += eo.Sparsity()
 		c.eoBatches++
 	}
-	dwTmp := c.ctx.GetTensor(c.spec.Nf, c.spec.Nc, c.spec.Fy, c.spec.Fx)
+	dwTmp := c.ctx.GetTensor(c.spec.WeightDims()...)
 	c.exec.backward(eis, dwTmp, eos, ins, c.W)
 	c.dW.AddScaled(dwTmp, 1)
 	c.ctx.PutTensor(dwTmp)

@@ -131,6 +131,9 @@ func (p *Planner) Load(r io.Reader) (int, error) {
 			e.Band < 0 || e.Band >= BandCount || e.Batch < 0 {
 			continue
 		}
+		// Fold spelled-out defaults (dilation=1, groups=1) onto the zero
+		// values so loaded entries match the canonical keys lookups build.
+		e.Spec = e.Spec.Canon()
 		p.entries[e.Key] = e
 		n++
 	}

@@ -221,11 +221,15 @@ func meanSparsity(eos []*tensor.Tensor) float64 {
 	return sum / float64(len(eos))
 }
 
-func (p *Planner) candidates(phase string, workers int) []core.Strategy {
+// candidates builds the phase's candidate set filtered through the
+// engine capability seam: strategies whose engines decline s are pruned
+// before modeling or measurement, and when nothing survives the reference
+// oracle stands in so every valid spec remains plannable.
+func (p *Planner) candidates(phase string, workers int, s conv.Spec) []core.Strategy {
 	if phase == "fp" {
-		return p.fp(workers)
+		return core.SupportedStrategies(p.fp(workers), s)
 	}
-	return p.bp(workers)
+	return core.SupportedStrategies(p.bp(workers), s)
 }
 
 // plan is the shared request path: cache lookup, single-flight dedup, and
@@ -242,7 +246,10 @@ func (p *Planner) plan(phase string, s conv.Spec, sparsity float64, batch int, c
 	// Both phases band on their driving sparsity: gradient sparsity for BP,
 	// weight sparsity for FP (dense weights band to 0).
 	band := Band(sparsity)
-	key := Key{Host: p.host, Spec: s, Workers: c.Workers(), Phase: phase, Band: band, Batch: batch}
+	// Canon() folds the spelled-out defaults (dilation 1, groups 1) onto
+	// the zero values, so generalized-spec keys never alias plain entries
+	// written before the fields existed — and plain specs hash unchanged.
+	key := Key{Host: p.host, Spec: s.Canon(), Workers: c.Workers(), Phase: phase, Band: band, Batch: batch}
 	for {
 		p.mu.Lock()
 		if e := p.entries[key]; e != nil {
@@ -294,7 +301,7 @@ func (p *Planner) measureMiss(key Key, sparsity float64, f *flight,
 		_ = published
 	}()
 
-	cands := p.candidates(key.Phase, key.Workers)
+	cands := p.candidates(key.Phase, key.Workers, key.Spec)
 	names := make([]string, len(cands))
 	for i, st := range cands {
 		names[i] = st.Name
@@ -358,7 +365,7 @@ func topModeled(scores []ModelScore) string {
 // set, an exec is built, and the deployment is recorded in the context's
 // probe (as a choice event, NOT a tune span — warm paths never time).
 func (p *Planner) deploy(e Entry, c *exec.Ctx) (core.Planned, bool) {
-	cands := p.candidates(e.Phase, c.Workers())
+	cands := p.candidates(e.Phase, c.Workers(), e.Spec)
 	st, ok := lookupStrategy(cands, e.Strategy)
 	if !ok {
 		return core.Planned{}, false

@@ -1,0 +1,37 @@
+package refconv_test
+
+import (
+	"testing"
+
+	"spgcnn/internal/conv"
+	"spgcnn/internal/engine/enginetest"
+	"spgcnn/internal/refconv"
+)
+
+// The reference kernel IS the oracle, so Run's value here is pinning the
+// batch seam: lengths, dw overwrite semantics, arena discipline and the
+// single-sample compat path.
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, refconv.Generator(), enginetest.Options{Trials: 6, Seed: 5, MaxDim: 9})
+}
+
+func TestDifferentialVsItself(t *testing.T) {
+	// The general sweep inside RunDifferential drives padded/dilated/
+	// grouped specs through the kernel (Supports == nil claims them all).
+	enginetest.RunDifferential(t, refconv.Generator(), refconv.Generator(),
+		enginetest.DiffOptions{Trials: 4, Seed: 0x0EF, MaxDim: 8})
+}
+
+func TestNameAndSpec(t *testing.T) {
+	s := conv.Spec{Nx: 6, Ny: 6, Nc: 2, Nf: 2, Fx: 3, Fy: 3, Sx: 1, Sy: 1, Px: 1, Py: 1}
+	k := refconv.New(s)
+	if k.Name() != refconv.Name || k.Name() != "reference" {
+		t.Fatalf("Name = %q", k.Name())
+	}
+	if k.Spec() != s {
+		t.Fatalf("Spec = %v", k.Spec())
+	}
+	if refconv.Generator().Supports != nil {
+		t.Fatal("reference generator must claim every valid spec (Supports nil)")
+	}
+}

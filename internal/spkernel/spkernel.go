@@ -251,5 +251,9 @@ func Generator() engine.Generator {
 	return engine.Generator{
 		Name: "sparse",
 		New:  func(s conv.Spec) engine.Kernel { return New(s, 0) },
+		// The CT-CSR pointer-shifting loop nests are generated for plain
+		// geometry (no padding/dilation/groups); decline generalized specs
+		// so the planner prunes this candidate instead of crashing.
+		Supports: engine.PlainOnly,
 	}
 }

@@ -168,5 +168,8 @@ func Generator() engine.Generator {
 	return engine.Generator{
 		Name: "sparse-weight(csr)",
 		New:  func(s conv.Spec) engine.Kernel { return New(s) },
+		// The CSR-over-taps gather assumes plain geometry; decline
+		// generalized specs so the planner prunes this candidate.
+		Supports: engine.PlainOnly,
 	}
 }

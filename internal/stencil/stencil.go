@@ -112,6 +112,10 @@ func (k *Kernel) ForwardBatch(c *exec.Ctx, outs, ins []*tensor.Tensor, w *tensor
 		return
 	}
 	s := k.spec
+	if !s.Plain() {
+		k.forwardGeneralBatch(c, outs, ins, w)
+		return
+	}
 	conv.CheckWeights(s, w)
 	ox := s.OutX()
 	accBacking := c.Get(k.plan.RY * ox)
@@ -353,6 +357,10 @@ func (k *Kernel) BackwardInputBatch(c *exec.Ctx, eis, eos []*tensor.Tensor, w *t
 		panic("stencil: BackwardInputBatch length mismatch")
 	}
 	s := k.spec
+	if !s.Plain() {
+		k.backwardInputGeneralBatch(c, eis, eos, w)
+		return
+	}
 	conv.CheckWeights(s, w)
 	oy, ox := s.OutY(), s.OutX()
 	for i := range eos {
@@ -393,6 +401,10 @@ func (k *Kernel) BackwardWeightsBatch(c *exec.Ctx, dw *tensor.Tensor, eos, ins [
 		panic("stencil: BackwardWeightsBatch length mismatch")
 	}
 	s := k.spec
+	if !s.Plain() {
+		k.backwardWeightsGeneralBatch(c, dw, eos, ins)
+		return
+	}
 	conv.CheckWeights(s, dw)
 	dw.Zero()
 	oy, ox := s.OutY(), s.OutX()

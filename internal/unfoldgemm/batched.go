@@ -205,5 +205,9 @@ func BatchedGenerator(group, workers int) engine.Generator {
 	return engine.Generator{
 		Name: fmt.Sprintf("batched-gemm(group=%d)", group),
 		New:  func(s conv.Spec) engine.Kernel { return NewBatched(s, group, workers) },
+		// The stacked matrices ride the generalized im2col (padding and
+		// dilation included) but stack whole-U blocks, so grouped specs are
+		// declined.
+		Supports: func(s conv.Spec) bool { return s.G() == 1 },
 	}
 }

@@ -202,5 +202,10 @@ func PackedGenerator(workers int) engine.Generator {
 	return engine.Generator{
 		Name: "unfold-packed-gemm",
 		New:  func(s conv.Spec) engine.Kernel { return NewPacked(s, workers) },
+		// Padding/dilation flow through the generalized im2col for free,
+		// but the pack cache holds one panel set for the whole weight
+		// matrix — grouped specs would need per-group packs, so decline
+		// them.
+		Supports: func(s conv.Spec) bool { return s.G() == 1 },
 	}
 }

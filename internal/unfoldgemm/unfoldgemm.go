@@ -62,8 +62,9 @@ func (k *Kernel) Spec() conv.Spec { return k.spec }
 // Workers reports the GEMM fan-out.
 func (k *Kernel) Workers() int { return k.workers }
 
-// ForwardBatch computes Eq. 2 by O = Wmat · Uᵀ, one GEMM per sample, all
-// samples sharing one arena-backed unfold matrix.
+// ForwardBatch computes Eq. 2 by O = Wmat · Uᵀ, one GEMM per sample and
+// group, all samples sharing one arena-backed unfold matrix. For G = 1
+// the group slab is the whole matrix, so the plain path is unchanged.
 func (k *Kernel) ForwardBatch(c *exec.Ctx, outs, ins []*tensor.Tensor, w *tensor.Tensor) {
 	if len(outs) != len(ins) {
 		panic("unfoldgemm: ForwardBatch length mismatch")
@@ -71,17 +72,20 @@ func (k *Kernel) ForwardBatch(c *exec.Ctx, outs, ins []*tensor.Tensor, w *tensor
 	s := k.spec
 	rows, cols := unfold.Rows(s), unfold.Cols(s)
 	conv.CheckWeights(s, w)
-	wmat := gemm.Matrix{Rows: s.Nf, Cols: cols, Data: w.Data}
+	ng, gnf := s.G(), s.GroupNf()
 	ubuf := c.Get(rows * cols)
 	u := gemm.Matrix{Rows: rows, Cols: cols, Data: ubuf}
 	for i := range ins {
-		unfold.Im2col(s, &u, ins[i])
 		conv.CheckOutput(s, outs[i])
-		omat := gemm.Matrix{Rows: s.Nf, Cols: rows, Data: outs[i].Data}
-		if k.workers <= 1 {
-			gemm.MulTransB(&omat, &wmat, &u)
-		} else {
-			gemm.ParallelMulTransB(&omat, &wmat, &u, k.workers)
+		for g := 0; g < ng; g++ {
+			unfold.Im2colGroup(s, g, &u, ins[i])
+			wmat := gemm.Matrix{Rows: gnf, Cols: cols, Data: w.Data[g*gnf*cols : (g+1)*gnf*cols]}
+			omat := gemm.Matrix{Rows: gnf, Cols: rows, Data: outs[i].Data[g*gnf*rows : (g+1)*gnf*rows]}
+			if k.workers <= 1 {
+				gemm.MulTransB(&omat, &wmat, &u)
+			} else {
+				gemm.ParallelMulTransB(&omat, &wmat, &u, k.workers)
+			}
 		}
 	}
 	c.Put(ubuf)
@@ -99,18 +103,21 @@ func (k *Kernel) ForwardBlockedBatch(c *exec.Ctx, outs, ins []*tensor.Tensor, w 
 	s := k.spec
 	rows, cols := unfold.Rows(s), unfold.Cols(s)
 	conv.CheckWeights(s, w)
-	wmat := gemm.Matrix{Rows: s.Nf, Cols: cols, Data: w.Data}
+	ng, gnf := s.G(), s.GroupNf()
 	ubuf := c.Get(rows * cols)
 	u := gemm.Matrix{Rows: rows, Cols: cols, Data: ubuf}
 	o := c.GetTensor(s.Nf, s.OutY(), s.OutX())
 	for i := range ins {
-		unfold.Im2colBlocked(s, &u, ins[i])
 		conv.CheckBlockedOutput(s, outs[i])
-		omat := gemm.Matrix{Rows: s.Nf, Cols: rows, Data: o.Data}
-		if k.workers <= 1 {
-			gemm.MulTransB(&omat, &wmat, &u)
-		} else {
-			gemm.ParallelMulTransB(&omat, &wmat, &u, k.workers)
+		for g := 0; g < ng; g++ {
+			unfold.Im2colBlockedGroup(s, g, &u, ins[i])
+			wmat := gemm.Matrix{Rows: gnf, Cols: cols, Data: w.Data[g*gnf*cols : (g+1)*gnf*cols]}
+			omat := gemm.Matrix{Rows: gnf, Cols: rows, Data: o.Data[g*gnf*rows : (g+1)*gnf*rows]}
+			if k.workers <= 1 {
+				gemm.MulTransB(&omat, &wmat, &u)
+			} else {
+				gemm.ParallelMulTransB(&omat, &wmat, &u, k.workers)
+			}
 		}
 		tensor.ToBlockedInto(outs[i], o)
 	}
@@ -127,18 +134,23 @@ func (k *Kernel) BackwardInputBatch(c *exec.Ctx, eis, eos []*tensor.Tensor, w *t
 	s := k.spec
 	rows, cols := unfold.Rows(s), unfold.Cols(s)
 	conv.CheckWeights(s, w)
-	wmat := gemm.Matrix{Rows: s.Nf, Cols: cols, Data: w.Data}
+	ng, gnf := s.G(), s.GroupNf()
 	uebuf := c.Get(rows * cols)
 	ue := gemm.Matrix{Rows: rows, Cols: cols, Data: uebuf}
 	for i := range eos {
 		conv.CheckOutput(s, eos[i])
-		eomat := gemm.Matrix{Rows: s.Nf, Cols: rows, Data: eos[i].Data}
-		if k.workers <= 1 {
-			gemm.MulTransA(&ue, &eomat, &wmat)
-		} else {
-			gemm.ParallelMulTransA(&ue, &eomat, &wmat, k.workers)
+		conv.CheckInput(s, eis[i])
+		eis[i].Zero()
+		for g := 0; g < ng; g++ {
+			wmat := gemm.Matrix{Rows: gnf, Cols: cols, Data: w.Data[g*gnf*cols : (g+1)*gnf*cols]}
+			eomat := gemm.Matrix{Rows: gnf, Cols: rows, Data: eos[i].Data[g*gnf*rows : (g+1)*gnf*rows]}
+			if k.workers <= 1 {
+				gemm.MulTransA(&ue, &eomat, &wmat)
+			} else {
+				gemm.ParallelMulTransA(&ue, &eomat, &wmat, k.workers)
+			}
+			unfold.Col2imGroup(s, g, eis[i], &ue)
 		}
-		unfold.Col2im(s, eis[i], &ue)
 	}
 	c.Put(uebuf)
 }
@@ -152,18 +164,21 @@ func (k *Kernel) BackwardWeightsBatch(c *exec.Ctx, dw *tensor.Tensor, eos, ins [
 	s := k.spec
 	conv.CheckWeights(s, dw)
 	rows, cols := unfold.Rows(s), unfold.Cols(s)
-	dwmat := gemm.Matrix{Rows: s.Nf, Cols: cols, Data: dw.Data}
+	ng, gnf := s.G(), s.GroupNf()
 	dw.Zero()
 	ubuf := c.Get(rows * cols)
 	u := gemm.Matrix{Rows: rows, Cols: cols, Data: ubuf}
 	for i := range ins {
-		unfold.Im2col(s, &u, ins[i])
 		conv.CheckOutput(s, eos[i])
-		eomat := gemm.Matrix{Rows: s.Nf, Cols: rows, Data: eos[i].Data}
-		if k.workers <= 1 {
-			gemm.SerialAccum(&dwmat, &eomat, &u)
-		} else {
-			gemm.ParallelAccum(&dwmat, &eomat, &u, k.workers)
+		for g := 0; g < ng; g++ {
+			unfold.Im2colGroup(s, g, &u, ins[i])
+			dwmat := gemm.Matrix{Rows: gnf, Cols: cols, Data: dw.Data[g*gnf*cols : (g+1)*gnf*cols]}
+			eomat := gemm.Matrix{Rows: gnf, Cols: rows, Data: eos[i].Data[g*gnf*rows : (g+1)*gnf*rows]}
+			if k.workers <= 1 {
+				gemm.SerialAccum(&dwmat, &eomat, &u)
+			} else {
+				gemm.ParallelAccum(&dwmat, &eomat, &u, k.workers)
+			}
 		}
 	}
 	c.Put(ubuf)

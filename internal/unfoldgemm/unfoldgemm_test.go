@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"spgcnn/internal/conv"
-	"spgcnn/internal/engine"
 	"spgcnn/internal/engine/enginetest"
 	"spgcnn/internal/exec"
 	"spgcnn/internal/rng"
@@ -28,11 +27,11 @@ func TestDifferentialParallelVsSerial(t *testing.T) {
 }
 
 func TestDifferentialBatchedVsSerial(t *testing.T) {
-	gen := engine.Generator{
-		Name: "unfold-batched",
-		New:  func(s conv.Spec) engine.Kernel { return NewBatched(s, 4, 2) },
-	}
-	enginetest.RunDifferential(t, gen, Generator(1), enginetest.DiffOptions{Seed: 0xD1F2, Batch: 5})
+	// The stacked BPW GEMM sums a whole image group in one multiply, a
+	// structural reassociation of the oracle's per-sample sum — hence the
+	// wider relative-error escape (cancellation near zero).
+	enginetest.RunDifferential(t, BatchedGenerator(4, 2), Generator(1),
+		enginetest.DiffOptions{Seed: 0xD1F2, Batch: 5, RelTol: 1e-4})
 }
 
 func TestNames(t *testing.T) {

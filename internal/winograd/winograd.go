@@ -42,7 +42,7 @@ func New(s conv.Spec) *Kernel {
 	s.MustValidate()
 	return &Kernel{
 		spec:     s,
-		fast:     s.Fx == 3 && s.Fy == 3 && s.Sx == 1 && s.Sy == 1,
+		fast:     s.Fx == 3 && s.Fy == 3 && s.Sx == 1 && s.Sy == 1 && s.Plain(),
 		fallback: unfoldgemm.New(s, 1),
 	}
 }
@@ -235,6 +235,10 @@ func Generator() engine.Generator {
 	return engine.Generator{
 		Name: "winograd",
 		New:  func(s conv.Spec) engine.Kernel { return New(s) },
+		// The F(2,3) transform set is generated for plain geometry; padded,
+		// dilated or grouped specs would silently hit the fallback, so
+		// decline them and let the planner prune this candidate.
+		Supports: engine.PlainOnly,
 	}
 }
 

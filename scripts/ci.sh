@@ -4,8 +4,10 @@
 # quick-scale benchmark baseline check, the plan-cache round-trip check
 # (warm starts must deploy cached strategy verdicts with zero measurement
 # passes), the execution-trace capture/attribution check (2-replica
-# capture must validate and attribute stragglers and waste), and the
-# serving check (train -> serve -> load -> validate metrics and drain).
+# capture must validate and attribute stragglers and waste), the
+# serving check (train -> serve -> load -> validate metrics and drain),
+# and the design-space explorer golden check (spg-plan -explore over the
+# workload zoo must match its committed report byte-for-byte).
 # Run from the repository root.
 set -eux
 
@@ -18,3 +20,4 @@ scripts/bench_check.sh
 scripts/plan_check.sh
 scripts/trace_check.sh
 scripts/serve_check.sh
+scripts/explore_check.sh

@@ -1,0 +1,30 @@
+#!/bin/sh
+# explore_check: the spg-plan -explore design-space report over the
+# workload zoo is a pure function of the netdefs and the paper machine
+# model, so it is compared byte-for-byte against the committed golden.
+# Regenerate after an intentional change with:
+#
+#	scripts/explore_check.sh -update
+#
+# Usage: scripts/explore_check.sh [-update]
+set -eu
+
+cd "$(dirname "$0")/.."
+golden="cmd/spg-plan/testdata/explore_golden.txt"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+go run ./cmd/spg-plan -explore all -workers 16 > "$tmp/explore.txt"
+
+if [ "${1:-}" = "-update" ]; then
+	cp "$tmp/explore.txt" "$golden"
+	echo "explore_check: regenerated $golden"
+	exit 0
+fi
+
+if ! diff -u "$golden" "$tmp/explore.txt"; then
+	echo "explore_check: report diverged from $golden (run scripts/explore_check.sh -update after an intentional change)" >&2
+	exit 1
+fi
+echo "explore_check: zoo design-space report matches $golden"
