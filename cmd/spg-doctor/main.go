@@ -1,0 +1,60 @@
+// spg-doctor summarizes a drift observatory report (spg-train
+// -drift-report / spg-serve -drift-report): overall model-vs-measured
+// agreement, the per-Fig.1-region rollup, per-series EWMA state and the
+// drift events that fired. It doubles as the CI gate for the drift
+// pipeline: -check validates the schema, -max-drifts bounds how many
+// drift events a run may carry, -min-agreement bounds how far absolute
+// agreement may fall.
+//
+// Usage:
+//
+//	spg-doctor results/drift_report.json
+//	spg-doctor -check results/drift_report.json
+//	spg-doctor -check -max-drifts 0 results/drift_report.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spgcnn"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "spg-doctor: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("spg-doctor", flag.ContinueOnError)
+	check := fs.Bool("check", false, "validate the report (and any gates) and exit without rendering")
+	maxDrifts := fs.Int("max-drifts", -1, "fail when the report carries more than this many drift events (-1 = no gate)")
+	minAgreement := fs.Float64("min-agreement", 0, "fail when overall predicted/measured agreement falls below this (0 = no gate; absolute agreement is host-dependent, gate loosely)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: spg-doctor [-check] [-max-drifts N] [-min-agreement R] <drift_report.json>")
+	}
+	rep, err := spgcnn.ReadDriftReportFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *maxDrifts >= 0 && rep.TotalDrifts() > *maxDrifts {
+		return fmt.Errorf("%d drift events exceed the -max-drifts %d gate", rep.TotalDrifts(), *maxDrifts)
+	}
+	if *minAgreement > 0 && rep.Agreement() < *minAgreement {
+		return fmt.Errorf("overall agreement %.3f below the -min-agreement %.3f gate", rep.Agreement(), *minAgreement)
+	}
+	if *check {
+		fmt.Fprintf(stdout, "drift report OK: schema %d, %d series, %d drift events, agreement %.3f\n",
+			rep.Schema, len(rep.Rows), rep.TotalDrifts(), rep.Agreement())
+		return nil
+	}
+	rep.Render(stdout)
+	return nil
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spgcnn"
+)
+
+// update regenerates testdata/sample_drift.json and testdata/golden.txt
+// from the in-test fixture:
+//
+//	go test ./cmd/spg-doctor -update
+var update = flag.Bool("update", false, "rewrite testdata from the fixture")
+
+// sampleReport is a hand-stamped two-layer report: conv0 agrees well in
+// both phases but carried one BP drift event; conv1's FP runs at half the
+// modeled rate. Every number is a literal, so the exported JSON and the
+// rendering are byte-deterministic.
+func sampleReport() spgcnn.DriftReport {
+	spec := spgcnn.Square(12, 16, 8, 3, 1)
+	return spgcnn.DriftReport{
+		Schema:  spgcnn.DriftReportSchemaVersion,
+		Host:    "linux/amd64/16cpu/go1.24.0/testbed",
+		Workers: 4, Threshold: 1.5, Window: 3, Alpha: 0.25, Warmup: 5,
+		Rows: []spgcnn.DriftRow{
+			{Layer: "conv0", Phase: "bp", Strategy: "sparse", Spec: spec,
+				Region: 5, Band: 3, Sparsity: 0.8,
+				Calls: 40, MeasuredSeconds: 0.2, PredictedSeconds: 0.19,
+				Agreement: 0.95, EWMA: 1.08, Drifts: 1},
+			{Layer: "conv0", Phase: "fp", Strategy: "stencil", Spec: spec,
+				Region: 1, Band: 0, Sparsity: 0,
+				Calls: 40, MeasuredSeconds: 0.1, PredictedSeconds: 0.098,
+				Agreement: 0.98, EWMA: 1.02, Drifts: 0},
+			{Layer: "conv1", Phase: "fp", Strategy: "parallel-gemm", Spec: spec,
+				Region: 0, Band: 0, Sparsity: 0,
+				Calls: 40, MeasuredSeconds: 0.3, PredictedSeconds: 0.15,
+				Agreement: 0.5, EWMA: 2.0, Drifts: 0},
+		},
+		Regions: []spgcnn.DriftRegionRow{
+			{Region: 0, Series: 1, Calls: 40, MeasuredSeconds: 0.3, PredictedSeconds: 0.15, Agreement: 0.5},
+			{Region: 1, Series: 1, Calls: 40, MeasuredSeconds: 0.1, PredictedSeconds: 0.098, Agreement: 0.98},
+			{Region: 5, Series: 1, Calls: 40, MeasuredSeconds: 0.2, PredictedSeconds: 0.19, Agreement: 0.95, Drifts: 1},
+		},
+		Events: []spgcnn.DriftEvent{
+			{Layer: "conv0", Phase: "bp", Strategy: "sparse", Spec: spec,
+				Region: 5, Band: 3, Ratio: 1.7, Baseline: 1.05, Observation: 23},
+		},
+	}
+}
+
+func samplePath(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join("testdata", "sample_drift.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := sampleReport().WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+// TestSampleReportInSync pins testdata/sample_drift.json as the exact
+// export of the fixture, so the committed sample can never drift from the
+// writer.
+func TestSampleReportInSync(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(samplePath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("testdata/sample_drift.json is stale; regenerate with -update\n--- exported ---\n%s", buf.String())
+	}
+}
+
+// TestRunGolden pins the rendering byte-for-byte.
+func TestRunGolden(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "golden.txt")
+	var out strings.Builder
+	if err := run([]string{samplePath(t)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(out.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("output diverged from testdata/golden.txt\n--- got ---\n%s\n--- want ---\n%s",
+			out.String(), want)
+	}
+}
+
+// TestRunCheckAndGates covers the CI modes: plain validation, the
+// drift-count gate and the agreement floor.
+func TestRunCheckAndGates(t *testing.T) {
+	path := samplePath(t)
+	var out strings.Builder
+	if err := run([]string{"-check", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out.String(), "drift report OK: schema 1, 3 series, 1 drift events, agreement 0.730\n"; got != want {
+		t.Errorf("-check output = %q, want %q", got, want)
+	}
+	if err := run([]string{"-check", "-max-drifts", "1", path}, &out); err != nil {
+		t.Errorf("-max-drifts 1 should pass with 1 drift: %v", err)
+	}
+	if err := run([]string{"-check", "-max-drifts", "0", path}, &out); err == nil {
+		t.Error("-max-drifts 0 should fail with 1 drift")
+	}
+	if err := run([]string{"-check", "-min-agreement", "0.5", path}, &out); err != nil {
+		t.Errorf("-min-agreement 0.5 should pass at 0.730: %v", err)
+	}
+	if err := run([]string{"-check", "-min-agreement", "0.9", path}, &out); err == nil {
+		t.Error("-min-agreement 0.9 should fail at 0.730")
+	}
+}
+
+// TestRunErrors verifies bad inputs surface as errors, not panics.
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("expected a usage error with no arguments")
+	}
+	if err := run([]string{filepath.Join("testdata", "nope.json")}, &out); err == nil {
+		t.Error("expected an error for a missing file")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &out); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong-schema report error = %v", err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
@@ -63,6 +64,8 @@ func run(args []string, stdout io.Writer) error {
 		planCache = fs.String("plan-cache", "", "persistent plan cache file: reuse per-bucket strategy verdicts across restarts")
 		tracePath = fs.String("trace", "", "write a Perfetto trace of the serving run here on shutdown")
 		traceMode = fs.String("trace-mode", "ring", "trace capture mode: ring or full")
+		drift     = fs.Bool("drift", false, "run the plan-drift observatory over the serving spans and render the agreement report on shutdown (predictions assume full -max-batch batches; partial buckets read as faster than predicted)")
+		driftOut  = fs.String("drift-report", "", "write the agreement report (schema-versioned JSON) here on shutdown; implies -drift")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -134,7 +137,26 @@ func run(args []string, stdout io.Writer) error {
 	// One replica's context feeds the kernel-span tree and arena gauges;
 	// the serve-level series (queue, batches, goodput) cover all replicas.
 	spgcnn.BindMetrics(model.Ctx(0), reg)
+	spgcnn.BindRuntimeMetrics(reg)
 	spgcnn.BindPlannerMetrics(planner, reg)
+
+	// The drift observatory in serving is report-only: per-bucket verdicts
+	// re-measure cheaply on restart, so there is no re-tune coupler; the
+	// value is the live agreement series and the shutdown report.
+	var obsv *spgcnn.Observatory
+	if *drift || *driftOut != "" {
+		obsv = spgcnn.NewObservatory(spgcnn.ObservatoryOptions{
+			Workers: *threads,
+			Metrics: reg,
+		})
+		for _, c := range model.ConvLayers() {
+			obsv.RegisterLayer(c.Name(), c.Spec())
+		}
+		obsv.SetBatch(*maxBatch)
+		for i := 0; i < model.Replicas(); i++ {
+			model.Ctx(i).Probe().AddSink(obsv)
+		}
+	}
 
 	var rec *spgcnn.TraceRecorder
 	if *tracePath != "" {
@@ -214,6 +236,44 @@ func run(args []string, stdout io.Writer) error {
 	if st.Images > 0 {
 		fmt.Fprintf(stdout, "goodput: %.1f%% of forward flops were real requests (%d padding rows)\n",
 			100*st.GoodputRatio(), st.PaddingRows)
+	}
+	// Planner epilogue: what the scheduler deployed and how often the
+	// cache answered for free — the serving counterpart of spg-train's
+	// plan-cache summary.
+	if pst := planner.Stats(); pst.Hits+pst.Misses > 0 {
+		fmt.Fprintf(stdout, "plan cache: %d hits, %d misses, %d measurement passes",
+			pst.Hits, pst.Misses, pst.Measurements)
+		if pst.Invalidations > 0 {
+			fmt.Fprintf(stdout, ", %d invalidated by re-tune triggers", pst.Invalidations)
+		}
+		fmt.Fprintln(stdout)
+	}
+	for _, c := range model.ConvLayers() {
+		buckets := c.PlannedBuckets()
+		if len(buckets) == 0 {
+			continue
+		}
+		bks := make([]int, 0, len(buckets))
+		for bk := range buckets {
+			bks = append(bks, bk)
+		}
+		sort.Ints(bks)
+		fmt.Fprintf(stdout, "deployed %s:", c.Name())
+		for _, bk := range bks {
+			fmt.Fprintf(stdout, " batch%d=%s", bk, buckets[bk])
+		}
+		fmt.Fprintln(stdout)
+	}
+	if obsv != nil {
+		fmt.Fprintf(stdout, "drift: %d events\n", len(obsv.Events()))
+		rep := obsv.Report()
+		rep.Render(stdout)
+		if *driftOut != "" {
+			if err := rep.WriteFile(*driftOut); err != nil {
+				return fmt.Errorf("drift report: %w", err)
+			}
+			fmt.Fprintf(stdout, "drift report: wrote %s (schema %d)\n", *driftOut, spgcnn.DriftReportSchemaVersion)
+		}
 	}
 	if rec != nil {
 		if err := rec.WriteFile(*tracePath); err != nil {

@@ -70,7 +70,7 @@ func startServe(t *testing.T, extraArgs ...string) (addr string, stop func() str
 // it with the loadgen package under concurrency, scrapes /metrics
 // MID-RUN, and checks the load report and the shutdown epilogue agree.
 func TestServeEndToEnd(t *testing.T) {
-	addr, stop := startServe(t, "-max-batch", "4", "-max-delay", "2ms", "-replicas", "2")
+	addr, stop := startServe(t, "-max-batch", "4", "-max-delay", "2ms", "-replicas", "2", "-drift")
 	url := "http://" + addr
 
 	// Mid-run scrape: fire a slice of load, then read /metrics while the
@@ -96,6 +96,11 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(metrics, "spg_workers") {
 		t.Error("mid-run /metrics missing the bound exec-context series (spg_workers)")
+	}
+	for _, want := range []string{"spg_runtime_gomaxprocs", "spg_runtime_goroutines", "spg_drift_ewma_ratio"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("mid-run /metrics missing %q", want)
+		}
 	}
 
 	// /healthz rides along too.
@@ -136,6 +141,17 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(out, "goodput:") {
 		t.Errorf("epilogue missing the goodput line:\n%s", out)
+	}
+	// The observability epilogue: plan-cache accounting, the deployed
+	// strategy per layer and bucket, and the drift agreement report.
+	if !strings.Contains(out, "plan cache:") || !strings.Contains(out, "measurement passes") {
+		t.Errorf("epilogue missing the plan-cache summary:\n%s", out)
+	}
+	if !strings.Contains(out, "deployed conv0: batch") {
+		t.Errorf("epilogue missing the per-layer deployed strategies:\n%s", out)
+	}
+	if !strings.Contains(out, "agreement per Fig. 1 region:") {
+		t.Errorf("epilogue missing the drift agreement report:\n%s", out)
 	}
 }
 

@@ -9,9 +9,11 @@
 //	spg-trace trace.json
 //	spg-trace -top 5 trace.json
 //	spg-trace -check trace.json     # schema-validate only
+//	spg-trace -json trace.json      # machine-readable summary
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,11 +34,12 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("spg-trace", flag.ContinueOnError)
 	top := fs.Int("top", 10, "rows in the top-spans table")
 	check := fs.Bool("check", false, "validate the capture and exit")
+	asJSON := fs.Bool("json", false, "emit the summary as machine-readable JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: spg-trace [-top N] [-check] <trace.json>")
+		return fmt.Errorf("usage: spg-trace [-top N] [-check] [-json] <trace.json>")
 	}
 	c, err := trace.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -49,6 +52,9 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "trace OK: %d events, %d layers, mode %s\n",
 			len(c.Events), len(c.Layers), c.Mode)
 		return nil
+	}
+	if *asJSON {
+		return writeJSONSummary(stdout, c, *top)
 	}
 
 	summary(stdout, c)
@@ -141,6 +147,139 @@ func waste(w io.Writer, c trace.Capture) {
 	fmt.Fprintf(w, "  total over %d epoch(s): dense %s, useful %s (%.1f%%), wasted %s, burned %s\n",
 		rep.Epochs, flops(rep.DenseFlops), flops(rep.UsefulFlops), pct,
 		flops(rep.WastedFlops), flops(rep.BurnedFlops))
+}
+
+// jsonSummary is the -json output: the same accounting the text report
+// renders, in a stable machine-readable shape for scripts and CI gates.
+// Bump Schema on any breaking field change.
+type jsonSummary struct {
+	Schema     int             `json:"schema"`
+	Mode       string          `json:"mode"`
+	Events     int             `json:"events"`
+	Layers     int             `json:"layers"`
+	Replicas   int             `json:"replicas"`
+	WallSecs   float64         `json:"wall_seconds"`
+	Stats      trace.Stats     `json:"capture_stats"`
+	TopSpans   []jsonSpan      `json:"top_spans"`
+	Stragglers *jsonStragglers `json:"stragglers,omitempty"`
+	Waste      *jsonWaste      `json:"goodput_waste,omitempty"`
+}
+
+type jsonSpan struct {
+	Name  string  `json:"name"`
+	Calls int     `json:"calls"`
+	Total float64 `json:"total_seconds"`
+	Mean  float64 `json:"mean_seconds"`
+	Max   float64 `json:"max_seconds"`
+}
+
+type jsonStraggler struct {
+	Replica      int     `json:"replica"`
+	Steps        int     `json:"steps"`
+	MinSecs      float64 `json:"min_seconds"`
+	MeanSecs     float64 `json:"mean_seconds"`
+	MaxSecs      float64 `json:"max_seconds"`
+	BarrierWait  float64 `json:"barrier_wait_seconds"`
+	SlowestCount int     `json:"slowest_count"`
+}
+
+type jsonStragglers struct {
+	Steps          int             `json:"steps"`
+	Syncs          int             `json:"syncs"`
+	AllReduceSecs  float64         `json:"allreduce_seconds"`
+	SlowestReplica int             `json:"slowest_replica"`
+	Rows           []jsonStraggler `json:"rows"`
+}
+
+type jsonWasteRow struct {
+	Layer       string  `json:"layer"`
+	FPStrategy  string  `json:"fp_strategy,omitempty"`
+	BPStrategy  string  `json:"bp_strategy,omitempty"`
+	DenseFlops  float64 `json:"dense_flops"`
+	UsefulFlops float64 `json:"useful_flops"`
+	WastedFlops float64 `json:"wasted_flops"`
+	BurnedFlops float64 `json:"burned_flops"`
+}
+
+type jsonWaste struct {
+	Epochs      int            `json:"epochs"`
+	DenseFlops  float64        `json:"dense_flops"`
+	UsefulFlops float64        `json:"useful_flops"`
+	Goodput     float64        `json:"goodput_fraction"`
+	WastedFlops float64        `json:"wasted_flops"`
+	BurnedFlops float64        `json:"burned_flops"`
+	Rows        []jsonWasteRow `json:"rows"`
+}
+
+// writeJSONSummary renders the -json report. Field order is fixed by the
+// struct declarations and maps are never marshaled directly, so the
+// output is byte-deterministic for a given capture.
+func writeJSONSummary(w io.Writer, c trace.Capture, top int) error {
+	replicas := map[int32]bool{}
+	var minTs, maxEnd int64
+	first := true
+	for _, ev := range c.Events {
+		if ev.Replica >= 0 {
+			replicas[ev.Replica] = true
+		}
+		if end := ev.Ts + ev.Dur; first || end > maxEnd {
+			maxEnd = end
+		}
+		if first || ev.Ts < minTs {
+			minTs = ev.Ts
+		}
+		first = false
+	}
+	out := jsonSummary{
+		Schema:   1,
+		Mode:     c.Mode,
+		Events:   len(c.Events),
+		Layers:   len(c.Layers),
+		Replicas: len(replicas),
+		WallSecs: float64(maxEnd-minTs) / 1e9,
+		Stats:    c.Stats,
+		TopSpans: []jsonSpan{},
+	}
+	for _, r := range trace.TopSpans(c.Events, top) {
+		out.TopSpans = append(out.TopSpans, jsonSpan{
+			Name: r.Name, Calls: r.Calls, Total: r.Total, Mean: r.Mean(), Max: r.Max,
+		})
+	}
+	if rep := trace.Stragglers(c); len(rep.Rows) > 0 {
+		js := &jsonStragglers{
+			Steps: rep.Steps, Syncs: rep.Syncs,
+			AllReduceSecs: rep.AllReduceSeconds, SlowestReplica: rep.SlowestReplica,
+		}
+		for _, r := range rep.Rows {
+			js.Rows = append(js.Rows, jsonStraggler{
+				Replica: r.Replica, Steps: r.Steps,
+				MinSecs: r.Min, MeanSecs: r.Mean(), MaxSecs: r.Max,
+				BarrierWait: r.BarrierWait, SlowestCount: r.SlowestCount,
+			})
+		}
+		out.Stragglers = js
+	}
+	if rep := trace.GoodputWaste(c); len(rep.Rows) > 0 {
+		jw := &jsonWaste{
+			Epochs:     rep.Epochs,
+			DenseFlops: rep.DenseFlops, UsefulFlops: rep.UsefulFlops,
+			WastedFlops: rep.WastedFlops, BurnedFlops: rep.BurnedFlops,
+		}
+		if rep.DenseFlops > 0 {
+			jw.Goodput = rep.UsefulFlops / rep.DenseFlops
+		}
+		for _, r := range rep.Rows {
+			jw.Rows = append(jw.Rows, jsonWasteRow{
+				Layer: r.Layer, FPStrategy: r.FPStrategy, BPStrategy: r.BPStrategy,
+				DenseFlops: r.DenseFlops, UsefulFlops: r.UsefulFlops,
+				WastedFlops: r.WastedFlops, BurnedFlops: r.BurnedFlops,
+			})
+		}
+		out.Waste = jw
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func orDash(s string) string {

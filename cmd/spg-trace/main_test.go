@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -105,6 +106,55 @@ func TestRunGolden(t *testing.T) {
 	if out.String() != string(want) {
 		t.Errorf("output diverged from testdata/golden.txt\n--- got ---\n%s\n--- want ---\n%s",
 			out.String(), want)
+	}
+}
+
+// TestRunJSONGolden pins the -json machine-readable summary byte-for-byte
+// against testdata/golden.json; regenerate with -update as for the text
+// golden. It also re-decodes the output to check it is valid JSON with the
+// expected top-level accounting, so the golden can't silently pin garbage.
+func TestRunJSONGolden(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "golden.json")
+	var out strings.Builder
+	if err := run([]string{"-json", "-top", "5", filepath.Join("testdata", "sample_trace.json")}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(out.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("-json output diverged from testdata/golden.json\n--- got ---\n%s\n--- want ---\n%s",
+			out.String(), want)
+	}
+	var s jsonSummary
+	if err := json.Unmarshal([]byte(out.String()), &s); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if s.Schema != 1 || s.Events != 19 || s.Layers != 2 || s.Replicas != 2 {
+		t.Errorf("summary header = %+v", s)
+	}
+	if len(s.TopSpans) != 5 {
+		t.Errorf("top spans = %d, want 5", len(s.TopSpans))
+	}
+	if s.Stragglers == nil || len(s.Stragglers.Rows) != 2 || s.Stragglers.SlowestReplica != 1 {
+		t.Errorf("stragglers = %+v", s.Stragglers)
+	}
+	if s.Waste == nil || len(s.Waste.Rows) != 2 {
+		t.Fatalf("waste = %+v", s.Waste)
+	}
+	// conv0 runs a dense BP strategy: its Eq. 9 waste is burned. conv1's
+	// sparse kernel recovers the gap.
+	if r := s.Waste.Rows[0]; r.Layer != "conv0" || r.BurnedFlops != r.WastedFlops || r.WastedFlops == 0 {
+		t.Errorf("conv0 waste row = %+v", r)
+	}
+	if r := s.Waste.Rows[1]; r.Layer != "conv1" || r.BurnedFlops != 0 || r.WastedFlops == 0 {
+		t.Errorf("conv1 waste row = %+v", r)
 	}
 }
 

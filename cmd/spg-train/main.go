@@ -59,6 +59,12 @@ func run(args []string, stdout io.Writer) error {
 		replicas    = fs.Int("replicas", 1, "data-parallel model replicas; N > 1 shards each global batch of -batch across N replicas with synchronous parameter averaging")
 		tracePath   = fs.String("trace", "", "write a Chrome/Perfetto trace-event JSON capture of the run here (open in ui.perfetto.dev, analyze with spg-trace)")
 		traceMode   = fs.String("trace-mode", "ring", "trace capture mode: ring (bounded flight recorder, keeps the newest events) or full (everything up to a cap)")
+		drift       = fs.Bool("drift", false, "run the plan-drift observatory: track model-vs-measured agreement per layer and re-tune automatically when a deployed strategy drifts")
+		driftReport = fs.String("drift-report", "", "write the observatory's agreement report (schema-versioned JSON, render with spg-doctor) here after training; implies -drift")
+		driftThresh = fs.Float64("drift-threshold", 0, "drift alarm factor: alarm when the smoothed agreement ratio leaves [baseline/t, baseline*t] (0 = default 1.5)")
+		driftWindow = fs.Int("drift-window", 0, "consecutive breaching observations before a drift event fires (0 = default 3)")
+		injectEpoch = fs.Int("drift-inject-epoch", 0, "TESTING: from the start of this epoch (1-based), scale every span time the observatory sees by -drift-inject-factor — a synthetic co-tenant; implies -drift")
+		injectFac   = fs.Float64("drift-inject-factor", 2, "synthetic slowdown factor for -drift-inject-epoch")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +104,7 @@ func run(args []string, stdout io.Writer) error {
 	if *metricsAddr != "" {
 		reg = spgcnn.NewMetricsRegistry()
 		spgcnn.BindMetrics(ctx, reg)
+		spgcnn.BindRuntimeMetrics(reg)
 		srv, err := spgcnn.ServeMetrics(*metricsAddr, reg)
 		if err != nil {
 			return fmt.Errorf("metrics endpoint: %w", err)
@@ -140,6 +147,28 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	// The drift observatory rides the same probe seam as the metrics
+	// bridge and tracer; its coupler feeds re-tune triggers back into the
+	// shared planner.
+	var (
+		obsv    *spgcnn.Observatory
+		coupler *spgcnn.DriftCoupler
+	)
+	if *drift || *driftReport != "" || *injectEpoch > 0 {
+		coupler = spgcnn.NewDriftCoupler(planner)
+		oo := spgcnn.ObservatoryOptions{
+			Workers:   w,
+			Threshold: *driftThresh,
+			Window:    *driftWindow,
+			OnDrift:   coupler.OnDrift,
+			Metrics:   reg,
+		}
+		if rec != nil {
+			oo.Trace = rec.Emitter(-1, 0)
+		}
+		obsv = spgcnn.NewObservatory(oo)
+	}
+
 	opts := spgcnn.BuildOptions{Ctx: ctx, Seed: *seed, Planner: planner}
 	if *strategy != "auto" {
 		st, ok := findStrategy(*strategy, w)
@@ -175,7 +204,8 @@ func run(args []string, stdout io.Writer) error {
 		net, err = trainDataParallel(def, opts, dpFlags{
 			replicas: *replicas, epochs: *epochs, batch: *batch, lr: *lr,
 			loadPath: *loadPath, profile: *profile,
-		}, ds, r, rec, reg, stdout)
+			injectEpoch: *injectEpoch, injectFactor: *injectFac,
+		}, ds, r, rec, reg, obsv, coupler, stdout)
 		if err != nil {
 			return err
 		}
@@ -209,8 +239,32 @@ func run(args []string, stdout io.Writer) error {
 			spgcnn.RegisterTraceLayers(rec, net)
 			tr.OnStep = rec.SetStep
 		}
+		if obsv != nil {
+			spgcnn.RegisterObservatoryLayers(obsv, coupler, net)
+			obsv.SetBatch(*batch)
+			ctx.Probe().AddSink(obsv)
+			// OnStep runs on the training goroutine before every minibatch
+			// — the safe point to apply queued re-tunes, so the very next
+			// batch re-measures.
+			prev := tr.OnStep
+			tr.OnStep = func(step int64) {
+				if prev != nil {
+					prev(step)
+				}
+				coupler.Apply()
+			}
+		}
 		for e := 0; e < *epochs; e++ {
+			if obsv != nil && *injectEpoch > 0 && e+1 == *injectEpoch {
+				obsv.SetSlowdown(*injectFac)
+				fmt.Fprintf(stdout, "drift: injecting synthetic %.2fx slowdown from epoch %d\n", *injectFac, e+1)
+			}
 			stats := tr.TrainEpoch(ds, r)
+			if obsv != nil {
+				for name, s := range stats.ConvSparsity {
+					obsv.SetSparsity(name, -1, s)
+				}
+			}
 			if reg != nil {
 				reg.RecordEpoch(epochSample(stats))
 			}
@@ -276,6 +330,22 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintln(stdout)
 	}
+	if obsv != nil {
+		evs := obsv.Events()
+		fmt.Fprintf(stdout, "drift: %d events, %d re-tunes applied, %d plan entries invalidated\n",
+			len(evs), coupler.Applied(), planner.Stats().Invalidations)
+		for _, ev := range evs {
+			fmt.Fprintf(stdout, "  %s\n", ev)
+		}
+		if *driftReport != "" {
+			rep := obsv.Report()
+			rep.Render(stdout)
+			if err := rep.WriteFile(*driftReport); err != nil {
+				return fmt.Errorf("drift report: %w", err)
+			}
+			fmt.Fprintf(stdout, "drift report: wrote %s (schema %d)\n", *driftReport, spgcnn.DriftReportSchemaVersion)
+		}
+	}
 	if *planCache != "" {
 		if err := planner.SaveFile(*planCache); err != nil {
 			return fmt.Errorf("plan cache: %w", err)
@@ -324,6 +394,8 @@ type dpFlags struct {
 	lr                      float64
 	loadPath                string
 	profile                 bool
+	injectEpoch             int
+	injectFactor            float64
 }
 
 // trainDataParallel runs the -replicas > 1 path: N model replicas share
@@ -333,7 +405,8 @@ type dpFlags struct {
 // choices).
 func trainDataParallel(def *spgcnn.NetDef, opts spgcnn.BuildOptions, f dpFlags,
 	ds spgcnn.Dataset, r *spgcnn.RNG, rec *spgcnn.TraceRecorder,
-	reg *spgcnn.MetricsRegistry, stdout io.Writer) (*spgcnn.Network, error) {
+	reg *spgcnn.MetricsRegistry, obsv *spgcnn.Observatory, coupler *spgcnn.DriftCoupler,
+	stdout io.Writer) (*spgcnn.Network, error) {
 	if f.loadPath != "" {
 		return nil, fmt.Errorf("-load is not supported with -replicas > 1")
 	}
@@ -347,12 +420,34 @@ func trainDataParallel(def *spgcnn.NetDef, opts spgcnn.BuildOptions, f dpFlags,
 		return nil, err
 	}
 	dp.BindTrace(rec) // no-op when tracing is off
+	if obsv != nil {
+		// Replicas share one observatory stream per layer (symmetric
+		// shards, shared planner) but every replica's layers register with
+		// the coupler so a re-tune reaches all of them.
+		for i := 0; i < f.replicas; i++ {
+			spgcnn.RegisterObservatoryLayers(obsv, coupler, dp.Replica(i))
+		}
+		obsv.SetBatch(f.batch / f.replicas)
+		dp.AddSink(obsv)
+	}
 	fmt.Fprintf(stdout, "data-parallel: %d replicas, global batch %d (shard %d)\n",
 		f.replicas, f.batch, f.batch/f.replicas)
 
 	agg := make([]spgcnn.DataParallelReplicaStats, f.replicas)
 	for e := 0; e < f.epochs; e++ {
+		if obsv != nil && f.injectEpoch > 0 && e+1 == f.injectEpoch {
+			obsv.SetSlowdown(f.injectFactor)
+			fmt.Fprintf(stdout, "drift: injecting synthetic %.2fx slowdown from epoch %d\n", f.injectFactor, e+1)
+		}
 		stats := dp.TrainEpoch(ds, r)
+		if obsv != nil {
+			for name, s := range stats.ConvSparsity {
+				obsv.SetSparsity(name, -1, s)
+			}
+			// Replicas are idle between epochs — the safe point to apply
+			// queued re-tunes on this path.
+			coupler.Apply()
+		}
 		if reg != nil {
 			reg.RecordEpoch(dpEpochSample(e+1, stats))
 		}

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"spgcnn"
 )
 
 // scrape fetches one URL off the live metrics endpoint.
@@ -190,6 +192,64 @@ layer { name: "fc0" type: "fc" outputs: 10 }
 	warmDep := deploymentsLine(warm.String())
 	if coldDep == "" || coldDep != warmDep {
 		t.Errorf("deployments diverged:\ncold: %q\nwarm: %q", coldDep, warmDep)
+	}
+}
+
+// TestDriftInjectionAndControl is the command-level drift acceptance: an
+// injected synthetic slowdown must fire at least one drift event, apply a
+// re-tune and invalidate plan entries, and the written report must
+// schema-validate; the identical run WITHOUT injection must stay silent —
+// zero events, zero re-tunes, zero invalidations.
+func TestDriftInjectionAndControl(t *testing.T) {
+	dir := t.TempDir()
+	netFile := filepath.Join(dir, "net.prototxt")
+	netSrc := `
+name: "drifttiny"
+input { channels: 1 height: 28 width: 28 }
+layer { name: "conv0" type: "conv" features: 4 kernel: 5 stride: 2 }
+layer { name: "fc0" type: "fc" outputs: 10 }
+`
+	if err := os.WriteFile(netFile, []byte(netSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report := filepath.Join(dir, "drift_report.json")
+	base := []string{"-file", netFile, "-dataset", "mnist",
+		"-epochs", "4", "-examples", "64", "-batch", "8", "-workers", "2"}
+
+	var injected bytes.Buffer
+	args := append(append([]string{}, base...),
+		"-drift-inject-epoch", "3", "-drift-inject-factor", "2.5",
+		"-drift-report", report)
+	if err := run(args, &injected); err != nil {
+		t.Fatal(err)
+	}
+	out := injected.String()
+	if !strings.Contains(out, "drift: injecting synthetic 2.50x slowdown from epoch 3") {
+		t.Fatalf("injection did not arm:\n%s", out)
+	}
+	if strings.Contains(out, "drift: 0 events") {
+		t.Fatalf("2.5x slowdown fired no drift event:\n%s", out)
+	}
+	if strings.Contains(out, "0 re-tunes applied") || strings.Contains(out, "0 plan entries invalidated") {
+		t.Fatalf("drift event did not trigger a re-tune:\n%s", out)
+	}
+	rep, err := spgcnn.ReadDriftReportFile(report)
+	if err != nil {
+		t.Fatalf("written report does not validate: %v", err)
+	}
+	if rep.TotalDrifts() < 1 {
+		t.Fatalf("validated report carries no drift events: %+v", rep)
+	}
+	if !strings.Contains(out, "agreement per Fig. 1 region:") {
+		t.Fatalf("epilogue missing the per-region agreement table:\n%s", out)
+	}
+
+	var control bytes.Buffer
+	if err := run(append(append([]string{}, base...), "-drift"), &control); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(control.String(), "drift: 0 events, 0 re-tunes applied, 0 plan entries invalidated") {
+		t.Fatalf("control run was not silent:\n%s", control.String())
 	}
 }
 

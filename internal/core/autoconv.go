@@ -186,6 +186,24 @@ func (a *AutoConv) EpochEnd() {
 	}
 }
 
+// Retune clears the tuning latch for the given phase ("fp", "bp", or ""
+// for both): the next Forward / Backward re-enters the planner instead of
+// running the deployed strategy. Combined with plan.Planner invalidation
+// this is the drift observatory's re-tune loop — the planner alone would
+// only re-measure at the next epoch-boundary re-check, while clearing the
+// latch re-plans on the very next batch. The currently deployed execs stay
+// in place until then, so calls in flight are unaffected.
+func (a *AutoConv) Retune(phase string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if phase == "fp" || phase == "" {
+		a.tunedFP = false
+	}
+	if phase == "bp" || phase == "" {
+		a.tunedBP = false
+	}
+}
+
 // FPSelection returns the most recent FP measurement table (zero value
 // before first tuning).
 func (a *AutoConv) FPSelection() Selection {

@@ -162,6 +162,18 @@ func NewFromDef(def *netdef.NetDef, opts netdef.BuildOptions, cfg Config) (*Trai
 // trainer was built with New, which does not see the builder's contexts).
 func (t *Trainer) Contexts() []*exec.Ctx { return t.ctxs }
 
+// AddSink attaches an additional probe sink to every replica's execution
+// context — how span observers that span replicas (the drift observatory)
+// ride the trainer. Only usable on NewFromDef trainers, whose contexts the
+// trainer owns; a no-op otherwise.
+func (t *Trainer) AddSink(s exec.Sink) {
+	for _, c := range t.ctxs {
+		if c != nil {
+			c.Probe().AddSink(s)
+		}
+	}
+}
+
 // BindTrace attaches a trace recorder to the trainer: each replica gets an
 // emitter (its probe stream — layer, core and tune spans — plus arena
 // growth land on its timeline row), the coordinator emitter carries

@@ -48,6 +48,10 @@ func Bind(c *exec.Ctx, r *Registry) {
 		func() float64 { return float64(c.Arena().Stats().Hits) })
 	r.GaugeFunc("spg_arena_outstanding", "Arena buffers currently checked out.",
 		func() float64 { return float64(c.Arena().Stats().Outstanding) })
+	r.GaugeFunc("spg_arena_grows_total", "Arena acquisitions that missed every free list and allocated fresh memory.",
+		func() float64 { return float64(c.Arena().Stats().Grows) })
+	r.GaugeFunc("spg_arena_grow_bytes_total", "Bytes of fresh memory the arena allocated on free-list misses.",
+		func() float64 { return float64(c.Arena().Stats().GrowBytes) })
 	r.GaugeFunc("spg_goroutines", "Live goroutines in the process.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
 }

@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramOverflowUnderflowAccounting pins the boundary behavior of
+// the fixed-bucket histogram: samples below the first bound, exactly ON
+// each bound (bounds are inclusive upper bounds), between bounds, above
+// the last bound (the implicit +Inf bucket), and pathological values.
+func TestHistogramOverflowUnderflowAccounting(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+
+	// Underflow: far below, negative, and exactly on the first bound all
+	// land in bucket 0.
+	for _, v := range []float64{-5, 0, 1} {
+		h.Observe(v)
+	}
+	// Interior: just above a bound rolls into the NEXT bucket; exactly on
+	// a bound stays inclusive.
+	h.Observe(1.0000001)
+	h.Observe(10)
+	// Overflow: above the last bound goes to the +Inf catch-all, however
+	// extreme the value.
+	for _, v := range []float64{100.5, 1e300, math.MaxFloat64} {
+		h.Observe(v)
+	}
+
+	s := h.Snapshot()
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8", s.Count)
+	}
+	want := []uint64{3, 2, 0, 3}
+	if len(s.Counts) != len(want) {
+		t.Fatalf("bucket vector length = %d, want %d (3 bounds + Inf)", len(s.Counts), len(want))
+	}
+	for i := range want {
+		if s.Counts[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], want[i], s.Counts)
+		}
+	}
+	// The +Inf bucket must be invisible in Bounds but present in Counts.
+	if len(s.Bounds) != 3 {
+		t.Fatalf("bounds = %v", s.Bounds)
+	}
+	// Bucket-count conservation: sum over buckets == Count, always.
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != s.Count {
+		t.Fatalf("bucket sum %d != count %d", total, s.Count)
+	}
+}
+
+// TestHistogramExtremeValuesRender feeds boundary magnitudes and checks
+// the Prometheus rendering stays well-formed: the le="+Inf" series must
+// carry the full count and the cumulative counts must be monotone.
+func TestHistogramExtremeValuesRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edge_lat", "edge latencies", []float64{0.001, 1})
+	for _, v := range []float64{-1, 0, 0.0005, 0.5, 2, 1e308} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `edge_lat_bucket{le="+Inf"} 6`) {
+		t.Fatalf("+Inf bucket must carry every observation:\n%s", out)
+	}
+	if !strings.Contains(out, "edge_lat_count 6") {
+		t.Fatalf("count series wrong:\n%s", out)
+	}
+	// Cumulative bucket counts must be non-decreasing in bound order.
+	prev, seen := uint64(0), 0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "edge_lat_bucket{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		c, err := strconv.ParseUint(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		if c < prev {
+			t.Fatalf("cumulative bucket counts decreased at %q", line)
+		}
+		prev, seen = c, seen+1
+	}
+	if seen != 3 {
+		t.Fatalf("rendered %d bucket series, want 3", seen)
+	}
+}
+
+// TestHistogramConcurrentObserveVsRender hammers one histogram from
+// writer goroutines spanning under/in/overflow values while readers
+// snapshot and render the registry until the writers finish. Run under
+// -race (the CI suite does) this pins Observe vs Snapshot vs
+// WritePrometheus as data-race free; the final tally must conserve every
+// observation in its exact bucket.
+func TestHistogramConcurrentObserveVsRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_lat", "concurrent latencies", []float64{1, 10})
+
+	const writers, perWriter = 4, 2000
+	values := []float64{-1, 0.5, 1, 5, 10, 11, 1e12}
+	bucketOf := map[float64]int{-1: 0, 0.5: 0, 1: 0, 5: 1, 10: 1, 11: 2, 1e12: 2}
+
+	var writeWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(seed int) {
+			defer writeWG.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(values[(seed+i)%len(values)])
+			}
+		}(w)
+	}
+
+	stop := make(chan struct{})
+	var readWG sync.WaitGroup
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := h.Snapshot()
+				var total uint64
+				for _, c := range snap.Counts {
+					total += c
+				}
+				if total != snap.Count {
+					errs <- errTornSnapshot
+					return
+				}
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	snap := h.Snapshot()
+	if snap.Count != writers*perWriter {
+		t.Fatalf("count = %d, want %d", snap.Count, writers*perWriter)
+	}
+	want := make([]uint64, 3)
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			want[bucketOf[values[(w+i)%len(values)]]]++
+		}
+	}
+	for i := range want {
+		if snap.Counts[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, snap.Counts[i], want[i])
+		}
+	}
+}
+
+var errTornSnapshot = &tornSnapshotErr{}
+
+type tornSnapshotErr struct{}
+
+func (*tornSnapshotErr) Error() string { return "torn snapshot: bucket sum != count" }

@@ -29,6 +29,9 @@ func BindPlanner(p *plan.Planner, r *Registry) {
 	r.GaugeFunc("spg_planner_model_agreement_ratio",
 		"Fraction of measured verdicts the analytical model predicted.",
 		func() float64 { return st().AgreementRate() })
+	r.GaugeFunc("spg_planner_invalidations_total",
+		"Cached verdicts dropped by re-tune triggers (drift observatory).",
+		func() float64 { return float64(st().Invalidations) })
 	r.GaugeFunc("spg_planner_singleflight_waits_total",
 		"Selection requests that blocked on another caller's in-flight measurement.",
 		func() float64 { return float64(st().Waits) })

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"math"
+	"runtime"
+	rtm "runtime/metrics"
+)
+
+// BindRuntime exports Go runtime health telemetry as first-class series,
+// sampled from runtime/metrics at render time (the GaugeFunc idiom Bind
+// uses for arena statistics, so an idle registry costs nothing). These are
+// the host-pressure signals drift events are triaged against: a drift
+// event that coincides with a GC-pause or scheduler-latency spike is host
+// pressure, one without is model error or workload drift.
+//
+// Exported families:
+//
+//	spg_runtime_gc_pause_seconds{quantile="0.5"|"0.95"|"max"}  stop-the-world pause distribution
+//	spg_runtime_gc_cycles_total                                completed GC cycles
+//	spg_runtime_sched_latency_seconds{quantile=...}            goroutine ready-to-run wait distribution
+//	spg_runtime_goroutines                                     live goroutines
+//	spg_runtime_heap_live_bytes                                live heap (objects) bytes
+//	spg_runtime_gomaxprocs                                     scheduler processor limit
+//
+// Safe to call once per registry; repeated calls are idempotent (the
+// GaugeFunc registrations land on the same series).
+func BindRuntime(r *Registry) {
+	const (
+		gcPauses = "/gc/pauses:seconds"
+		gcCycles = "/gc/cycles/total:gc-cycles"
+		schedLat = "/sched/latencies:seconds"
+		heapLive = "/memory/classes/heap/objects:bytes"
+		maxProcs = "/sched/gomaxprocs:threads"
+	)
+	histQ := func(name string, q float64) func() float64 {
+		return func() float64 {
+			s := []rtm.Sample{{Name: name}}
+			rtm.Read(s)
+			if s[0].Value.Kind() != rtm.KindFloat64Histogram {
+				return 0
+			}
+			return histQuantile(s[0].Value.Float64Histogram(), q)
+		}
+	}
+	counter := func(name string) func() float64 {
+		return func() float64 {
+			s := []rtm.Sample{{Name: name}}
+			rtm.Read(s)
+			switch s[0].Value.Kind() {
+			case rtm.KindUint64:
+				return float64(s[0].Value.Uint64())
+			case rtm.KindFloat64:
+				return s[0].Value.Float64()
+			default:
+				return 0
+			}
+		}
+	}
+	for _, q := range []struct {
+		label string
+		v     float64
+	}{{"0.5", 0.5}, {"0.95", 0.95}, {"max", 1}} {
+		r.GaugeFunc("spg_runtime_gc_pause_seconds",
+			"Stop-the-world GC pause latency from runtime/metrics "+gcPauses+".",
+			histQ(gcPauses, q.v), "quantile", q.label)
+		r.GaugeFunc("spg_runtime_sched_latency_seconds",
+			"Goroutine ready-to-run scheduling latency from runtime/metrics "+schedLat+".",
+			histQ(schedLat, q.v), "quantile", q.label)
+	}
+	r.GaugeFunc("spg_runtime_gc_cycles_total",
+		"Completed garbage-collection cycles.", counter(gcCycles))
+	r.GaugeFunc("spg_runtime_heap_live_bytes",
+		"Bytes of live heap objects.", counter(heapLive))
+	r.GaugeFunc("spg_runtime_gomaxprocs",
+		"GOMAXPROCS: the scheduler's processor limit.", counter(maxProcs))
+	r.GaugeFunc("spg_runtime_goroutines",
+		"Live goroutines in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+}
+
+// histQuantile extracts an inclusive quantile from a runtime/metrics
+// histogram (q=1 returns the upper edge of the last occupied bucket — the
+// "max" as finely as the runtime buckets resolve it). Returns 0 for an
+// empty histogram.
+func histQuantile(h *rtm.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			// Buckets[i] / Buckets[i+1] bound bucket i; use the finite
+			// upper edge when available (the last bucket's is +Inf).
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	rtm "runtime/metrics"
+
+	"spgcnn/internal/exec"
+)
+
+// TestRuntimeTelemetryScrape binds the runtime health series plus an
+// execution context (for the arena-grow counters) and scrapes a live
+// /metrics endpoint: every advertised family must be present with sane
+// values — that is the satellite's acceptance.
+func TestRuntimeTelemetryScrape(t *testing.T) {
+	r := NewRegistry()
+	ctx := exec.New(2)
+	Bind(ctx, r)
+	BindRuntime(r)
+
+	// Force arena growth (fresh allocations) and at least one GC cycle so
+	// the counters have moved before the scrape.
+	for i := 0; i < 4; i++ {
+		buf := ctx.Arena().Get(1 << (10 + i))
+		ctx.Arena().Put(buf)
+	}
+	runtime.GC()
+
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(srv.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(b)
+
+	for _, want := range []string{
+		`spg_runtime_gc_pause_seconds{quantile="0.5"}`,
+		`spg_runtime_gc_pause_seconds{quantile="0.95"}`,
+		`spg_runtime_gc_pause_seconds{quantile="max"}`,
+		`spg_runtime_sched_latency_seconds{quantile="0.5"}`,
+		"spg_runtime_gc_cycles_total",
+		"spg_runtime_heap_live_bytes",
+		"spg_runtime_gomaxprocs",
+		"spg_runtime_goroutines",
+		"spg_arena_grows_total",
+		"spg_arena_grow_bytes_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("exposition:\n%s", body)
+	}
+
+	// Value sanity: the scraped numbers must reflect the process.
+	if v := scrapeValue(t, body, "spg_runtime_gomaxprocs"); v != float64(runtime.GOMAXPROCS(0)) {
+		t.Fatalf("gomaxprocs = %v, want %d", v, runtime.GOMAXPROCS(0))
+	}
+	if v := scrapeValue(t, body, "spg_runtime_gc_cycles_total"); v < 1 {
+		t.Fatalf("gc cycles = %v after an explicit runtime.GC()", v)
+	}
+	if v := scrapeValue(t, body, "spg_runtime_goroutines"); v < 2 {
+		t.Fatalf("goroutines = %v", v)
+	}
+	if v := scrapeValue(t, body, "spg_arena_grows_total"); v < 4 {
+		t.Fatalf("arena grows = %v, want >= 4", v)
+	}
+	if v := scrapeValue(t, body, "spg_arena_grow_bytes_total"); v < 4*4096 {
+		t.Fatalf("arena grow bytes = %v", v)
+	}
+	st := ctx.Arena().Stats()
+	if st.Grows < 4 || st.GrowBytes < 4*4096 {
+		t.Fatalf("arena stats = %+v", st)
+	}
+}
+
+// scrapeValue extracts the value of an unlabeled series from a Prometheus
+// text exposition.
+func scrapeValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("series %s not found", name)
+	return 0
+}
+
+// TestHistQuantile pins the runtime-histogram quantile extraction on a
+// hand-built distribution.
+func TestHistQuantile(t *testing.T) {
+	h := &rtm.Float64Histogram{
+		Counts:  []uint64{2, 6, 2},
+		Buckets: []float64{0, 1, 2, 3},
+	}
+	if got := histQuantile(h, 0.5); got != 2 {
+		t.Fatalf("p50 = %v, want 2 (upper edge of the median bucket)", got)
+	}
+	if got := histQuantile(h, 1); got != 3 {
+		t.Fatalf("max = %v, want 3", got)
+	}
+	if got := histQuantile(h, 0.1); got != 1 {
+		t.Fatalf("p10 = %v, want 1", got)
+	}
+	// Last bucket unbounded: max clamps to its finite lower edge.
+	inf := &rtm.Float64Histogram{
+		Counts:  []uint64{1, 1},
+		Buckets: []float64{0, 1, math.Inf(1)},
+	}
+	if got := histQuantile(inf, 1); got != 1 {
+		t.Fatalf("max over +Inf bucket = %v, want 1", got)
+	}
+	empty := &rtm.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if got := histQuantile(empty, 0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v", got)
+	}
+}

@@ -319,6 +319,22 @@ func (c *Conv) Layouts() (fp, bp tensor.Layout) {
 	return c.exec.strategyLayouts()
 }
 
+// Retune asks the scheduler to re-select the given phase's strategy
+// ("fp", "bp", or "" for both) on its next batch — the layer-level re-tune
+// trigger the drift observatory's coupler invokes after invalidating the
+// planner's cached verdict. Reports false for layers without a scheduler
+// (fixed, split or inference-bucketed execution). Must be called from the
+// training goroutine (between batches), like EpochEnd.
+func (c *Conv) Retune(phase string) bool {
+	a, isAuto := c.exec.(autoExec)
+	if !isAuto {
+		return false
+	}
+	a.a.Retune(phase)
+	c.spansFinal = false // the re-plan may deploy a different strategy
+	return true
+}
+
 // Selections returns the spg-CNN scheduler's FP and BP measurement tables
 // when this layer is auto-tuned (ok=false for fixed-strategy layers or
 // before the first tuned batch).

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"testing"
+
+	"spgcnn/internal/machine"
+	"spgcnn/internal/plan"
+)
+
+// benchPrediction returns a span length that folds to EWMA ratio 1.0,
+// so the envelope never fires mid-benchmark.
+func benchPrediction() float64 {
+	s := testSpec()
+	rate, ok := plan.ModelRate(machine.Paper(), s, "fp", 0, 2, "parallel-gemm")
+	if !ok {
+		panic("parallel-gemm not modeled")
+	}
+	return 4 * float64(s.FlopsFP()) / (rate * 1e9 * 2)
+}
+
+// BenchmarkObserveSpan measures the steady-state sink cost for a
+// registered series: path parse, map lookup, EWMA fold and envelope
+// check under the mutex. This is what every kernel span pays once the
+// observatory is attached, so it has to stay far inside the probe
+// budget (a conv span is tens of microseconds at minimum).
+func BenchmarkObserveSpan(b *testing.B) {
+	o := New(Options{Workers: 2})
+	o.RegisterLayer("c1", testSpec())
+	o.SetBatch(4)
+	pred := benchPrediction()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.ObserveSpan("layer/c1/fp/parallel-gemm", pred)
+	}
+}
+
+// BenchmarkObserveSpanParallel is the same hot path under contention —
+// data-parallel replicas share one observatory, so the mutex is the
+// scaling question.
+func BenchmarkObserveSpanParallel(b *testing.B) {
+	o := New(Options{Workers: 2})
+	o.RegisterLayer("c1", testSpec())
+	o.SetBatch(4)
+	pred := benchPrediction()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			o.ObserveSpan("layer/c1/fp/parallel-gemm", pred)
+		}
+	})
+}
+
+// BenchmarkObserveSpanForeign measures the rejection path: spans that
+// are not layer kernels (planner tuning, barriers, allreduce) must be
+// shed almost for free, since they share the probe stream.
+func BenchmarkObserveSpanForeign(b *testing.B) {
+	o := New(Options{Workers: 2})
+	o.RegisterLayer("c1", testSpec())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.ObserveSpan("allreduce/step", 1e-4)
+	}
+}

@@ -34,7 +34,7 @@ func ModelRank(m machine.Machine, s conv.Spec, phase string, sparsity float64,
 	}
 	scores := make([]ModelScore, 0, len(names))
 	for _, name := range names {
-		rate, ok := modelRate(m, s, phase, sparsity, workers, name)
+		rate, ok := ModelRate(m, s, phase, sparsity, workers, name)
 		scores = append(scores, ModelScore{Strategy: name, GFlopsPerCore: rate, Modeled: ok})
 	}
 	sort.SliceStable(scores, func(i, j int) bool {
@@ -46,11 +46,17 @@ func ModelRank(m machine.Machine, s conv.Spec, phase string, sparsity float64,
 	return scores
 }
 
-// modelRate maps a built-in strategy name onto its machine-model
-// prediction for the phase. Sparse-Kernel goodput is converted to the
-// dense-flops-equivalent rate (goodput / non-zero fraction) so its
-// predicted wall time compares against dense candidates.
-func modelRate(m machine.Machine, s conv.Spec, phase string, sparsity float64,
+// ModelRate maps a built-in strategy name onto its machine-model
+// prediction for the phase, as a dense-equivalent GFlops/core rate.
+// Sparse-Kernel goodput is converted to the dense-flops-equivalent rate
+// (goodput / non-zero fraction) so its predicted wall time compares
+// against dense candidates — and so predicted wall time is always
+// denseFlops / (rate × 1e9 × workers), whatever the strategy. ok is
+// false for strategies the machine model does not cover (custom
+// candidate sets, phases a strategy cannot run). The drift observatory
+// (internal/obs) uses this same rate to turn deployed-strategy span
+// times into model-vs-measured agreement ratios.
+func ModelRate(m machine.Machine, s conv.Spec, phase string, sparsity float64,
 	workers int, name string) (float64, bool) {
 	switch name {
 	case "parallel-gemm":

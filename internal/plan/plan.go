@@ -85,6 +85,11 @@ type Stats struct {
 	// Waits counts requests that blocked on another caller's in-flight
 	// measurement of the same key.
 	Waits uint64
+	// Invalidations counts cached verdicts dropped through Invalidate /
+	// InvalidateSpec — the drift observatory's re-tune trigger. Each
+	// invalidated key turns the next request for it from a free hit into
+	// a fresh measurement pass.
+	Invalidations uint64
 }
 
 // AgreementRate returns ModelAgree / (ModelAgree + ModelDisagree), or 0
@@ -173,6 +178,54 @@ func (p *Planner) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.st
+}
+
+// Invalidate drops the cached verdict for exactly k, reporting whether an
+// entry was present. The next request for k re-enters the measurement
+// path instead of free-hitting — the re-tune primitive the drift
+// observatory's trigger callback uses.
+func (p *Planner) Invalidate(k Key) bool {
+	p.mu.Lock()
+	_, ok := p.entries[k]
+	if ok {
+		delete(p.entries, k)
+		p.st.Invalidations++
+	}
+	tr := p.tr
+	p.mu.Unlock()
+	if ok {
+		tr.Instant("plan", "plan/"+k.Phase+"/invalidate", k.Spec.String(), 0)
+	}
+	return ok
+}
+
+// InvalidateSpec drops every cached verdict for the spec and phase ("fp",
+// "bp", or "" for both) on this planner's host — all sparsity bands, batch
+// buckets and worker counts — and returns how many entries were dropped.
+// Drift is observed per deployed strategy, not per cache band, so the
+// trigger path invalidates the whole (spec, phase) family: whichever band
+// the next re-check lands in, it re-measures.
+func (p *Planner) InvalidateSpec(s conv.Spec, phase string) int {
+	s = s.Canon()
+	n := 0
+	p.mu.Lock()
+	for k := range p.entries {
+		if k.Spec != s || k.Host != p.host {
+			continue
+		}
+		if phase != "" && k.Phase != phase {
+			continue
+		}
+		delete(p.entries, k)
+		n++
+	}
+	p.st.Invalidations += uint64(n)
+	tr := p.tr
+	p.mu.Unlock()
+	if n > 0 {
+		tr.Instant("plan", "plan/invalidate", s.String(), float64(n))
+	}
+	return n
 }
 
 // PlanFP implements core.Planner: forward-propagation selection. FP

@@ -521,7 +521,7 @@ func TestModelRanksNewFPCandidates(t *testing.T) {
 
 	// Neither new candidate models as a BP strategy.
 	for _, n := range []string{"blocked", "sparse-weight"} {
-		if _, ok := modelRate(m, s, "bp", 0, 4, n); ok {
+		if _, ok := ModelRate(m, s, "bp", 0, 4, n); ok {
 			t.Fatalf("%s claims a BP model", n)
 		}
 	}

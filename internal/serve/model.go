@@ -177,6 +177,12 @@ func (m *Model) Ctx(i int) *exec.Ctx { return m.ctxs[i] }
 // Buckets returns the configured batch-size buckets, ascending.
 func (m *Model) Buckets() []int { return m.buckets }
 
+// ConvLayers returns replica 0's convolution layers. Replicas share
+// geometry and planner verdicts, so replica 0 speaks for the deployment:
+// per-bucket strategies via Conv.PlannedBuckets, specs for observability
+// registration.
+func (m *Model) ConvLayers() []*nn.Conv { return m.replicas[0].ConvLayers() }
+
 // InDims returns the per-image input shape; InLen its flat length.
 func (m *Model) InDims() []int { return m.inDims }
 

@@ -52,6 +52,12 @@ type ArenaStats struct {
 	BytesAcquired int64
 	// Outstanding is the number of buffers currently checked out.
 	Outstanding int64
+	// Grows counts Gets that missed every free list and allocated fresh
+	// memory. A steady-state training loop should stop growing after the
+	// first epoch; continued growth is a leak or a shape churn signal.
+	Grows int64
+	// GrowBytes sums the size-class capacities of those fresh allocations.
+	GrowBytes int64
 }
 
 // NewArena returns an empty arena.
@@ -95,6 +101,8 @@ func (a *Arena) Get(n int) []float32 {
 		a.mu.Unlock()
 		return buf[:n]
 	}
+	a.stats.Grows++
+	a.stats.GrowBytes += 4 << k
 	hook := a.growHook
 	a.mu.Unlock()
 	if hook != nil {
@@ -138,6 +146,8 @@ func (a *Arena) GetComplex(n int) []complex128 {
 		a.mu.Unlock()
 		return buf[:n]
 	}
+	a.stats.Grows++
+	a.stats.GrowBytes += 16 << k
 	hook := a.growHook
 	a.mu.Unlock()
 	if hook != nil {

@@ -6,8 +6,10 @@
 # passes), the execution-trace capture/attribution check (2-replica
 # capture must validate and attribute stragglers and waste), the
 # serving check (train -> serve -> load -> validate metrics and drain),
-# and the design-space explorer golden check (spg-plan -explore over the
-# workload zoo must match its committed report byte-for-byte).
+# the design-space explorer golden check (spg-plan -explore over the
+# workload zoo must match its committed report byte-for-byte), and the
+# drift-observatory check (an injected synthetic slowdown must fire a
+# drift event and re-tune; the control run must stay silent).
 # Run from the repository root.
 set -eux
 
@@ -21,3 +23,4 @@ scripts/plan_check.sh
 scripts/trace_check.sh
 scripts/serve_check.sh
 scripts/explore_check.sh
+scripts/drift_check.sh

@@ -1,0 +1,91 @@
+#!/bin/sh
+# drift_check: end-to-end gate for the plan-drift observatory.
+# Trains a tiny conv+fc network twice with the observatory attached:
+#
+#   - the injected run arms a synthetic 2.5x slowdown from epoch 3 and
+#     must fire at least one drift event, apply a re-tune (the planner
+#     re-measures the affected keys) and write a drift report that
+#     schema-validates under spg-doctor -check;
+#   - the control run (same workload, -drift, no injection) must stay
+#     silent: zero drift events, zero re-tunes, zero plan invalidations —
+#     the false-positive gate;
+#   - the spg-doctor golden tests pin the report rendering and the
+#     committed sample JSON byte-for-byte.
+#
+# Absolute agreement is host-dependent, so the -min-agreement gate is
+# deliberately loose (0.2): it catches a broken model or a broken clock,
+# not a slow machine.
+#
+# Usage: scripts/drift_check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+cat > "$tmp/net.prototxt" <<'EOF'
+name: "driftcheck"
+input { channels: 1 height: 28 width: 28 }
+layer { name: "conv0" type: "conv" features: 4 kernel: 5 stride: 2 }
+layer { name: "fc0" type: "fc" outputs: 10 }
+EOF
+
+go build -o "$tmp/spg-train" ./cmd/spg-train
+go build -o "$tmp/spg-doctor" ./cmd/spg-doctor
+
+# Injected run: synthetic slowdown mid-training must trip the detector.
+injected="$("$tmp/spg-train" -file "$tmp/net.prototxt" -dataset mnist \
+	-epochs 4 -examples 64 -batch 8 -workers 2 \
+	-drift-inject-epoch 3 -drift-inject-factor 2.5 \
+	-drift-report "$tmp/drift_report.json")"
+echo "$injected" | grep -q "drift: injecting synthetic 2.50x slowdown from epoch 3" || {
+	echo "drift_check: injection did not arm:" >&2
+	echo "$injected" >&2
+	exit 1
+}
+if echo "$injected" | grep -q "drift: 0 events"; then
+	echo "drift_check: 2.5x injected slowdown fired no drift event:" >&2
+	echo "$injected" >&2
+	exit 1
+fi
+if echo "$injected" | grep -q "0 re-tunes applied"; then
+	echo "drift_check: drift event did not apply a re-tune:" >&2
+	echo "$injected" >&2
+	exit 1
+fi
+if echo "$injected" | grep -q "0 plan entries invalidated"; then
+	echo "drift_check: drift event did not invalidate the plan cache:" >&2
+	echo "$injected" >&2
+	exit 1
+fi
+echo "$injected" | grep -q "agreement per Fig. 1 region:" || {
+	echo "drift_check: epilogue missing the per-region agreement table:" >&2
+	echo "$injected" >&2
+	exit 1
+}
+
+# The written report must schema-validate and carry the drift events.
+"$tmp/spg-doctor" -check -min-agreement 0.2 "$tmp/drift_report.json" \
+	| grep -q "^drift report OK:" || {
+	echo "drift_check: written report failed spg-doctor -check" >&2
+	exit 1
+}
+if "$tmp/spg-doctor" -check -max-drifts 0 "$tmp/drift_report.json" 2>/dev/null; then
+	echo "drift_check: -max-drifts 0 passed on a report that must carry drift events" >&2
+	exit 1
+fi
+
+# Control run: identical workload, observatory on, no injection. Any
+# event here is a false positive.
+control="$("$tmp/spg-train" -file "$tmp/net.prototxt" -dataset mnist \
+	-epochs 4 -examples 64 -batch 8 -workers 2 -drift)"
+echo "$control" | grep -q "drift: 0 events, 0 re-tunes applied, 0 plan entries invalidated" || {
+	echo "drift_check: control run without injection was not silent:" >&2
+	echo "$control" >&2
+	exit 1
+}
+
+go test -run 'TestRunGolden|TestSampleReportInSync' ./cmd/spg-doctor
+
+echo "drift_check: injected slowdown fired and re-tuned; control run silent; report validated"

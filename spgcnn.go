@@ -46,6 +46,7 @@ import (
 	"spgcnn/internal/metrics"
 	"spgcnn/internal/netdef"
 	"spgcnn/internal/nn"
+	"spgcnn/internal/obs"
 	"spgcnn/internal/plan"
 	"spgcnn/internal/rng"
 	"spgcnn/internal/serve"
@@ -387,6 +388,71 @@ func BindMetrics(c *Ctx, r *MetricsRegistry) { metrics.Bind(c, r) }
 // done.
 func ServeMetrics(addr string, r *MetricsRegistry) (*MetricsServer, error) {
 	return metrics.Serve(addr, r)
+}
+
+// BindRuntimeMetrics exports Go runtime health telemetry (GC pause and
+// scheduler-latency quantiles, GC cycles, live heap, goroutines,
+// GOMAXPROCS) as spg_runtime_* series, sampled at render time.
+func BindRuntimeMetrics(r *MetricsRegistry) { metrics.BindRuntime(r) }
+
+// Plan-drift observatory (continuous model-vs-measured agreement tracking
+// with automatic re-tune triggers).
+
+// Observatory tracks per-layer/per-phase EWMA agreement between the
+// planner's analytical predictions and measured span times, and fires
+// drift events when a deployed strategy departs from its own baseline.
+// It implements the probe sink seam: attach with Ctx.Probe().AddSink.
+type Observatory = obs.Observatory
+
+// ObservatoryOptions configures an Observatory; the zero value is usable.
+type ObservatoryOptions = obs.Options
+
+// DriftEvent is one fired drift alarm.
+type DriftEvent = obs.DriftEvent
+
+// DriftCoupler turns drift events into re-tune actions: plan-cache
+// invalidation immediately, layer re-tunes when Apply runs on the
+// training goroutine.
+type DriftCoupler = obs.Coupler
+
+// DriftReport is the observatory's exportable agreement report, with
+// per-series rows and per-Fig.1-region rollups.
+type DriftReport = obs.Report
+
+// DriftRow is one (layer, phase) series of a drift report.
+type DriftRow = obs.Row
+
+// DriftRegionRow is a drift report's per-Fig.1-region rollup row.
+type DriftRegionRow = obs.RegionRow
+
+// DriftReportSchemaVersion stamps drift report files.
+const DriftReportSchemaVersion = obs.ReportSchemaVersion
+
+// NewObservatory builds a drift observatory.
+func NewObservatory(o ObservatoryOptions) *Observatory { return obs.New(o) }
+
+// NewDriftCoupler builds the re-tune trigger for a planner; pass its
+// OnDrift as ObservatoryOptions.OnDrift.
+func NewDriftCoupler(p *Planner) *DriftCoupler { return obs.NewCoupler(p) }
+
+// ReadDriftReportFile reads and schema-validates a drift report.
+func ReadDriftReportFile(path string) (DriftReport, error) { return obs.ReadReportFile(path) }
+
+// RegisterObservatoryLayers declares every convolution layer of a network
+// with the observatory (geometry for predictions) and, when cp is
+// non-nil, with the coupler (re-tune fan-out). Call once per network —
+// data-parallel replicas register every replica with the coupler but
+// share one observatory stream per layer.
+func RegisterObservatoryLayers(o *Observatory, cp *DriftCoupler, net *Network) {
+	if o == nil || net == nil {
+		return
+	}
+	for _, c := range net.ConvLayers() {
+		o.RegisterLayer(c.Name(), c.Spec())
+		if cp != nil {
+			cp.Register(c)
+		}
+	}
 }
 
 // BenchSchemaVersion is the schema stamp of machine-readable bench
