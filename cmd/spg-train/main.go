@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"time"
 
 	"spgcnn"
 )
@@ -39,32 +40,38 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("spg-train", flag.ContinueOnError)
 	var (
-		netName     = fs.String("net", "cifar", "built-in network: mnist, cifar, imagenet100")
-		file        = fs.String("file", "", "netdef file (overrides -net)")
-		dataset     = fs.String("dataset", "", "dataset: mnist, cifar, imagenet100 (default: matches -net)")
-		epochs      = fs.Int("epochs", 3, "training epochs")
-		examples    = fs.Int("examples", 256, "dataset size")
-		batch       = fs.Int("batch", 16, "minibatch size")
-		lr          = fs.Float64("lr", 0.01, "learning rate")
-		workers     = fs.Int("workers", 0, "worker cores (0 = GOMAXPROCS)")
-		strategy    = fs.String("strategy", "auto", "conv strategy: auto, parallel-gemm, gemm-in-parallel, stencil, sparse")
-		seed        = fs.Uint64("seed", 42, "random seed")
-		profile     = fs.Bool("profile", false, "print a per-layer time breakdown after training")
-		savePath    = fs.String("save", "", "write a weight checkpoint here after training")
-		loadPath    = fs.String("load", "", "restore a weight checkpoint before training")
-		saveTune    = fs.String("savetune", "", "write the scheduler's per-layer choices (JSON) here after training")
-		loadTune    = fs.String("loadtune", "", "deploy a saved tuning configuration instead of measuring")
-		planCache   = fs.String("plan-cache", "", "persistent plan cache file: load cached strategy verdicts on start (skipping their measurement passes), save the updated cache on exit")
-		metricsAddr = fs.String("metrics-addr", "", "serve /metrics (Prometheus), /healthz and /debug/pprof on this address during training (e.g. :8080)")
-		replicas    = fs.Int("replicas", 1, "data-parallel model replicas; N > 1 shards each global batch of -batch across N replicas with synchronous parameter averaging")
-		tracePath   = fs.String("trace", "", "write a Chrome/Perfetto trace-event JSON capture of the run here (open in ui.perfetto.dev, analyze with spg-trace)")
-		traceMode   = fs.String("trace-mode", "ring", "trace capture mode: ring (bounded flight recorder, keeps the newest events) or full (everything up to a cap)")
-		drift       = fs.Bool("drift", false, "run the plan-drift observatory: track model-vs-measured agreement per layer and re-tune automatically when a deployed strategy drifts")
-		driftReport = fs.String("drift-report", "", "write the observatory's agreement report (schema-versioned JSON, render with spg-doctor) here after training; implies -drift")
-		driftThresh = fs.Float64("drift-threshold", 0, "drift alarm factor: alarm when the smoothed agreement ratio leaves [baseline/t, baseline*t] (0 = default 1.5)")
-		driftWindow = fs.Int("drift-window", 0, "consecutive breaching observations before a drift event fires (0 = default 3)")
-		injectEpoch = fs.Int("drift-inject-epoch", 0, "TESTING: from the start of this epoch (1-based), scale every span time the observatory sees by -drift-inject-factor — a synthetic co-tenant; implies -drift")
-		injectFac   = fs.Float64("drift-inject-factor", 2, "synthetic slowdown factor for -drift-inject-epoch")
+		netName      = fs.String("net", "cifar", "built-in network: mnist, cifar, imagenet100")
+		file         = fs.String("file", "", "netdef file (overrides -net)")
+		dataset      = fs.String("dataset", "", "dataset: mnist, cifar, imagenet100 (default: matches -net)")
+		epochs       = fs.Int("epochs", 3, "training epochs")
+		examples     = fs.Int("examples", 256, "dataset size")
+		batch        = fs.Int("batch", 16, "minibatch size")
+		lr           = fs.Float64("lr", 0.01, "learning rate")
+		workers      = fs.Int("workers", 0, "worker cores (0 = GOMAXPROCS)")
+		strategy     = fs.String("strategy", "auto", "conv strategy: auto, parallel-gemm, gemm-in-parallel, stencil, sparse")
+		seed         = fs.Uint64("seed", 42, "random seed")
+		profile      = fs.Bool("profile", false, "print a per-layer time breakdown after training")
+		savePath     = fs.String("save", "", "write a weight checkpoint here after training")
+		loadPath     = fs.String("load", "", "restore a weight checkpoint before training")
+		saveTune     = fs.String("savetune", "", "write the scheduler's per-layer choices (JSON) here after training")
+		loadTune     = fs.String("loadtune", "", "deploy a saved tuning configuration instead of measuring")
+		planCache    = fs.String("plan-cache", "", "persistent plan cache file: load cached strategy verdicts on start (skipping their measurement passes), save the updated cache on exit")
+		metricsAddr  = fs.String("metrics-addr", "", "serve /metrics (Prometheus), /healthz and /debug/pprof on this address during training (e.g. :8080)")
+		replicas     = fs.Int("replicas", 1, "data-parallel model replicas; N > 1 shards each global batch of -batch across N replicas with synchronous parameter averaging")
+		allreduce    = fs.String("allreduce", "flat", "parameter-sync schedule with -replicas > 1: flat, ring, tree, or auto (cost-model ranked per round)")
+		sparseSync   = fs.String("sparse-sync", "off", "gradient-delta exchange with -replicas > 1: off (dense), auto (ship CT-CSR deltas while dense enough to win, else dense), force (always ship deltas)")
+		staleness    = fs.Int("staleness", 0, "bounded-staleness async mode with -replicas > 1: replicas may run K steps ahead of the slowest instead of barriering every step (0 = synchronous)")
+		mitigate     = fs.Bool("mitigate", false, "straggler mitigation with -replicas > 1: re-chunk each step's shard assignment from measured per-replica throughput (slow replicas get fewer images)")
+		injectSlow   = fs.Int("inject-slow-replica", -1, "TESTING: index of a replica to slow down artificially (sleeps -inject-slow-ms per image); -1 = off")
+		injectSlowMS = fs.Float64("inject-slow-ms", 2, "per-image sleep in milliseconds for -inject-slow-replica")
+		tracePath    = fs.String("trace", "", "write a Chrome/Perfetto trace-event JSON capture of the run here (open in ui.perfetto.dev, analyze with spg-trace)")
+		traceMode    = fs.String("trace-mode", "ring", "trace capture mode: ring (bounded flight recorder, keeps the newest events) or full (everything up to a cap)")
+		drift        = fs.Bool("drift", false, "run the plan-drift observatory: track model-vs-measured agreement per layer and re-tune automatically when a deployed strategy drifts")
+		driftReport  = fs.String("drift-report", "", "write the observatory's agreement report (schema-versioned JSON, render with spg-doctor) here after training; implies -drift")
+		driftThresh  = fs.Float64("drift-threshold", 0, "drift alarm factor: alarm when the smoothed agreement ratio leaves [baseline/t, baseline*t] (0 = default 1.5)")
+		driftWindow  = fs.Int("drift-window", 0, "consecutive breaching observations before a drift event fires (0 = default 3)")
+		injectEpoch  = fs.Int("drift-inject-epoch", 0, "TESTING: from the start of this epoch (1-based), scale every span time the observatory sees by -drift-inject-factor — a synthetic co-tenant; implies -drift")
+		injectFac    = fs.Float64("drift-inject-factor", 2, "synthetic slowdown factor for -drift-inject-epoch")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -205,6 +212,9 @@ func run(args []string, stdout io.Writer) error {
 			replicas: *replicas, epochs: *epochs, batch: *batch, lr: *lr,
 			loadPath: *loadPath, profile: *profile,
 			injectEpoch: *injectEpoch, injectFactor: *injectFac,
+			allreduce: *allreduce, sparseSync: *sparseSync,
+			staleness: *staleness, mitigate: *mitigate,
+			injectSlowReplica: *injectSlow, injectSlowMS: *injectSlowMS,
 		}, ds, r, rec, reg, obsv, coupler, stdout)
 		if err != nil {
 			return err
@@ -396,6 +406,12 @@ type dpFlags struct {
 	profile                 bool
 	injectEpoch             int
 	injectFactor            float64
+	allreduce               string
+	sparseSync              string
+	staleness               int
+	mitigate                bool
+	injectSlowReplica       int
+	injectSlowMS            float64
 }
 
 // trainDataParallel runs the -replicas > 1 path: N model replicas share
@@ -413,9 +429,24 @@ func trainDataParallel(def *spgcnn.NetDef, opts spgcnn.BuildOptions, f dpFlags,
 	if f.profile {
 		return nil, fmt.Errorf("-profile is not supported with -replicas > 1")
 	}
-	dp, err := spgcnn.NewDataParallelFromDef(def, opts, spgcnn.DataParallelConfig{
+	method, err := spgcnn.ParseAllReduceMethod(f.allreduce)
+	if err != nil {
+		return nil, err
+	}
+	sparseMode, err := spgcnn.ParseSparseSyncMode(f.sparseSync)
+	if err != nil {
+		return nil, err
+	}
+	cfg := spgcnn.DataParallelConfig{
 		Replicas: f.replicas, LR: float32(f.lr), GlobalBatch: f.batch, SyncEvery: 1,
-	})
+		AllReduce: method, SparseSync: sparseMode,
+		Staleness: f.staleness, Mitigate: f.mitigate,
+	}
+	if f.injectSlowReplica >= 0 {
+		cfg.InjectSlowReplica = f.injectSlowReplica
+		cfg.InjectSlowPerImage = time.Duration(f.injectSlowMS * float64(time.Millisecond))
+	}
+	dp, err := spgcnn.NewDataParallelFromDef(def, opts, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -430,8 +461,18 @@ func trainDataParallel(def *spgcnn.NetDef, opts spgcnn.BuildOptions, f dpFlags,
 		obsv.SetBatch(f.batch / f.replicas)
 		dp.AddSink(obsv)
 	}
-	fmt.Fprintf(stdout, "data-parallel: %d replicas, global batch %d (shard %d)\n",
-		f.replicas, f.batch, f.batch/f.replicas)
+	fmt.Fprintf(stdout, "data-parallel: %d replicas, global batch %d (shard %d), allreduce %s, sparse-sync %s\n",
+		f.replicas, f.batch, f.batch/f.replicas, f.allreduce, f.sparseSync)
+	if f.staleness > 0 {
+		fmt.Fprintf(stdout, "data-parallel: bounded-staleness async, K=%d\n", f.staleness)
+	}
+	if f.mitigate {
+		fmt.Fprintln(stdout, "data-parallel: straggler mitigation on (trace-driven re-chunking)")
+	}
+	if f.injectSlowReplica >= 0 {
+		fmt.Fprintf(stdout, "data-parallel: injecting straggler: replica %d sleeps %.1fms/image\n",
+			f.injectSlowReplica, f.injectSlowMS)
+	}
 
 	agg := make([]spgcnn.DataParallelReplicaStats, f.replicas)
 	for e := 0; e < f.epochs; e++ {
@@ -450,10 +491,29 @@ func trainDataParallel(def *spgcnn.NetDef, opts spgcnn.BuildOptions, f dpFlags,
 		}
 		if reg != nil {
 			reg.RecordEpoch(dpEpochSample(e+1, stats))
+			reg.RecordDataParallel(dpSample(e+1, f.replicas, stats))
 		}
 		fmt.Fprintf(stdout, "epoch %2d  loss %.4f  acc %5.1f%%  %7.1f images/sec  conv %.2f GF (goodput %.2f)  %d syncs\n",
 			e+1, stats.Loss, stats.Accuracy*100, stats.ImagesPerSec,
 			stats.ConvGFlops, stats.ConvGoodputGFlops, stats.Syncs)
+		if stats.Syncs > 0 {
+			line := fmt.Sprintf("          sync %s  %.2fms total  wire %.2f MB",
+				stats.AllReduceMethod, stats.AllReduceSeconds*1e3, float64(stats.WireBytes)/1e6)
+			if stats.SparseSyncs > 0 {
+				line += fmt.Sprintf("  sparse %d/%d (density %.3f)",
+					stats.SparseSyncs, stats.Syncs, stats.MeanDeltaDensity)
+			}
+			if stats.Rechunks > 0 {
+				line += fmt.Sprintf("  rechunks %d", stats.Rechunks)
+			}
+			if stats.StalenessMax > 0 {
+				line += fmt.Sprintf("  staleness max %d", stats.StalenessMax)
+			}
+			if stats.SkippedImages > 0 {
+				line += fmt.Sprintf("  skipped %d images", stats.SkippedImages)
+			}
+			fmt.Fprintln(stdout, line)
+		}
 		for i, rs := range stats.Replicas {
 			agg[i].Replica = rs.Replica
 			agg[i].Steps += rs.Steps
@@ -499,6 +559,33 @@ func dpEpochSample(epoch int, stats spgcnn.DataParallelStats) spgcnn.EpochSample
 		DenseGFlops:   stats.ConvGFlops,
 		GoodputGFlops: stats.ConvGoodputGFlops,
 		MeanSparsity:  mean,
+	}
+}
+
+// dpSample converts data-parallel epoch statistics into the scale-out
+// metrics sample (spg_dp_* series).
+func dpSample(epoch, replicas int, stats spgcnn.DataParallelStats) spgcnn.DataParallelSample {
+	waits := make([]float64, len(stats.Replicas))
+	shares := make([]int, len(stats.Replicas))
+	for i, rs := range stats.Replicas {
+		waits[i] = rs.BarrierWait
+		shares[i] = rs.Share
+	}
+	return spgcnn.DataParallelSample{
+		Epoch:            epoch,
+		Replicas:         replicas,
+		Syncs:            stats.Syncs,
+		SparseSyncs:      stats.SparseSyncs,
+		AllReduceSeconds: stats.AllReduceSeconds,
+		AllReduceMethod:  stats.AllReduceMethod,
+		MeanDeltaDensity: stats.MeanDeltaDensity,
+		WireBytes:        stats.WireBytes,
+		SkippedImages:    stats.SkippedImages,
+		SkippedConvFlops: stats.SkippedConvFlops,
+		Rechunks:         stats.Rechunks,
+		StalenessMax:     stats.StalenessMax,
+		BarrierWait:      waits,
+		Shares:           shares,
 	}
 }
 

@@ -109,6 +109,7 @@ func Experiments() []Experiment {
 		{"blockedconv", "Blocked (NCHW8) engine vs packed unfold+GEMM, conversion tax, sparse-weight goodput (measured)", KindMeasured, RunBlockedConv},
 		{"serve", "Serving: dynamic batching vs batch=1 dispatch, batch-size vs goodput curve (measured)", KindMeasured, RunServe},
 		{"zoo", "Workload zoo: generalized-spec nets (grouped/dilated/1x1/residual) trained under the planner (measured)", KindMeasured, RunZoo},
+		{"scaleout", "Scale-out: ring/tree/sparse allreduce, cluster-model curves, straggler-mitigation goodput (mixed)", KindMixed, RunScaleout},
 	}
 }
 

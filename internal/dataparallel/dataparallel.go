@@ -25,6 +25,7 @@ import (
 
 	"spgcnn/internal/core"
 	"spgcnn/internal/exec"
+	"spgcnn/internal/machine"
 	"spgcnn/internal/netdef"
 	"spgcnn/internal/nn"
 	"spgcnn/internal/plan"
@@ -44,6 +45,33 @@ type Config struct {
 	// SyncEvery is the parameter-averaging period in steps (default 1 =
 	// fully synchronous).
 	SyncEvery int
+
+	// AllReduce selects the reduction schedule (default MethodFlat;
+	// MethodAuto ranks schedules with the machine.Cluster cost model).
+	AllReduce Method
+	// SparseSync selects the gradient-delta exchange mode: SparseOff
+	// (default) is always-dense, SparseAuto ships CT-CSR deltas while
+	// their density stays within the band boundary, SparseForce always
+	// ships deltas.
+	SparseSync string
+	// Staleness enables the bounded-staleness async mode when > 0:
+	// replicas run without a per-step barrier and may proceed up to
+	// Staleness steps ahead of the slowest replica; parameter averaging
+	// happens when a pending sync boundary has quiesced the fleet.
+	// 0 = fully synchronous (the default).
+	Staleness int
+	// Mitigate closes the straggler loop: per-replica barrier-wait
+	// attribution feeds an EWMA throughput estimate that re-chunks the
+	// next step's shard assignment (slow replicas get fewer images, the
+	// LR of each replica's locally-scaled step is rescaled to keep the
+	// global update unbiased). Synchronous mode only.
+	Mitigate bool
+	// InjectSlowReplica / InjectSlowPerImage inject an artificial
+	// straggler for benchmarking: replica InjectSlowReplica sleeps
+	// InjectSlowPerImage × (its current share) after each step's compute.
+	// Inactive unless InjectSlowPerImage > 0.
+	InjectSlowReplica  int
+	InjectSlowPerImage time.Duration
 }
 
 // Trainer coordinates the replicas.
@@ -57,6 +85,10 @@ type Trainer struct {
 
 	steps int
 	syncs int
+
+	exchange *Exchange // reduction subsystem (lazy; see ensureExchange)
+	shares   []int     // per-replica images per step (sums to GlobalBatch)
+	rate     []float64 // per-replica EWMA throughput (images/sec), 0 = unknown
 
 	rec      *trace.Recorder
 	coord    *trace.Emitter   // replica -1: all-reduce, planner, epoch accounting
@@ -91,7 +123,26 @@ func New(build func(replica int) *nn.Network, cfg Config) (*Trainer, error) {
 	if cfg.SyncEvery < 1 {
 		cfg.SyncEvery = 1
 	}
+	if _, err := ParseMethod(string(cfg.AllReduce)); err != nil {
+		return nil, err
+	}
+	if _, err := ParseSparseMode(cfg.SparseSync); err != nil {
+		return nil, err
+	}
+	if cfg.Staleness < 0 {
+		return nil, fmt.Errorf("dataparallel: staleness %d < 0", cfg.Staleness)
+	}
+	if cfg.InjectSlowPerImage > 0 &&
+		(cfg.InjectSlowReplica < 0 || cfg.InjectSlowReplica >= cfg.Replicas) {
+		return nil, fmt.Errorf("dataparallel: inject-slow replica %d out of range [0, %d)",
+			cfg.InjectSlowReplica, cfg.Replicas)
+	}
 	t := &Trainer{cfg: cfg}
+	t.shares = make([]int, cfg.Replicas)
+	t.rate = make([]float64, cfg.Replicas)
+	for w := range t.shares {
+		t.shares[w] = cfg.GlobalBatch / cfg.Replicas
+	}
 	for i := 0; i < cfg.Replicas; i++ {
 		net := build(i)
 		if net == nil {
@@ -258,8 +309,13 @@ type ReplicaStats struct {
 	// Total/Min/Max are the replica's per-step wall times in seconds.
 	Total, Min, Max float64
 	// BarrierWait is the cumulative time this replica spent finished,
-	// waiting at the step barrier for the slowest replica (seconds).
+	// waiting at the step barrier for the slowest replica (seconds). In
+	// async mode it is the time spent parked by the staleness bound or a
+	// pending sync.
 	BarrierWait float64
+	// Share is the replica's images-per-step share at epoch end
+	// (GlobalBatch/Replicas unless straggler mitigation re-chunked it).
+	Share int
 }
 
 // Mean returns the replica's mean step time.
@@ -289,58 +345,89 @@ type Stats struct {
 	// work rate and the Eq. 9 useful-work rate over the global image count.
 	ConvGFlops        float64
 	ConvGoodputGFlops float64
+
+	// SkippedImages counts trailing examples that did not fill a whole
+	// global batch and were never trained on this epoch — an Eq. 9-style
+	// waste term (work the epoch was supposed to do but didn't).
+	SkippedImages int
+	// SkippedConvFlops is the conv work those images would have cost.
+	SkippedConvFlops float64
+
+	// AllReduceMethod is the schedule deployed by the last sync of the
+	// epoch ("flat", "ring", "tree", with "+sparse" when deltas shipped).
+	AllReduceMethod string
+	// AllReduceSeconds is the cumulative wall time of this epoch's syncs.
+	AllReduceSeconds float64
+	// SparseSyncs counts the syncs that shipped CT-CSR deltas (the rest
+	// of Syncs ran dense).
+	SparseSyncs int
+	// MeanDeltaDensity is the mean measured gradient-delta density across
+	// syncs that computed deltas (-1 when none did).
+	MeanDeltaDensity float64
+	// WireBytes is the modeled interconnect traffic of this epoch's syncs
+	// (what the rounds would ship on a scale-out fabric).
+	WireBytes int64
+	// Rechunks counts mitigation share reassignments this epoch.
+	Rechunks int
+	// StalenessMax is the largest observed step gap between the fastest
+	// and slowest replica at a sync point (async mode; 0 when
+	// synchronous).
+	StalenessMax int
+}
+
+// epochSync accumulates sync-round telemetry over one epoch.
+type epochSync struct {
+	seconds      float64
+	wire         int64
+	sparse       int
+	densitySum   float64
+	densityN     int
+	method       string
+	rechunks     int
+	stalenessMax int
 }
 
 // TrainEpoch runs one shuffled pass over the dataset. Trailing examples
 // that do not fill a whole global batch are skipped (every step must shard
-// evenly); size datasets as multiples of GlobalBatch for exact epochs.
+// evenly) and reported as Stats.SkippedImages — an Eq. 9-style waste term;
+// size datasets as multiples of GlobalBatch for exact epochs. With
+// cfg.Staleness > 0 the bounded-staleness async path runs instead of the
+// per-step barrier.
 func (t *Trainer) TrainEpoch(ds nn.Dataset, r *rng.RNG) Stats {
+	if t.cfg.Staleness > 0 && t.cfg.Replicas >= 2 {
+		return t.trainEpochAsync(ds, r)
+	}
 	cfg := t.cfg
-	shard := cfg.GlobalBatch / cfg.Replicas
-	t.ensureBuffers(shard)
+	// Build the reduction subsystem up front: the sparse base snapshot
+	// must be taken while the replicas are aligned.
+	t.ensureExchange()
 	order := r.Perm(ds.Len())
 	start := time.Now()
 	var totalLoss float64
 	correct, images := 0, 0
 	epochSyncs := 0
+	es := &epochSync{}
 
 	perRep := make([]ReplicaStats, cfg.Replicas)
 	for w := range perRep {
 		perRep[w] = ReplicaStats{Replica: w, Min: math.MaxFloat64}
 	}
 
+	offsets := make([]int, cfg.Replicas)
 	for lo := 0; lo+cfg.GlobalBatch <= len(order); lo += cfg.GlobalBatch {
 		t.rec.SetStep(int64(t.steps + 1))
+		t.ensureBuffers(maxShare(t.shares))
+		off := 0
+		for w := range offsets {
+			offsets[w] = off
+			off += t.shares[w]
+		}
 		var wg sync.WaitGroup
 		wg.Add(cfg.Replicas)
 		for w := 0; w < cfg.Replicas; w++ {
 			go func(w int) {
 				defer wg.Done()
-				st := t.trainers[w]
-				net := t.replicas[w]
-				base := lo + w*shard
-				stepStart := time.Now()
-				t.em(w).Region("step", "step", func() {
-					for i := 0; i < shard; i++ {
-						ds.Image(order[base+i], st.inputs[i])
-					}
-					logits := net.Forward(st.inputs[:shard])
-					st.loss, st.correct = 0, 0
-					for i := 0; i < shard; i++ {
-						l, ok := t.loss.Loss(logits[i], ds.Label(order[base+i]), st.dlogits[i])
-						st.loss += l
-						if ok {
-							st.correct++
-						}
-					}
-					st.images = shard
-					net.Backward(st.dlogits[:shard], st.inputs[:shard])
-					// Locally-scaled step: lr/shard per replica; averaging
-					// across replicas reconstructs the lr/GlobalBatch global
-					// step (see package comment).
-					net.ApplyGrads(cfg.LR, shard)
-				})
-				st.secs = time.Since(stepStart).Seconds()
+				t.runStep(ds, w, order, lo+offsets[w], t.shares[w])
 			}(w)
 		}
 		wg.Wait()
@@ -369,12 +456,12 @@ func (t *Trainer) TrainEpoch(ds nn.Dataset, r *rng.RNG) Stats {
 				t.em(w).Instant("sync", "barrier", "", wait)
 			}
 		}
+		if cfg.Mitigate {
+			t.rechunk(es)
+		}
 		t.steps++
 		if t.steps%cfg.SyncEvery == 0 {
-			arStart := time.Now()
-			t.allReduce()
-			t.coord.Span("sync", "allreduce", arStart, time.Since(arStart))
-			t.syncs++
+			t.sync(es)
 			epochSyncs++
 		}
 	}
@@ -390,6 +477,7 @@ func (t *Trainer) TrainEpoch(ds nn.Dataset, r *rng.RNG) Stats {
 		if perRep[w].Steps == 0 {
 			perRep[w].Min = 0
 		}
+		perRep[w].Share = t.shares[w]
 	}
 	stats := Stats{
 		Loss:     safeDiv(totalLoss, float64(images)),
@@ -403,8 +491,212 @@ func (t *Trainer) TrainEpoch(ds nn.Dataset, r *rng.RNG) Stats {
 	if elapsed > 0 {
 		stats.ImagesPerSec = float64(images) / elapsed
 	}
+	t.fillSyncStats(&stats, es, len(order)%cfg.GlobalBatch)
 	t.convAccounting(&stats, images, elapsed)
 	return stats
+}
+
+// runStep executes one replica's shard of one global step: share images
+// starting at order[base], forward/backward, locally-scaled SGD step. The
+// LR is rescaled for unequal mitigation shares so the replica average
+// still reconstructs the lr/GlobalBatch global step (at equal shares the
+// rescale is exactly cfg.LR, preserving the historical arithmetic).
+func (t *Trainer) runStep(ds nn.Dataset, w int, order []int, base, share int) {
+	cfg := t.cfg
+	st := t.trainers[w]
+	net := t.replicas[w]
+	stepStart := time.Now()
+	t.em(w).Region("step", "step", func() {
+		for i := 0; i < share; i++ {
+			ds.Image(order[base+i], st.inputs[i])
+		}
+		logits := net.Forward(st.inputs[:share])
+		st.loss, st.correct = 0, 0
+		for i := 0; i < share; i++ {
+			l, ok := t.loss.Loss(logits[i], ds.Label(order[base+i]), st.dlogits[i])
+			st.loss += l
+			if ok {
+				st.correct++
+			}
+		}
+		st.images = share
+		net.Backward(st.dlogits[:share], st.inputs[:share])
+		lr := cfg.LR
+		if share*cfg.Replicas != cfg.GlobalBatch {
+			lr = cfg.LR * float32(share*cfg.Replicas) / float32(cfg.GlobalBatch)
+		}
+		net.ApplyGrads(lr, share)
+		if cfg.InjectSlowPerImage > 0 && w == cfg.InjectSlowReplica {
+			time.Sleep(cfg.InjectSlowPerImage * time.Duration(share))
+		}
+	})
+	st.secs = time.Since(stepStart).Seconds()
+}
+
+// sync runs one parameter-averaging round through the reduction subsystem
+// and records its telemetry.
+func (t *Trainer) sync(es *epochSync) {
+	t.ensureExchange()
+	arStart := time.Now()
+	info := t.exchange.Sync()
+	dur := time.Since(arStart)
+	method := string(info.Method)
+	if info.Sparse {
+		method += "+sparse"
+	}
+	t.coord.SpanDetail("sync", "allreduce", method, float64(info.WireBytes), arStart, dur)
+	t.syncs++
+	es.seconds += dur.Seconds()
+	es.wire += info.WireBytes
+	es.method = method
+	if info.Sparse {
+		es.sparse++
+	}
+	if info.Density >= 0 {
+		es.densitySum += info.Density
+		es.densityN++
+	}
+}
+
+// ensureExchange lazily builds the reduction subsystem over the replicas'
+// live parameter views, with the machine.Cluster cost model as the
+// MethodAuto ranker.
+func (t *Trainer) ensureExchange() {
+	if t.exchange != nil {
+		return
+	}
+	views := make([][][]float32, len(t.replicas))
+	for i, net := range t.replicas {
+		ps := net.Parameters()
+		views[i] = make([][]float32, len(ps))
+		for j, p := range ps {
+			views[i][j] = p.Tensor.Data
+		}
+	}
+	cl := machine.DefaultCluster(len(t.replicas))
+	ranker := func(elems, replicas int, density float64) (Method, bool) {
+		best := cl.BestAllReduce(elems, density)
+		return Method(best.Method), best.Sparse
+	}
+	t.exchange = NewExchange(t.cfg.AllReduce, t.cfg.SparseSync, views, ranker)
+}
+
+// rechunk closes the straggler loop: the step that just finished updates
+// each replica's EWMA throughput, and shares are reassigned proportionally
+// (largest-remainder rounding, minimum 1 image) so next step's barrier
+// wait concentrates less on the fast replicas.
+func (t *Trainer) rechunk(es *epochSync) {
+	n := t.cfg.Replicas
+	if n < 2 {
+		return
+	}
+	const alpha = 0.5
+	for w, st := range t.trainers {
+		if st.secs <= 0 {
+			continue
+		}
+		r := float64(t.shares[w]) / st.secs
+		if t.rate[w] == 0 {
+			t.rate[w] = r
+		} else {
+			t.rate[w] = (1-alpha)*t.rate[w] + alpha*r
+		}
+	}
+	var sum float64
+	for _, r := range t.rate {
+		if r <= 0 {
+			return // not every replica measured yet
+		}
+		sum += r
+	}
+	b := t.cfg.GlobalBatch
+	target := make([]int, n)
+	frac := make([]float64, n)
+	assigned := 0
+	for w := range target {
+		ideal := float64(b) * t.rate[w] / sum
+		fl := int(ideal)
+		if fl < 1 {
+			fl = 1
+		}
+		target[w] = fl
+		frac[w] = ideal - float64(fl)
+		assigned += fl
+	}
+	for assigned < b {
+		best := 0
+		for w := 1; w < n; w++ {
+			if frac[w] > frac[best] {
+				best = w
+			}
+		}
+		target[best]++
+		frac[best] = -1
+		assigned++
+	}
+	for assigned > b {
+		best := -1
+		for w := 0; w < n; w++ {
+			if target[w] > 1 && (best < 0 || frac[w] < frac[best]) {
+				best = w
+			}
+		}
+		if best < 0 {
+			break
+		}
+		target[best]--
+		frac[best] = 2
+		assigned--
+	}
+	moved := 0
+	for w := range target {
+		d := target[w] - t.shares[w]
+		if d < 0 {
+			d = -d
+		}
+		moved += d
+	}
+	if moved == 0 {
+		return
+	}
+	copy(t.shares, target)
+	es.rechunks++
+	t.coord.Instant("sync", "rechunk", "", float64(moved))
+}
+
+// fillSyncStats folds the epoch's sync telemetry and the skipped-tail
+// waste term into the stats.
+func (t *Trainer) fillSyncStats(stats *Stats, es *epochSync, skipped int) {
+	stats.SkippedImages = skipped
+	if skipped > 0 {
+		var perImage float64
+		for _, c := range t.replicas[0].ConvLayers() {
+			spec := c.Spec()
+			perImage += float64(spec.FlopsFP() + spec.FlopsBPInput() + spec.FlopsBPWeights())
+		}
+		stats.SkippedConvFlops = perImage * float64(skipped)
+		t.coord.Instant("epoch", "skipped", "", float64(skipped))
+	}
+	stats.AllReduceMethod = es.method
+	stats.AllReduceSeconds = es.seconds
+	stats.SparseSyncs = es.sparse
+	stats.MeanDeltaDensity = -1
+	if es.densityN > 0 {
+		stats.MeanDeltaDensity = es.densitySum / float64(es.densityN)
+	}
+	stats.WireBytes = es.wire
+	stats.Rechunks = es.rechunks
+	stats.StalenessMax = es.stalenessMax
+}
+
+func maxShare(shares []int) int {
+	m := 0
+	for _, s := range shares {
+		if s > m {
+			m = s
+		}
+	}
+	return m
 }
 
 // convAccounting fills the epoch's sparsity map and work rates (Eq. 9/10)
@@ -460,29 +752,6 @@ func safeDiv(a, b float64) float64 {
 		return 0
 	}
 	return a / b
-}
-
-// allReduce averages every parameter across replicas and writes the mean
-// back to all of them.
-func (t *Trainer) allReduce() {
-	if len(t.replicas) < 2 {
-		return
-	}
-	params := make([][]nn.NamedParam, len(t.replicas))
-	for i, net := range t.replicas {
-		params[i] = net.Parameters()
-	}
-	inv := 1 / float32(len(t.replicas))
-	for j := range params[0] {
-		mean := params[0][j].Tensor
-		for i := 1; i < len(t.replicas); i++ {
-			mean.AddScaled(params[i][j].Tensor, 1)
-		}
-		mean.Scale(inv)
-		for i := 1; i < len(t.replicas); i++ {
-			copy(params[i][j].Tensor.Data, mean.Data)
-		}
-	}
 }
 
 // Replica returns replica i's network (replica 0 is the canonical model

@@ -1,0 +1,153 @@
+package dataparallel
+
+import (
+	"testing"
+	"time"
+
+	"spgcnn/internal/nn"
+	"spgcnn/internal/rng"
+	"spgcnn/internal/tensor"
+)
+
+// TestInjectedStragglerAttribution pins the straggler surface without
+// mitigation: with replica 1 injected slow, the barrier wait must
+// concentrate on the OTHER replicas (they finish first and wait), and the
+// slow replica itself must wait ~nothing.
+func TestInjectedStragglerAttribution(t *testing.T) {
+	dp, err := New(func(int) *nn.Network { return buildNet(7) }, Config{
+		Replicas: 4, GlobalBatch: 16, LR: 0.05, SyncEvery: 1,
+		InjectSlowReplica: 1, InjectSlowPerImage: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := dp.TrainEpoch(ds{n: 64}, rng.New(3))
+	slow := stats.Replicas[1]
+	var fastWait float64
+	for w, r := range stats.Replicas {
+		if w != 1 {
+			fastWait += r.BarrierWait
+		}
+	}
+	if fastWait <= 0 {
+		t.Fatal("no barrier wait attributed to the fast replicas")
+	}
+	// The injected replica sleeps 2ms × 4 images per step; the fast
+	// replicas' mean wait should dwarf the slow one's.
+	if slow.BarrierWait > fastWait/3 {
+		t.Fatalf("wait did not concentrate on fast replicas: slow %.4fs, fast total %.4fs",
+			slow.BarrierWait, fastWait)
+	}
+	if stats.Rechunks != 0 {
+		t.Fatalf("mitigation off but %d rechunks happened", stats.Rechunks)
+	}
+	for _, r := range stats.Replicas {
+		if r.Share != 4 {
+			t.Fatalf("shares moved without mitigation: %+v", stats.Replicas)
+		}
+	}
+}
+
+// TestMitigationShrinksStragglerShare closes the loop: with mitigation on,
+// the injected slow replica's share must shrink (re-chunked onto the fast
+// replicas) and the rechunk events must be reported.
+func TestMitigationShrinksStragglerShare(t *testing.T) {
+	cfg := Config{
+		Replicas: 4, GlobalBatch: 32, LR: 0.05, SyncEvery: 1, Mitigate: true,
+		InjectSlowReplica: 1, InjectSlowPerImage: 3 * time.Millisecond,
+	}
+	dp, err := New(func(int) *nn.Network { return buildNet(7) }, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := ds{n: 128}
+	r := rng.New(3)
+	stats := dp.TrainEpoch(data, r)
+	if stats.Rechunks == 0 {
+		t.Fatal("mitigation never re-chunked against an injected straggler")
+	}
+	slow := stats.Replicas[1]
+	if slow.Share >= 8 {
+		t.Fatalf("slow replica share %d did not shrink below the equal share 8 (shares %+v)",
+			slow.Share, shares(stats))
+	}
+	total := 0
+	for _, rs := range stats.Replicas {
+		total += rs.Share
+		if rs.Share < 1 {
+			t.Fatalf("share below minimum: %+v", shares(stats))
+		}
+	}
+	if total != cfg.GlobalBatch {
+		t.Fatalf("shares %+v do not sum to the global batch %d", shares(stats), cfg.GlobalBatch)
+	}
+	if stats.Images != 128 {
+		t.Fatalf("mitigation changed the trained image count: %d", stats.Images)
+	}
+	// Replicas must still be in lockstep after the epoch's syncs.
+	ref := dp.Replica(0).Parameters()
+	for i := 1; i < cfg.Replicas; i++ {
+		ps := dp.Replica(i).Parameters()
+		for j := range ps {
+			if tensor.MaxAbsDiff(ref[j].Tensor, ps[j].Tensor) != 0 {
+				t.Fatalf("replica %d out of lockstep after mitigated epoch", i)
+			}
+		}
+	}
+}
+
+// TestMitigationRecoversThroughput is the goodput-recovery claim: with the
+// same injected straggler, a mitigated epoch must finish measurably faster
+// than an unmitigated one (the injected sleep is proportional to the
+// slow replica's share, so re-chunking converts dead barrier time into
+// useful work on the other replicas).
+func TestMitigationRecoversThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	run := func(mitigate bool) (Stats, float64) {
+		dp, err := New(func(int) *nn.Network { return buildNet(7) }, Config{
+			Replicas: 4, GlobalBatch: 32, LR: 0.05, SyncEvery: 1, Mitigate: mitigate,
+			InjectSlowReplica: 1, InjectSlowPerImage: 4 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := ds{n: 128}
+		r := rng.New(3)
+		dp.TrainEpoch(data, r) // warm epoch: tuning + (for mitigation) share convergence
+		stats := dp.TrainEpoch(data, r)
+		return stats, stats.ImagesPerSec
+	}
+	base, baseIPS := run(false)
+	mit, mitIPS := run(true)
+	if mitIPS <= baseIPS {
+		t.Fatalf("mitigation did not recover throughput: %.1f img/s (mitigated) vs %.1f (baseline)",
+			mitIPS, baseIPS)
+	}
+	baseWait := stragglerWaitOthers(base)
+	mitWait := stragglerWaitOthers(mit)
+	if mitWait >= baseWait {
+		t.Fatalf("re-chunking did not shrink barrier wait: %.4fs vs %.4fs", mitWait, baseWait)
+	}
+}
+
+func shares(s Stats) []int {
+	out := make([]int, len(s.Replicas))
+	for i, r := range s.Replicas {
+		out[i] = r.Share
+	}
+	return out
+}
+
+// stragglerWaitOthers sums barrier wait over every replica except the
+// injected one (index 1 in these tests).
+func stragglerWaitOthers(s Stats) float64 {
+	var sum float64
+	for w, r := range s.Replicas {
+		if w != 1 {
+			sum += r.BarrierWait
+		}
+	}
+	return sum
+}

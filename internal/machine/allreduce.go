@@ -1,0 +1,152 @@
+package machine
+
+import "math"
+
+// Cluster models the interconnect of a scale-out data-parallel deployment
+// — the §6 context where each node runs one spg-CNN worker and parameter
+// synchronization rides the network. It extends the single-node roofline
+// reasoning of Machine to the reduction step with the standard alpha-beta
+// communication model: a message of b bytes between two nodes costs
+// alpha + b/beta.
+type Cluster struct {
+	// Nodes is the replica count.
+	Nodes int
+	// LinkGBs is the per-node link bandwidth in GB/s (beta). 1.25 GB/s
+	// models the 10 GbE fabric of the paper's cluster era.
+	LinkGBs float64
+	// LatencyUS is the per-message latency in microseconds (alpha).
+	LatencyUS float64
+	// EncodeGBs is the node-local rate at which a replica can delta,
+	// scan and CT-CSR-encode its parameter vector (GB/s of parameter
+	// bytes). It prices the sparse exchange's extra local passes; ~4 GB/s
+	// matches a single stream-bound core.
+	EncodeGBs float64
+}
+
+// DefaultCluster returns the modeling defaults for n replicas.
+func DefaultCluster(n int) Cluster {
+	return Cluster{Nodes: n, LinkGBs: 1.25, LatencyUS: 25, EncodeGBs: 4.0}
+}
+
+const bytesPerParam = 4 // float32 parameters on the wire
+
+// alphaSeconds returns the per-message latency in seconds.
+func (c Cluster) alphaSeconds() float64 { return c.LatencyUS * 1e-6 }
+
+// linkSeconds returns the time to move b bytes across one link.
+func (c Cluster) linkSeconds(b float64) float64 {
+	if c.LinkGBs <= 0 {
+		return math.Inf(1)
+	}
+	return b / (c.LinkGBs * 1e9)
+}
+
+// AllReduceSeconds models one dense synchronization round of params
+// float32 parameters across c.Nodes replicas under the given schedule.
+//
+//   - "flat": the coordinator gathers every replica's vector and sends the
+//     mean back — 2(N-1) full-vector transfers serialized through one link.
+//   - "ring": reduce-scatter + allgather — 2(N-1) steps, each moving only
+//     P/N of the vector per link, all links busy: bandwidth-optimal.
+//   - "tree": 2·ceil(log2 N) full-vector hops — latency-optimal for small
+//     vectors, bandwidth-bound for large ones.
+//
+// Unknown methods price as flat (the conservative upper bound).
+func (c Cluster) AllReduceSeconds(method string, params int) float64 {
+	n := c.Nodes
+	if n < 2 || params <= 0 {
+		return 0
+	}
+	bytes := float64(params) * bytesPerParam
+	switch method {
+	case "ring":
+		steps := float64(2 * (n - 1))
+		return steps * (c.alphaSeconds() + c.linkSeconds(bytes/float64(n)))
+	case "tree":
+		rounds := 2 * math.Ceil(math.Log2(float64(n)))
+		return rounds * (c.alphaSeconds() + c.linkSeconds(bytes))
+	default: // flat
+		steps := float64(2 * (n - 1))
+		return steps * (c.alphaSeconds() + c.linkSeconds(bytes))
+	}
+}
+
+// SparseAllReduceSeconds models one sparse synchronization round: each
+// replica deltas + encodes its vector locally (three passes over the
+// parameter bytes at EncodeGBs), ships only the non-zeros (8 bytes each:
+// value + index) under the given schedule's transfer structure, and the
+// touched union broadcasts back. density is the per-replica delta density
+// in [0, 1].
+func (c Cluster) SparseAllReduceSeconds(method string, params int, density float64) float64 {
+	n := c.Nodes
+	if n < 2 || params <= 0 {
+		return 0
+	}
+	if density < 0 {
+		density = 0
+	}
+	if density > 1 {
+		density = 1
+	}
+	encode := 0.0
+	if c.EncodeGBs > 0 {
+		encode = 3 * float64(params) * bytesPerParam / (c.EncodeGBs * 1e9)
+	}
+	// 8 bytes per shipped non-zero; the broadcast union saturates toward
+	// full density as replicas' non-zero sets overlap less, at which point
+	// the broadcast reverts to the dense 4-byte representation.
+	union := math.Min(1, density*float64(n))
+	upBytes := density * float64(params) * 8
+	downBytes := math.Min(union*8, bytesPerParam) * float64(params)
+	var wire float64
+	switch method {
+	case "ring":
+		steps := float64(n - 1)
+		wire = steps*(c.alphaSeconds()+c.linkSeconds(upBytes/float64(n))) +
+			steps*(c.alphaSeconds()+c.linkSeconds(downBytes/float64(n)))
+	case "tree":
+		rounds := math.Ceil(math.Log2(float64(n)))
+		wire = rounds*(c.alphaSeconds()+c.linkSeconds(upBytes)) +
+			rounds*(c.alphaSeconds()+c.linkSeconds(downBytes))
+	default: // flat
+		wire = float64(n-1)*(c.alphaSeconds()+c.linkSeconds(upBytes)) +
+			float64(n-1)*(c.alphaSeconds()+c.linkSeconds(downBytes))
+	}
+	return encode + wire
+}
+
+// AllReduceChoice is one ranked (schedule, encoding) candidate.
+type AllReduceChoice struct {
+	Method  string
+	Sparse  bool
+	Seconds float64
+}
+
+// RankAllReduce prices every schedule × encoding for the given round and
+// returns them fastest-first. density < 0 means "density unknown" and
+// excludes the sparse candidates (a round that never computed deltas
+// cannot ship them).
+func (c Cluster) RankAllReduce(params int, density float64) []AllReduceChoice {
+	methods := []string{"flat", "ring", "tree"}
+	var out []AllReduceChoice
+	for _, m := range methods {
+		out = append(out, AllReduceChoice{Method: m, Seconds: c.AllReduceSeconds(m, params)})
+		if density >= 0 {
+			out = append(out, AllReduceChoice{
+				Method: m, Sparse: true,
+				Seconds: c.SparseAllReduceSeconds(m, params, density),
+			})
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Seconds < out[j-1].Seconds; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// BestAllReduce returns the fastest (schedule, encoding) for the round.
+func (c Cluster) BestAllReduce(params int, density float64) AllReduceChoice {
+	return c.RankAllReduce(params, density)[0]
+}

@@ -1,0 +1,93 @@
+package machine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllReduceSecondsStructure(t *testing.T) {
+	c := DefaultCluster(8)
+	const params = 1 << 20
+	flat := c.AllReduceSeconds("flat", params)
+	ring := c.AllReduceSeconds("ring", params)
+	tree := c.AllReduceSeconds("tree", params)
+	for _, v := range []float64{flat, ring, tree} {
+		if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("degenerate cost: flat %v ring %v tree %v", flat, ring, tree)
+		}
+	}
+	// Ring is bandwidth-optimal: it must beat the flat serial schedule for
+	// a large vector, and the gap must widen with the replica count.
+	if !(ring < flat) {
+		t.Fatalf("ring %v not below flat %v", ring, flat)
+	}
+	c64 := DefaultCluster(64)
+	if r := c64.AllReduceSeconds("flat", params) / c64.AllReduceSeconds("ring", params); r < 8 {
+		t.Fatalf("flat/ring ratio at 64 nodes only %.1f", r)
+	}
+	// Tree is latency-optimal: for a tiny vector its log2 rounds must beat
+	// ring's 2(N-1) messages.
+	tiny := 64
+	if !(c64.AllReduceSeconds("tree", tiny) < c64.AllReduceSeconds("ring", tiny)) {
+		t.Fatal("tree not latency-optimal for a tiny vector at 64 nodes")
+	}
+	if c.AllReduceSeconds("ring", 0) != 0 || DefaultCluster(1).AllReduceSeconds("ring", params) != 0 {
+		t.Fatal("degenerate rounds must cost zero")
+	}
+}
+
+func TestSparseAllReduceCrossover(t *testing.T) {
+	c := DefaultCluster(8)
+	const params = 1 << 20
+	dense := c.AllReduceSeconds("ring", params)
+	// At high sparsity the delta exchange must win despite its local
+	// encode passes; at full density it must lose (8 bytes/element on the
+	// wire plus encode, vs 4 dense).
+	if sp := c.SparseAllReduceSeconds("ring", params, 0.05); !(sp < dense) {
+		t.Fatalf("sparse at 5%% density (%v) not below dense ring (%v)", sp, dense)
+	}
+	if sp := c.SparseAllReduceSeconds("ring", params, 1.0); !(sp > dense) {
+		t.Fatalf("sparse at density 1 (%v) not above dense ring (%v)", sp, dense)
+	}
+	// Monotone in density.
+	prev := -1.0
+	for _, d := range []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1.0} {
+		s := c.SparseAllReduceSeconds("ring", params, d)
+		if s <= prev {
+			t.Fatalf("cost not monotone in density at %v", d)
+		}
+		prev = s
+	}
+}
+
+func TestRankAllReduce(t *testing.T) {
+	c := DefaultCluster(16)
+	const params = 1 << 20
+	ranked := c.RankAllReduce(params, 0.05)
+	if len(ranked) != 6 {
+		t.Fatalf("want 6 candidates, got %d", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Seconds < ranked[i-1].Seconds {
+			t.Fatal("ranking not sorted fastest-first")
+		}
+	}
+	best := c.BestAllReduce(params, 0.05)
+	if best.Seconds != ranked[0].Seconds {
+		t.Fatal("BestAllReduce disagrees with RankAllReduce[0]")
+	}
+	// 1% deltas on a big vector: a sparse candidate must win clearly.
+	if b := c.BestAllReduce(params, 0.01); !b.Sparse {
+		t.Fatalf("at 1%% density best is dense %q", b.Method)
+	}
+	// Unknown density excludes sparse candidates entirely.
+	for _, ch := range c.RankAllReduce(params, -1) {
+		if ch.Sparse {
+			t.Fatal("sparse candidate ranked with unknown density")
+		}
+	}
+	// Dense deltas: dense ring must win.
+	if b := c.BestAllReduce(params, 1.0); b.Sparse || b.Method != "ring" {
+		t.Fatalf("at density 1 best is %+v, want dense ring", b)
+	}
+}

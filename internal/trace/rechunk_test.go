@@ -1,0 +1,29 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStragglerRechunkCount checks that mitigation re-chunk instants are
+// counted into the straggler report (and absent captures report zero).
+func TestStragglerRechunkCount(t *testing.T) {
+	if got := Stragglers(sampleCapture()).Rechunks; got != 0 {
+		t.Fatalf("rechunks in plain capture = %d, want 0", got)
+	}
+	ms := int64(time.Millisecond)
+	c := sampleCapture()
+	c.Events = append(c.Events,
+		Event{Name: "rechunk", Cat: "sync", Phase: 'i', Ts: 6 * ms, Replica: -1, Step: 1, Value: 2},
+		Event{Name: "rechunk", Cat: "sync", Phase: 'i', Ts: 13 * ms, Replica: -1, Step: 2, Value: 4},
+		// A rechunk-named span in another category must not count.
+		Event{Name: "rechunk", Cat: "layer", Phase: 'i', Ts: 14 * ms, Replica: 0, Step: 2},
+	)
+	rep := Stragglers(c)
+	if rep.Rechunks != 2 {
+		t.Fatalf("rechunks = %d, want 2", rep.Rechunks)
+	}
+	if rep.Syncs != 3 {
+		t.Fatalf("rechunk instants perturbed sync count: %d", rep.Syncs)
+	}
+}

@@ -9,7 +9,9 @@
 # the design-space explorer golden check (spg-plan -explore over the
 # workload zoo must match its committed report byte-for-byte), and the
 # drift-observatory check (an injected synthetic slowdown must fire a
-# drift event and re-tune; the control run must stay silent).
+# drift event and re-tune; the control run must stay silent), and the
+# data-parallel check (ring allreduce bit-identity, straggler mitigation
+# engaging under an injected slow replica, scale-out baseline match).
 # Run from the repository root.
 set -eux
 
@@ -24,3 +26,4 @@ scripts/trace_check.sh
 scripts/serve_check.sh
 scripts/explore_check.sh
 scripts/drift_check.sh
+scripts/dp_check.sh
